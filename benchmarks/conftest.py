@@ -1,0 +1,65 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every bench regenerates one of the paper's tables or figures, prints
+it (run with ``-s`` to see the output live) and records it under
+``benchmarks/results/`` so EXPERIMENTS.md can cite the artefacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Write a reproduced table to benchmarks/results/<name>.txt."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n--- {name} ---")
+        print(text)
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def figure6_results():
+    """Run the full Figure 6 sweep once per session and share it
+    between the Fig 6, Fig 7 and baseline-comparison benches.
+
+    Data sizes are scaled relative to the paper (documented in
+    DESIGN.md); shapes, not absolute counts, are the target.
+    """
+    from repro.pipeline.flow import EncodingFlow
+    from repro.sim.cpu import run_program
+    from repro.workloads.registry import BENCHMARK_ORDER, build_workload
+
+    sizes = {
+        "mmul": {"n": 20},
+        "sor": {"n": 24, "sweeps": 5},
+        "ej": {"n": 24, "sweeps": 5},
+        "fft": {"n": 128},
+        "tri": {"n": 96, "sweeps": 12},
+        "lu": {"n": 24},
+    }
+    results = {}
+    traces = {}
+    for name in BENCHMARK_ORDER:
+        workload = build_workload(name, **sizes[name])
+        program = workload.assemble()
+        cpu, trace = run_program(program)
+        if workload.verify is not None:
+            workload.verify(cpu)
+        traces[name] = (program, trace)
+        results[name] = {
+            k: EncodingFlow(block_size=k).run(program, trace, name)
+            for k in (4, 5, 6, 7)
+        }
+    return results, traces

@@ -1,0 +1,57 @@
+"""Ablation B: one-bit block overlap vs disjoint blocks.
+
+Section 6: "Were blocks to be disjoint, no improvement can be effected
+[across boundaries]. Overlapping blocks ... impose an additional
+constraint ... an overlap with one bit position only needs to be
+considered."  This bench quantifies the choice on random streams and
+also checks greedy-vs-DP (the overlap's sequential coupling is what
+makes greedy non-trivially suboptimal in theory)."""
+
+from repro.core.analysis import random_streams
+from repro.core.stream_codec import encode_stream
+
+
+def _totals(strategy, streams, block_size=5):
+    original = encoded = 0
+    for stream in streams:
+        result = encode_stream(stream, block_size, strategy=strategy)
+        original += result.original_transitions
+        encoded += result.encoded_transitions
+    return original, encoded
+
+
+def test_ablation_overlap(benchmark, record_result):
+    streams = random_streams(count=20, length=1000, seed=66)
+
+    original, overlapped = benchmark.pedantic(
+        _totals, args=("greedy", streams), rounds=1, iterations=1
+    )
+    _, disjoint = _totals("disjoint", streams)
+    _, optimal = _totals("optimal", streams)
+
+    def reduction(encoded: int) -> float:
+        return 100.0 * (original - encoded) / original
+
+    # Overlap wins clearly: disjoint blocks leave the boundary
+    # transitions uncontrolled (~1 extra expected transition per
+    # boundary on uniform streams).
+    assert overlapped < disjoint
+    overlap_red = reduction(overlapped)
+    disjoint_red = reduction(disjoint)
+    assert overlap_red - disjoint_red > 5.0
+
+    # The DP optimum confirms greedy's practical optimality under the
+    # overlap coupling (paper's empirical claim).
+    assert optimal <= overlapped
+    assert (overlapped - optimal) / original < 0.005
+
+    lines = [
+        "Ablation B — block overlap, 20x1000-bit uniform streams, k=5",
+        f"original transitions:   {original}",
+        f"disjoint blocks:        {disjoint}  ({disjoint_red:.2f}% reduction)",
+        f"1-bit overlap (greedy): {overlapped}  ({overlap_red:.2f}% reduction)",
+        f"1-bit overlap (DP opt): {optimal}  ({reduction(optimal):.2f}% reduction)",
+        "conclusion: the paper's one-bit overlap buys the boundary "
+        "transitions; greedy is within noise of the global optimum",
+    ]
+    record_result("ablation_overlap", "\n".join(lines))

@@ -1,0 +1,74 @@
+"""Ablation D: chained-encoding strategy on real instruction traces.
+
+Section 6 proves greedy can be suboptimal in principle (the one-bit
+overlap couples block choices) but reports it optimal in practice on
+random streams.  This bench settles the question on *program* traces:
+the same hot blocks of two benchmarks encoded with the paper's greedy,
+the globally optimal interface DP, and the disjoint strawman.
+"""
+
+from repro.pipeline.flow import EncodingFlow
+from repro.sim.cpu import run_program
+from repro.workloads.registry import build_workload
+
+STRATEGIES = ("greedy", "optimal", "disjoint")
+CASES = {"mmul": {"n": 14}, "lu": {"n": 16}}
+
+
+def _run():
+    rows = {}
+    for name, params in CASES.items():
+        workload = build_workload(name, **params)
+        program = workload.assemble()
+        cpu, trace = run_program(program)
+        workload.verify(cpu)
+        rows[name] = {
+            strategy: EncodingFlow(
+                block_size=5,
+                strategy=strategy,
+                # The TT/BBIT hardware implements the overlapped
+                # protocol; the disjoint strawman is measured only.
+                verify_decode=strategy != "disjoint",
+            ).run(program, trace, f"{name}/{strategy}")
+            for strategy in STRATEGIES
+        }
+    return rows
+
+
+def test_ablation_strategy(benchmark, record_result):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation D — encoding strategy on real traces, k=5",
+        "",
+        f"{'bench':6s} {'strategy':9s} {'encoded':>9s} {'reduction':>9s}",
+    ]
+    for name, per_strategy in rows.items():
+        greedy = per_strategy["greedy"]
+        optimal = per_strategy["optimal"]
+        disjoint = per_strategy["disjoint"]
+        # Greedy and optimal decode-verify; disjoint is measured only
+        # (its per-block re-anchoring needs no overlap bookkeeping).
+        assert greedy.decode_verified
+        assert optimal.decode_verified
+        # The DP optimum can never lose to greedy...
+        assert optimal.encoded_transitions <= greedy.encoded_transitions
+        # ...and on real code the two coincide to within a handful of
+        # transitions per million (Section 6's claim, trace-level).
+        gap = greedy.encoded_transitions - optimal.encoded_transitions
+        assert gap <= 0.001 * greedy.baseline_transitions, name
+        # Disjoint forfeits real savings.
+        assert disjoint.encoded_transitions > optimal.encoded_transitions
+        for strategy in STRATEGIES:
+            result = per_strategy[strategy]
+            lines.append(
+                f"{name:6s} {strategy:9s} {result.encoded_transitions:9d} "
+                f"{result.reduction_percent:8.1f}%"
+            )
+    lines += [
+        "",
+        "conclusion: on program traces the paper's greedy matches the "
+        "global DP optimum (to <0.1% of baseline transitions), and the "
+        "one-bit overlap clearly beats disjoint blocks",
+    ]
+    record_result("ablation_strategy", "\n".join(lines))

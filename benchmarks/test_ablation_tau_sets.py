@@ -1,0 +1,84 @@
+"""Ablation A: transformation-set size on realistic streams.
+
+DESIGN.md calls out the 8-vs-16 design choice.  The paper proves the
+sets tie on anchored blocks; with the one-bit overlap the full set can
+occasionally save one extra transition (12 of 504 constrained cases).
+This bench quantifies the end-to-end gap on bit streams — small (on
+the order of 1% of original transitions), which is why 3 selector bits
+suffice — and the cost of going the other way (fewer than 8
+functions)."""
+
+import itertools
+
+from repro.core.analysis import random_streams
+from repro.core.block_solver import BlockSolver
+from repro.core.stream_codec import encode_stream
+from repro.core.transformations import (
+    ALL_TRANSFORMATIONS,
+    OPTIMAL_SET,
+    by_name,
+)
+
+IDENTITY_ONLY = (by_name("x"),)
+FOUR_SET = tuple(by_name(n) for n in ("x", "~x", "xor", "xnor"))
+
+
+def _stream_totals(transformations, streams, block_size=5):
+    total = 0
+    for stream in streams:
+        total += encode_stream(
+            stream, block_size, transformations
+        ).encoded_transitions
+    return total
+
+
+def test_ablation_tau_sets(benchmark, record_result):
+    streams = random_streams(count=20, length=1000, seed=52)
+    baseline = _stream_totals(IDENTITY_ONLY, streams)  # = original
+
+    eight = benchmark.pedantic(
+        _stream_totals, args=(OPTIMAL_SET, streams), rounds=1, iterations=1
+    )
+    sixteen = _stream_totals(ALL_TRANSFORMATIONS, streams)
+    four = _stream_totals(FOUR_SET, streams)
+
+    # 16 >= 8 by construction.  Measured gap on uniform random
+    # streams: ~1.5% of the original transitions (the overlap makes
+    # x|~y / x&~y useful more often than the anchored analysis
+    # suggests) — small enough that the 3-bit selector remains the
+    # right hardware trade, but not zero; recorded in EXPERIMENTS.md.
+    assert sixteen <= eight
+    gap_percent = 100.0 * (eight - sixteen) / baseline
+    assert gap_percent < 2.0
+
+    # Halving the set to 4 functions costs real reductions.
+    assert four > eight
+    four_loss = 100.0 * (four - eight) / baseline
+
+    # Constrained-case census (the mechanism behind the tiny gap).
+    full_solver = BlockSolver(ALL_TRANSFORMATIONS)
+    eight_solver = BlockSolver(OPTIMAL_SET)
+    losses = 0
+    for size in range(2, 8):
+        for word in itertools.product((0, 1), repeat=size):
+            for fixed in (0, 1):
+                a = full_solver.solve_constrained(list(word), fixed)
+                b = eight_solver.solve_constrained(list(word), fixed)
+                losses += b.encoded_transitions > a.encoded_transitions
+    assert losses == 12
+
+    lines = [
+        "Ablation A — transformation-set size, 20x1000-bit streams, k=5",
+        f"original transitions:        {baseline}",
+        f"4-set  {{x,~x,xor,xnor}}:      {four}  "
+        f"(+{four_loss:.2f}% of original vs 8-set)",
+        f"8-set  (paper):              {eight}",
+        f"16-set (all functions):      {sixteen}  "
+        f"(gap {gap_percent:.3f}% of original)",
+        f"overlap-constrained cases where 16 beats 8: {losses}/504",
+        "conclusion: the paper's 8-function / 3-selector-bit choice "
+        "costs ~1.5% of original transitions vs all 16 functions on "
+        "uniform streams (less on real code) while halving the "
+        "selector storage and decode mux",
+    ]
+    record_result("ablation_tau_sets", "\n".join(lines))

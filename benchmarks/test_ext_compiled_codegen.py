@@ -1,0 +1,144 @@
+"""Extension: compiled vs hand-written code under the encoding.
+
+The paper's Figure 6 used *compiled* C (SimpleScalar gcc); our
+Figure-6 workloads are hand-written assembly.  This bench compiles
+the same kernels with minicc (a deliberately naive compiler: every
+access through memory, stack-style expression evaluation) and runs
+the identical encoding flow on both code styles at matched data
+sizes — quantifying how much of the measured reduction depends on
+code-generation style, which is the main explanation offered in
+EXPERIMENTS.md for our reductions running above the paper's.
+"""
+
+import pytest
+
+from repro.minicc import compile_kernel
+from repro.pipeline.flow import EncodingFlow
+from repro.sim.cpu import run_program
+from repro.workloads.common import pseudo_values
+from repro.workloads.registry import build_workload
+
+N = 12  # matrix / grid size for both code styles
+
+MMUL_SRC = f"""
+double A[{N}][{N}]; double B[{N}][{N}]; double C[{N}][{N}];
+int i; int j; int k; double s;
+for (i = 0; i < {N}; i = i + 1)
+    for (j = 0; j < {N}; j = j + 1) {{
+        s = 0.0;
+        for (k = 0; k < {N}; k = k + 1)
+            s = s + A[i][k] * B[k][j];
+        C[i][j] = s;
+    }}
+"""
+
+SOR_SRC = f"""
+double U[{N}][{N}];
+int i; int j; int sweep;
+for (sweep = 0; sweep < 4; sweep = sweep + 1)
+    for (i = 1; i < {N} - 1; i = i + 1)
+        for (j = 1; j < {N} - 1; j = j + 1)
+            U[i][j] = U[i][j] + 0.3125 *
+                (U[i-1][j] + U[i+1][j] + U[i][j-1] + U[i][j+1]
+                 - 4.0 * U[i][j]);
+"""
+
+
+def _flow_on(program, trace, name):
+    return {
+        k: EncodingFlow(block_size=k).run(program, trace, name)
+        for k in (4, 5)
+    }
+
+
+def _run_pair():
+    rows = {}
+    # mmul: hand assembly vs minicc, same N.
+    hand = build_workload("mmul", n=N)
+    hand_program = hand.assemble()
+    cpu, hand_trace = run_program(hand_program)
+    hand.verify(cpu)
+    rows["mmul/hand"] = _flow_on(hand_program, hand_trace, "mmul/hand")
+
+    data = {
+        "A": pseudo_values(N * N, seed=1),
+        "B": pseudo_values(N * N, seed=2),
+    }
+    compiled = compile_kernel(MMUL_SRC, data=data, name="mmul")
+    cc_program = compiled.assemble()
+    cpu, cc_trace = run_program(cc_program)
+    rows["mmul/minicc"] = _flow_on(cc_program, cc_trace, "mmul/minicc")
+
+    optimised = compile_kernel(MMUL_SRC, data=data, name="mmul", opt_level=1)
+    o1_program = optimised.assemble()
+    cpu, o1_trace = run_program(o1_program)
+    rows["mmul/minicc-O1"] = _flow_on(o1_program, o1_trace, "mmul/minicc-O1")
+    rows["mmul/sizes"] = (len(hand_trace), len(cc_trace), len(o1_trace))
+
+    # sor: compiled only (structure check at a second kernel).
+    sor = compile_kernel(
+        SOR_SRC, data={"U": pseudo_values(N * N, seed=3)}, name="sor"
+    )
+    sor_program = sor.assemble()
+    cpu, sor_trace = run_program(sor_program)
+    rows["sor/minicc"] = _flow_on(sor_program, sor_trace, "sor/minicc")
+    return rows
+
+
+def test_ext_compiled_codegen(benchmark, record_result):
+    rows = benchmark.pedantic(_run_pair, rounds=1, iterations=1)
+
+    hand = rows["mmul/hand"]
+    cc = rows["mmul/minicc"]
+    o1 = rows["mmul/minicc-O1"]
+    hand_steps, cc_steps, o1_steps = rows["mmul/sizes"]
+
+    # The naive compiler executes several times more instructions for
+    # the same kernel (every access through memory); scalar promotion
+    # (-O1) recovers a chunk, landing between -O0 and hand-written.
+    assert cc_steps > 2 * hand_steps
+    assert hand_steps < o1_steps < cc_steps
+
+    for k in (4, 5):
+        # All code styles must improve substantially and verify.
+        for result in (hand[k], cc[k], o1[k]):
+            assert result.decode_verified
+            assert result.reduction_percent > 15.0
+    # The shape claim: reductions depend on code style by at most a
+    # moderate factor — both land in the paper's broad band.
+    for k in (4, 5):
+        delta = abs(hand[k].reduction_percent - cc[k].reduction_percent)
+        assert delta < 30.0
+
+    sor = rows["sor/minicc"]
+    for k in (4, 5):
+        assert sor[k].decode_verified
+        assert sor[k].reduction_percent > 15.0
+
+    lines = [
+        "Extension — compiled (minicc) vs hand-written assembly",
+        "",
+        f"mmul n={N}: hand {hand_steps} fetches, minicc {cc_steps} fetches",
+        "",
+        f"{'code style':14s} {'k':>2s} {'#TR':>9s} {'reduction':>9s}",
+    ]
+    for label, per_size in (
+        ("mmul hand", hand),
+        ("mmul -O0", cc),
+        ("mmul -O1", o1),
+        ("sor -O0", sor),
+    ):
+        for k in (4, 5):
+            result = per_size[k]
+            lines.append(
+                f"{label:14s} {k:2d} {result.baseline_transitions:9d} "
+                f"{result.reduction_percent:8.1f}%"
+            )
+    lines += [
+        "",
+        "conclusion: the encoding works on both code styles; exact "
+        "percentages shift with code generation, which accounts for "
+        "the Figure-6 offset between our hand assembly and the "
+        "paper's compiled benchmarks",
+    ]
+    record_result("ext_compiled_codegen", "\n".join(lines))

@@ -1,0 +1,96 @@
+"""Extension: the full Figure 6 on *compiled* code.
+
+The closest methodological match to the paper's setup this repository
+can produce: all six benchmarks compiled by minicc (naive, -O0-shaped
+code generation, like era-appropriate embedded toolchains) and pushed
+through the identical encoding flow.  Compare against the paper:
+
+              mmul   sor    ej    fft   tri    lu
+  paper k=4   44.0  44.3  45.5  20.6  51.6  32.7
+  paper k=5   39.2  30.5  38.8  17.5  37.8  23.6
+  paper k=6   26.7  35.3  38.7  13.4  31.1  19.1
+  paper k=7   28.5  20.1  23.1   0.0  24.4   9.4
+"""
+
+from repro.minicc.kernels import compiled_workload
+from repro.pipeline.flow import EncodingFlow
+from repro.pipeline.report import fig6_table, format_fig6, summarize_results
+from repro.workloads.registry import BENCHMARK_ORDER
+
+PAPER_K4 = {"mmul": 44.0, "sor": 44.3, "ej": 45.5, "fft": 20.6, "tri": 51.6, "lu": 32.7}
+
+
+def _run_compiled_suite():
+    results = {}
+    for name in BENCHMARK_ORDER:
+        kernel, verify = compiled_workload(name)
+        program = kernel.assemble()
+        cpu, trace = kernel.run()
+        verify(cpu)
+        results[name] = {
+            k: EncodingFlow(block_size=k).run(program, trace, name)
+            for k in (4, 5, 6, 7)
+        }
+    return results
+
+
+def test_ext_compiled_fig6(benchmark, record_result):
+    results = benchmark.pedantic(_run_compiled_suite, rounds=1, iterations=1)
+
+    for name in BENCHMARK_ORDER:
+        for k in (4, 5, 6, 7):
+            result = results[name][k]
+            assert result.decode_verified, (name, k)
+            assert result.reduction_percent > 5.0, (name, k)
+
+    averages = summarize_results(results)
+    # The paper's outlier finding reproduces on compiled code: fft is
+    # the worst benchmark at every block size (its bit-reversal phase
+    # and scattered butterflies yield short/irregular vertical runs).
+    for k in (4, 5, 6, 7):
+        fft_red = results["fft"][k].reduction_percent
+        for name in BENCHMARK_ORDER:
+            assert results[name][k].reduction_percent >= fft_red, (name, k)
+    # mmul (moderate block sizes, no TT pressure beyond k=4) follows
+    # the paper's falling trend.
+    mmul = results["mmul"]
+    assert mmul[4].reduction_percent > mmul[6].reduction_percent
+    assert mmul[4].reduction_percent > mmul[7].reduction_percent
+    # The naive compiler's giant single-expression stencil blocks put
+    # real pressure on the 16-entry TT: at k=4 they truncate harder
+    # (ceil((m-1)/3) entries) than at k=7, flattening or reversing the
+    # block-size trend for sor/ej/tri — a genuine hardware interaction
+    # the paper's sizing discussion anticipates.  We assert the
+    # mechanism: coverage at k=4 is never higher than at k=7.
+    for name in BENCHMARK_ORDER:
+        assert (
+            results[name][4].hot_coverage
+            <= results[name][7].hot_coverage + 1e-9
+        ), name
+    # The k=4 compiled mmul lands essentially on the paper's number.
+    assert abs(mmul[4].reduction_percent - PAPER_K4["mmul"]) < 5.0
+
+    table = format_fig6(fig6_table(results, BENCHMARK_ORDER))
+    deltas = []
+    for name in BENCHMARK_ORDER:
+        ours = results[name][4].reduction_percent
+        deltas.append(f"{name}: ours {ours:.1f}% vs paper {PAPER_K4[name]:.1f}%")
+    text = "\n".join(
+        [
+            "Figure 6 regenerated on minicc-compiled benchmarks",
+            "",
+            table,
+            "",
+            "averages: "
+            + "  ".join(f"k={k}: {v:.1f}%" for k, v in sorted(averages.items())),
+            "",
+            "k=4 comparison with the paper's compiled results:",
+            *(f"  {d}" for d in deltas),
+            "",
+            "fft is the worst benchmark at every k (the paper's "
+            "outlier finding); giant compiled stencil blocks put TT "
+            "pressure on small k, flattening the block-size trend for "
+            "sor/ej/tri",
+        ]
+    )
+    record_result("ext_compiled_fig6", text)

@@ -1,0 +1,91 @@
+"""Section 8 claim: "the type of storage bears no impact on the bit
+transition reductions we attain."
+
+Runs one benchmark's trace through instruction caches of very
+different geometries and checks the CPU-side transitions (baseline and
+encoded) are bit-identical to the cacheless counts — plus the bonus
+the paper hints at for off-chip memories: the refill bus carries the
+encoded image too, so a thrashing cache's memory-side traffic also
+shrinks.
+"""
+
+from repro.pipeline.flow import EncodingFlow
+from repro.sim.cpu import run_program
+from repro.sim.icache import InstructionCache, simulate_cache_buses
+from repro.workloads.registry import build_workload
+
+GEOMETRIES = (
+    ("tiny direct-mapped", {"size_bytes": 128, "line_bytes": 16, "associativity": 1}),
+    ("1 KiB 2-way", {"size_bytes": 1024, "line_bytes": 16, "associativity": 2}),
+    ("8 KiB 4-way", {"size_bytes": 8192, "line_bytes": 32, "associativity": 4}),
+)
+
+
+def _run():
+    workload = build_workload("tri", n=64, sweeps=6)
+    program = workload.assemble()
+    cpu, trace = run_program(program)
+    workload.verify(cpu)
+    result = EncodingFlow(block_size=5).run(program, trace, "tri")
+    rows = []
+    for label, geometry in GEOMETRIES:
+        base = simulate_cache_buses(
+            InstructionCache(**geometry),
+            trace,
+            list(program.words),
+            program.text_base,
+        )
+        enc = simulate_cache_buses(
+            InstructionCache(**geometry),
+            trace,
+            result.encoded_image,
+            program.text_base,
+        )
+        rows.append((label, base, enc))
+    return result, rows
+
+
+def test_ext_storage_independence(benchmark, record_result):
+    result, rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    for label, base, enc in rows:
+        # CPU-side transitions are exactly the cacheless counts, for
+        # both images, under every geometry — the paper's claim.
+        assert base.cpu_side_transitions == result.baseline_transitions, label
+        assert enc.cpu_side_transitions == result.encoded_transitions, label
+        # Same trace -> same miss pattern regardless of image.
+        assert base.stats.misses == enc.stats.misses
+        # Where refills happen, the encoded image helps there too.
+        if base.stats.misses > 100:
+            assert enc.refill_transitions < base.refill_transitions
+
+    lines = [
+        "Section 8 — storage independence (tri benchmark, k=5)",
+        "",
+        f"cacheless CPU-side transitions: baseline "
+        f"{result.baseline_transitions}, encoded "
+        f"{result.encoded_transitions} "
+        f"({result.reduction_percent:.1f}% reduction)",
+        "",
+        f"{'cache':22s} {'hit rate':>8s} {'refill base':>12s} "
+        f"{'refill enc':>11s} {'refill red%':>11s}",
+    ]
+    for label, base, enc in rows:
+        red = (
+            100.0
+            * (base.refill_transitions - enc.refill_transitions)
+            / base.refill_transitions
+            if base.refill_transitions
+            else 0.0
+        )
+        lines.append(
+            f"{label:22s} {base.stats.hit_rate:7.1%} "
+            f"{base.refill_transitions:12d} {enc.refill_transitions:11d} "
+            f"{red:10.1f}%"
+        )
+    lines += [
+        "",
+        "CPU-side reductions identical under every geometry (claim "
+        "verified); the refill bus benefits wherever misses occur",
+    ]
+    record_result("ext_storage_independence", "\n".join(lines))

@@ -1,0 +1,40 @@
+"""Figure 2: optimal power-efficient transformations for 3-bit blocks.
+
+Regenerates the codebook and checks it against the paper's printed
+table character-for-character.
+"""
+
+from repro.core.codebook import build_codebook
+from repro.core.transformations import ALL_TRANSFORMATIONS
+
+# (X, X~, tau, T_x, T_x~) exactly as printed in the paper.
+PAPER_FIGURE2 = [
+    ("000", "000", "x", 0, 0),
+    ("001", "111", "~x", 1, 0),
+    ("010", "000", "~y", 2, 0),
+    ("011", "011", "x", 1, 1),
+    ("100", "100", "x", 1, 1),
+    ("101", "111", "~y", 2, 0),
+    ("110", "000", "~x", 1, 0),
+    ("111", "111", "x", 0, 0),
+]
+
+
+def test_fig2_codebook_k3(benchmark, record_result):
+    book = benchmark(build_codebook, 3, ALL_TRANSFORMATIONS)
+
+    rows = book.rows()
+    paper_taus = {"x": "x", "~x": "!x", "~y": "!y"}
+    for (word, code, tau, tx, txt), (p_word, p_code, p_tau, p_tx, p_txt) in zip(
+        rows, PAPER_FIGURE2
+    ):
+        assert word == p_word
+        assert code == p_code
+        assert tau == paper_taus[p_tau]
+        assert (tx, txt) == (p_tx, p_txt)
+
+    assert book.total_transitions == 8  # paper: TTN = 8
+    assert book.reduced_transitions == 2  # paper: RTN = 2
+    assert book.improvement_percent == 75.0
+
+    record_result("fig2_codebook_k3", book.format_table())

@@ -1,0 +1,53 @@
+"""Figure 4: optimal transformations for 5-bit blocks under the
+restricted 8-function set.  The paper prints the lexicographic first
+half; the second half follows by the global-inversion symmetry."""
+
+from repro.core.bitstream import to_paper_string
+from repro.core.codebook import build_codebook
+from repro.core.transformations import ALL_TRANSFORMATIONS, OPTIMAL_SET
+
+# (X, X~, tau, T_x, T_x~) exactly as printed in the paper.
+PAPER_FIGURE4 = [
+    ("00000", "00000", "x", 0, 0),
+    ("00001", "11111", "~x", 1, 0),
+    ("00010", "11100", "~x", 2, 1),
+    ("00011", "00011", "x", 1, 1),
+    ("00100", "00100", "x", 2, 2),
+    ("00101", "01111", "xor", 3, 1),
+    ("00110", "11000", "~x", 2, 1),
+    ("00111", "00111", "x", 1, 1),
+    ("01000", "11000", "xor", 2, 1),
+    ("01001", "00111", "nor", 3, 1),
+    ("01010", "00000", "~y", 4, 0),
+    ("01011", "00011", "xnor", 3, 1),
+    ("01100", "01100", "x", 2, 2),
+    ("01101", "10011", "~x", 3, 2),
+    ("01110", "10000", "~x", 2, 1),
+    ("01111", "01111", "x", 1, 1),
+]
+
+
+def test_fig4_codebook_k5(benchmark, record_result):
+    book = benchmark(build_codebook, 5, OPTIMAL_SET)
+
+    for word, code, tau, tx, txt in PAPER_FIGURE4:
+        solution = book.solution_for(word)
+        assert to_paper_string(solution.code) == code, word
+        assert solution.transformation.name == tau, word
+        assert solution.original_transitions == tx, word
+        assert solution.encoded_transitions == txt, word
+
+    # The restriction to 8 functions costs nothing (the section's key
+    # claim): full-16 search reaches the same RTN.
+    full = build_codebook(5, ALL_TRANSFORMATIONS)
+    assert book.reduced_transitions == full.reduced_transitions == 32
+    assert book.total_transitions == 64
+
+    # Symmetry: the unprinted half mirrors the printed half's counts.
+    for word, _, _, tx, txt in PAPER_FIGURE4:
+        mirrored = "".join("1" if c == "0" else "0" for c in word)
+        solution = book.solution_for(mirrored)
+        assert solution.original_transitions == tx
+        assert solution.encoded_transitions == txt
+
+    record_result("fig4_codebook_k5", book.format_table())

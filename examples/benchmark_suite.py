@@ -1,0 +1,105 @@
+"""Regenerate the paper's evaluation (Figures 6 and 7) in one command.
+
+Runs the six benchmarks on the simulator, applies the encoding flow at
+block sizes 4..7 and prints the Figure-6 table plus a Figure-7 style
+ASCII chart.  Data sizes default to simulator-friendly scales; pass
+``--paper-scale`` for the (slow) paper-sized runs, or ``--quick`` for
+a fast smoke run.
+
+Run:  python examples/benchmark_suite.py [--quick | --paper-scale]
+"""
+
+import argparse
+import time
+
+from repro.pipeline.flow import EncodingFlow
+from repro.pipeline.report import (
+    fig6_table,
+    fig7_series,
+    format_fig6,
+    format_fig7_ascii,
+    summarize_results,
+)
+from repro.sim.cpu import run_program
+from repro.workloads.registry import BENCHMARK_ORDER, build_workload
+
+SIZES = {
+    "quick": {
+        "mmul": {"n": 10},
+        "sor": {"n": 12, "sweeps": 3},
+        "ej": {"n": 12, "sweeps": 3},
+        "fft": {"n": 64},
+        "tri": {"n": 48, "sweeps": 5},
+        "lu": {"n": 12},
+    },
+    "default": {
+        "mmul": {"n": 24},
+        "sor": {"n": 32, "sweeps": 6},
+        "ej": {"n": 32, "sweeps": 6},
+        "fft": {"n": 256},
+        "tri": {"n": 128, "sweeps": 20},
+        "lu": {"n": 32},
+    },
+    # The paper's sizes.  mmul alone executes ~9M instructions; expect
+    # minutes per benchmark under the pure-Python simulator.
+    "paper": {
+        "mmul": {"n": 100},
+        "sor": {"n": 256, "sweeps": 2},
+        "ej": {"n": 128, "sweeps": 4},
+        "fft": {"n": 256},
+        "tri": {"n": 128, "sweeps": 20},
+        "lu": {"n": 128},
+    },
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--paper-scale", action="store_true")
+    parser.add_argument(
+        "--block-sizes",
+        type=int,
+        nargs="+",
+        default=[4, 5, 6, 7],
+        help="vertical block sizes to evaluate",
+    )
+    args = parser.parse_args()
+    scale = "paper" if args.paper_scale else ("quick" if args.quick else "default")
+    sizes = SIZES[scale]
+
+    results = {}
+    for name in BENCHMARK_ORDER:
+        t0 = time.time()
+        workload = build_workload(name, **sizes[name])
+        program = workload.assemble()
+        cpu, trace = run_program(program, max_steps=2_000_000_000)
+        if workload.verify is not None:
+            workload.verify(cpu)
+        per_size = {}
+        for k in args.block_sizes:
+            per_size[k] = EncodingFlow(block_size=k).run(program, trace, name)
+            assert per_size[k].decode_verified or not per_size[k].selected_blocks
+        results[name] = per_size
+        print(
+            f"{name:5s}: {len(trace):>9d} fetches, "
+            f"{len(per_size[args.block_sizes[0]].selected_blocks)} blocks "
+            f"encoded, {time.time() - t0:5.1f}s"
+        )
+
+    print("\n=== Figure 6 (transition reduction results) ===")
+    print(format_fig6(fig6_table(results, BENCHMARK_ORDER)))
+
+    print("\n=== Figure 7 (percentage reduction comparison) ===")
+    series = fig7_series(results, BENCHMARK_ORDER)
+    print(format_fig7_ascii(series, BENCHMARK_ORDER))
+
+    averages = summarize_results(results)
+    print(
+        "averages:",
+        "  ".join(f"k={k}: {v:.1f}%" for k, v in sorted(averages.items())),
+    )
+
+
+if __name__ == "__main__":
+    main()

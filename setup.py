@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment ships setuptools 65 without the ``wheel``
+package, so PEP 517 editable installs fail with "invalid command
+'bdist_wheel'".  This shim lets ``pip install -e . --no-build-isolation``
+fall back to the legacy ``setup.py develop`` path.  All real metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

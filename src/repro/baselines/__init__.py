@@ -1,0 +1,27 @@
+"""Bus-encoding baselines from the paper's related work (Section 2).
+
+* ``bus_invert`` — Stan & Burleson's bus-invert coding [5], the
+  general-purpose data-bus baseline the paper contrasts with
+  ("its extremely general nature limits relatively the power savings
+  ... on data streams exhibiting regularities").
+* ``t0`` — Benini et al.'s T0 sequential-address encoding [2]
+  (address-bus technique; included for landscape completeness).
+* ``gray`` — Gray address encoding, the classic address-bus baseline.
+* ``frequency`` — a static frequency-ranked opcode remapping in the
+  spirit of low-power ISA re-encoding [6].
+"""
+
+from repro.baselines.bus_invert import BusInvertCoder, bus_invert_transitions
+from repro.baselines.t0 import T0Coder, t0_transitions
+from repro.baselines.gray import gray_encode, gray_transitions
+from repro.baselines.frequency import FrequencyRemapper
+
+__all__ = [
+    "BusInvertCoder",
+    "bus_invert_transitions",
+    "T0Coder",
+    "t0_transitions",
+    "gray_encode",
+    "gray_transitions",
+    "FrequencyRemapper",
+]

@@ -1,0 +1,72 @@
+"""T0 address-bus encoding (Benini et al., GLS-VLSI 1997) — reference [2].
+
+Instruction addresses are mostly sequential.  T0 adds one redundant
+*increment* line: when the new address equals the previous address
+plus the fetch stride, the bus is frozen (zero transitions) and the
+increment line is asserted; otherwise the raw address is driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass
+class T0Coder:
+    """Stateful T0 encoder for an address bus."""
+
+    width: int = 32
+    stride: int = 4  # instruction word size
+
+    def __post_init__(self) -> None:
+        self._mask = (1 << self.width) - 1
+        self.reset()
+
+    def reset(self, initial_address: int = 0) -> None:
+        self._bus = initial_address & self._mask
+        self._expected = (initial_address + self.stride) & self._mask
+        self._inc_line = 0
+        self.transitions = 0
+        self.transfers = 0
+        self.frozen_transfers = 0
+
+    def send(self, address: int) -> tuple[int, int]:
+        """Encode one address; returns (bus value, increment bit)."""
+        address &= self._mask
+        if address == self._expected:
+            inc = 1
+            driven = self._bus  # bus frozen
+            self.frozen_transfers += 1
+        else:
+            inc = 0
+            driven = address
+        self.transitions += (driven ^ self._bus).bit_count()
+        self.transitions += inc ^ self._inc_line
+        self._bus = driven
+        self._inc_line = inc
+        self._expected = (address + self.stride) & self._mask
+        self.transfers += 1
+        return driven, inc
+
+    def send_all(self, addresses: Iterable[int]) -> int:
+        for address in addresses:
+            self.send(address)
+        return self.transitions
+
+
+def t0_transitions(addresses: Sequence[int], width: int = 32, stride: int = 4) -> int:
+    """Total transitions for an address stream under T0."""
+    if not addresses:
+        return 0
+    coder = T0Coder(width, stride)
+    coder.reset(initial_address=addresses[0])
+    coder.send_all(addresses[1:])
+    return coder.transitions
+
+
+def raw_address_transitions(addresses: Sequence[int]) -> int:
+    """Unencoded address-bus transitions (the T0 baseline's baseline)."""
+    return sum(
+        (a ^ b).bit_count() for a, b in zip(addresses, addresses[1:])
+    )

@@ -1,0 +1,29 @@
+"""Control-flow analysis substrate.
+
+The paper's flow analyses the application code, pinpoints the major
+loops, and applies the power encoding per basic block (Sections 4, 6,
+7).  This subpackage supplies the pieces: basic-block construction
+from an assembled program, a CFG, dominator-based natural-loop
+detection, trace-driven profiling, and the TT-capacity-aware hot-spot
+selector.
+"""
+
+from repro.cfg.basic_blocks import BasicBlock, build_basic_blocks
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.dominators import immediate_dominators
+from repro.cfg.loops import NaturalLoop, find_natural_loops
+from repro.cfg.profile import BlockProfile, profile_trace
+from repro.cfg.hotspot import SelectionPlan, select_hot_blocks
+
+__all__ = [
+    "BasicBlock",
+    "build_basic_blocks",
+    "ControlFlowGraph",
+    "immediate_dominators",
+    "NaturalLoop",
+    "find_natural_loops",
+    "BlockProfile",
+    "profile_trace",
+    "SelectionPlan",
+    "select_hot_blocks",
+]

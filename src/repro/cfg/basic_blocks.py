@@ -1,0 +1,124 @@
+"""Basic-block construction from an assembled program.
+
+Classic leader analysis: the entry, every branch/jump target, and
+every instruction following a control transfer start a block; a block
+ends at a control transfer or just before the next leader.  The power
+encoding "cannot span through basic block boundaries" (Section 7.1),
+so these blocks are exactly the units the encoder works on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.assembler import Program
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import CONDITIONAL_BRANCHES, CONTROL_TRANSFER
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence."""
+
+    start: int  # address of the first instruction
+    instructions: list[Instruction]
+    words: list[int]
+    successors: list[int] = field(default_factory=list)
+    has_indirect_successor: bool = False  # jr/jalr: targets unknown
+
+    @property
+    def end(self) -> int:
+        """Address one past the last instruction."""
+        return self.start + 4 * len(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def addresses(self) -> range:
+        return range(self.start, self.end, 4)
+
+    @property
+    def terminator(self) -> Instruction | None:
+        return self.instructions[-1] if self.instructions else None
+
+    def __repr__(self) -> str:
+        return (
+            f"BasicBlock({self.start:#010x}..{self.end:#010x}, "
+            f"{len(self)} instructions)"
+        )
+
+
+def _branch_target(inst: Instruction, address: int) -> int:
+    return address + 4 + 4 * inst.simm
+
+
+def _jump_target(inst: Instruction) -> int:
+    return inst.get("target") << 2
+
+
+def find_leaders(program: Program) -> set[int]:
+    """Addresses that begin basic blocks."""
+    leaders = {program.text_base, program.entry}
+    for i, inst in enumerate(program.instructions):
+        address = program.text_base + 4 * i
+        name = inst.name
+        if name in ("beq", "bne", "blez", "bgtz", "bltz", "bgez", "bc1f", "bc1t"):
+            leaders.add(_branch_target(inst, address))
+            leaders.add(address + 4)
+        elif name in ("j", "jal"):
+            leaders.add(_jump_target(inst))
+            leaders.add(address + 4)
+        elif name in ("jr", "jalr", "syscall"):
+            leaders.add(address + 4)
+    end = program.text_end
+    return {a for a in leaders if program.text_base <= a < end}
+
+
+def build_basic_blocks(program: Program) -> dict[int, BasicBlock]:
+    """Partition the text section into basic blocks, keyed by start
+    address, with static successor edges filled in."""
+    leaders = sorted(find_leaders(program))
+    boundaries = leaders + [program.text_end]
+    blocks: dict[int, BasicBlock] = {}
+    for start, next_start in zip(boundaries, boundaries[1:]):
+        lo = program.index_of(start)
+        hi = (next_start - program.text_base) // 4
+        block = BasicBlock(
+            start=start,
+            instructions=program.instructions[lo:hi],
+            words=program.words[lo:hi],
+        )
+        blocks[start] = block
+
+    for block in blocks.values():
+        terminator = block.terminator
+        if terminator is None:
+            continue
+        name = terminator.name
+        last_address = block.end - 4
+        fallthrough = block.end
+        if name in CONDITIONAL_BRANCHES:
+            block.successors.append(_branch_target(terminator, last_address))
+            if fallthrough < program.text_end:
+                block.successors.append(fallthrough)
+        elif name == "j":
+            block.successors.append(_jump_target(terminator))
+        elif name == "jal":
+            # Calls return; model the call edge and the return-site
+            # fall-through (the conventional CFG contraction).
+            block.successors.append(_jump_target(terminator))
+            if fallthrough < program.text_end:
+                block.successors.append(fallthrough)
+        elif name in ("jr", "jalr"):
+            block.has_indirect_successor = True
+        elif name not in CONTROL_TRANSFER:
+            if fallthrough < program.text_end:
+                block.successors.append(fallthrough)
+        elif name == "syscall":
+            if fallthrough < program.text_end:
+                block.successors.append(fallthrough)
+        block.successors = [
+            s for s in block.successors if s in blocks
+        ]
+    return blocks

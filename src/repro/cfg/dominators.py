@@ -1,0 +1,73 @@
+"""Dominator computation (Cooper-Harvey-Kennedy iterative algorithm).
+
+Implemented from scratch (the loop detector depends on it); the test
+suite cross-checks against networkx's ``immediate_dominators``.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+
+def immediate_dominators(graph: nx.DiGraph, entry) -> dict:
+    """Immediate dominator of every node reachable from ``entry``.
+
+    The entry maps to itself.  Unreachable nodes are absent.
+    """
+    if entry not in graph:
+        raise KeyError(f"entry {entry!r} not in graph")
+
+    order = list(nx.dfs_postorder_nodes(graph, entry))
+    index = {node: i for i, node in enumerate(order)}
+    reverse_postorder = list(reversed(order))
+
+    idom: dict = {entry: entry}
+
+    def intersect(a, b):
+        while a != b:
+            while index[a] < index[b]:
+                a = idom[a]
+            while index[b] < index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in reverse_postorder:
+            if node == entry:
+                continue
+            candidates = [
+                p for p in graph.predecessors(node) if p in idom
+            ]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+def dominates(idom: dict, a, b) -> bool:
+    """True if ``a`` dominates ``b`` under the given idom tree."""
+    node = b
+    while True:
+        if node == a:
+            return True
+        parent = idom.get(node)
+        if parent is None or parent == node:
+            return node == a
+        node = parent
+
+
+def dominator_tree(idom: dict) -> nx.DiGraph:
+    """The dominator tree as a digraph (edges idom -> node)."""
+    tree = nx.DiGraph()
+    for node, parent in idom.items():
+        tree.add_node(node)
+        if node != parent:
+            tree.add_edge(parent, node)
+    return tree

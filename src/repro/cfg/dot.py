@@ -1,0 +1,62 @@
+"""Graphviz DOT export for CFGs and loop annotations.
+
+Produces plain DOT text (no graphviz dependency) for inspection or
+documentation — the Figure 5c style picture of an application loop.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.loops import NaturalLoop
+from repro.cfg.profile import BlockProfile
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cfg_to_dot(
+    cfg: ControlFlowGraph,
+    profile: BlockProfile | None = None,
+    loops: Sequence[NaturalLoop] | None = None,
+    selected: Sequence[int] | None = None,
+) -> str:
+    """Render a CFG as DOT.
+
+    Nodes are labelled with address, size, and (when a profile is
+    given) fetch counts; loop headers get a double border; blocks in
+    ``selected`` (the encoded set) are filled.
+    """
+    headers = {loop.header for loop in loops} if loops else set()
+    loop_blocks: set[int] = set()
+    if loops:
+        for loop in loops:
+            loop_blocks |= loop.body
+    chosen = set(selected) if selected else set()
+
+    lines = ["digraph cfg {", '  node [shape=box, fontname="monospace"];']
+    for start, block in sorted(cfg.blocks.items()):
+        label = f"{start:#x}\\n{len(block)} instr"
+        if profile is not None:
+            label += f"\\n{profile.weight(start)} fetches"
+        attrs = [f'label="{_escape(label)}"']
+        if start in headers:
+            attrs.append("peripheries=2")
+        if start in chosen:
+            attrs.append('style=filled fillcolor="lightblue"')
+        elif start in loop_blocks:
+            attrs.append('style=filled fillcolor="lightyellow"')
+        lines.append(f'  n{start:x} [{" ".join(attrs)}];')
+    for start, block in sorted(cfg.blocks.items()):
+        for successor in block.successors:
+            lines.append(f"  n{start:x} -> n{successor:x};")
+        if block.has_indirect_successor:
+            lines.append(
+                f'  n{start:x} -> indirect [style=dashed];'
+            )
+    if any(b.has_indirect_successor for b in cfg.blocks.values()):
+        lines.append('  indirect [shape=ellipse, label="jr/jalr"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Control-flow graph built on networkx."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.cfg.basic_blocks import BasicBlock, build_basic_blocks
+from repro.isa.assembler import Program
+
+
+@dataclass
+class ControlFlowGraph:
+    """A program's CFG: blocks keyed by start address + a digraph."""
+
+    program: Program
+    blocks: dict[int, BasicBlock]
+    graph: nx.DiGraph
+    entry: int
+
+    @classmethod
+    def build(cls, program: Program) -> "ControlFlowGraph":
+        blocks = build_basic_blocks(program)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(blocks)
+        for start, block in blocks.items():
+            for successor in block.successors:
+                graph.add_edge(start, successor)
+        entry = program.entry if program.entry in blocks else program.text_base
+        return cls(program=program, blocks=blocks, graph=graph, entry=entry)
+
+    def block_of(self, address: int) -> BasicBlock:
+        """The basic block containing an instruction address."""
+        starts = sorted(self.blocks)
+        lo, hi = 0, len(starts) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            block = self.blocks[starts[mid]]
+            if address < block.start:
+                hi = mid - 1
+            elif address >= block.end:
+                lo = mid + 1
+            else:
+                return block
+        raise KeyError(f"address {address:#010x} not in any block")
+
+    def reachable_blocks(self) -> set[int]:
+        """Blocks reachable from the entry through static edges."""
+        if self.entry not in self.graph:
+            return set()
+        return set(nx.descendants(self.graph, self.entry)) | {self.entry}
+
+    def successors(self, start: int) -> list[int]:
+        return list(self.graph.successors(start))
+
+    def predecessors(self, start: int) -> list[int]:
+        return list(self.graph.predecessors(start))
+
+    def __len__(self) -> int:
+        return len(self.blocks)

@@ -1,0 +1,123 @@
+"""Hot-spot selection under Transformation Table capacity.
+
+The paper applies the encoding "only for the major application loops"
+and sizes the TT at 16 entries (Section 8).  An encoded basic block of
+``m`` instructions consumes ``ceil((m-1)/(k-1))`` TT entries (one per
+code block, one-bit overlap), and each encoded basic block needs a
+BBIT entry.  The selector ranks loop blocks by fetch volume and packs
+them greedily into the two budgets; blocks left out stay unencoded
+(the paper's identity treatment for infrequent blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cfg.loops import NaturalLoop, blocks_in_any_loop, find_natural_loops
+from repro.cfg.profile import BlockProfile
+from repro.core.program_codec import tt_entries_required
+
+#: Paper's evaluated TT size ("a transformation table containing up to
+#: 16 entries", Section 8).
+DEFAULT_TT_ENTRIES = 16
+
+#: "The number of the BBIT entries ... typically ... a very small
+#: number in the range of 10" (Section 7.2); we default to 16 so the
+#: two tables are symmetric.
+DEFAULT_BBIT_ENTRIES = 16
+
+
+@dataclass
+class SelectionPlan:
+    """The outcome of hot-spot selection."""
+
+    block_size: int
+    tt_capacity: int
+    bbit_capacity: int
+    selected: list[int] = field(default_factory=list)  # block start addrs
+    tt_entries_used: int = 0
+    skipped_capacity: list[int] = field(default_factory=list)
+    skipped_small: list[int] = field(default_factory=list)
+    #: For blocks encoded only partially (long block vs a nearly-full
+    #: TT): start address -> number of leading instructions encoded.
+    #: The hardware's E/CT tail mechanism ends decoding after the
+    #: prefix; the remaining instructions stay plain in memory.
+    prefix_lengths: dict[int, int] = field(default_factory=dict)
+
+    def covers(self, block_start: int) -> bool:
+        return block_start in self.selected
+
+    def encoded_length(self, block_start: int, full_length: int) -> int:
+        """Instructions of a selected block that are actually encoded."""
+        return self.prefix_lengths.get(block_start, full_length)
+
+
+def select_hot_blocks(
+    profile: BlockProfile,
+    block_size: int,
+    tt_capacity: int = DEFAULT_TT_ENTRIES,
+    bbit_capacity: int = DEFAULT_BBIT_ENTRIES,
+    loops: Sequence[NaturalLoop] | None = None,
+    loops_only: bool = True,
+    min_block_instructions: int = 2,
+    min_entry_count: int = 1,
+    allow_partial: bool = True,
+) -> SelectionPlan:
+    """Choose basic blocks to power-encode.
+
+    Candidates are (by default) blocks inside natural loops; they are
+    ranked by fetch volume and packed greedily into the TT and BBIT
+    budgets.  Blocks shorter than ``min_block_instructions`` or
+    entered fewer than ``min_entry_count`` times are skipped, matching
+    the paper's "extremely low execution frequency or extremely few
+    instructions ... left intact" guidance.
+    """
+    if loops is None:
+        loops = find_natural_loops(profile.cfg)
+    plan = SelectionPlan(
+        block_size=block_size,
+        tt_capacity=tt_capacity,
+        bbit_capacity=bbit_capacity,
+    )
+    loop_blocks = blocks_in_any_loop(list(loops))
+    candidates = [
+        start
+        for start in profile.hottest()
+        if (not loops_only or start in loop_blocks)
+    ]
+    for start in candidates:
+        block = profile.cfg.blocks[start]
+        if (
+            len(block) < min_block_instructions
+            or profile.entry_counts.get(start, 0) < min_entry_count
+            or profile.weight(start) == 0
+        ):
+            plan.skipped_small.append(start)
+            continue
+        if len(plan.selected) >= bbit_capacity:
+            plan.skipped_capacity.append(start)
+            continue
+        cost = tt_entries_required(len(block), block_size)
+        free = tt_capacity - plan.tt_entries_used
+        if cost > free:
+            # A long block against a nearly-full TT: encode a prefix
+            # (the E/CT tail mechanism ends decoding there and the
+            # remaining instructions stay plain), if worthwhile.
+            prefix = (
+                block_size + (free - 1) * (block_size - 1) if free else 0
+            )
+            if (
+                not allow_partial
+                or free == 0
+                or prefix < max(min_block_instructions, block_size)
+            ):
+                plan.skipped_capacity.append(start)
+                continue
+            prefix = min(prefix, len(block))
+            plan.prefix_lengths[start] = prefix
+            cost = tt_entries_required(prefix, block_size)
+        plan.selected.append(start)
+        plan.tt_entries_used += cost
+    plan.selected.sort()
+    return plan

@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's artefacts:
+
+=============  =====================================================
+command        what it prints
+=============  =====================================================
+``codebook``   a Figure-2/4 style optimal codebook for a block size
+``theory``     the Figure-3 TTN/RTN/improvement table
+``streams``    the Section-6 random-stream experiment
+``encode``     the full flow on one named benchmark (Figure-6 cell)
+``suite``      the whole Figure-6 table + Figure-7 chart
+``compile``    compile a minicc kernel, run it, encode its hot loops
+``cost``       the Section-7.2 hardware cost table
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.workloads.registry import BENCHMARK_ORDER
+
+
+def _cmd_codebook(args: argparse.Namespace) -> int:
+    from repro.core.codebook import build_codebook
+    from repro.core.transformations import ALL_TRANSFORMATIONS, OPTIMAL_SET
+
+    transformations = ALL_TRANSFORMATIONS if args.full else OPTIMAL_SET
+    book = build_codebook(args.block_size, transformations)
+    print(book.format_table())
+    print(
+        f"\nTTN = {book.total_transitions}, RTN = {book.reduced_transitions}, "
+        f"improvement = {book.improvement_percent:.1f}%"
+    )
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    from repro.core.theory import format_theory_table, theory_table
+
+    rows = theory_table(tuple(args.sizes))
+    print(format_theory_table(rows))
+    return 0
+
+
+def _cmd_streams(args: argparse.Namespace) -> int:
+    from repro.core.analysis import random_streams, summarize_streams
+
+    streams = random_streams(args.count, args.length, seed=args.seed)
+    summary = summarize_streams(streams, args.block_size, strategy=args.strategy)
+    print(
+        f"{args.count} x {args.length}-bit uniform streams, "
+        f"k={args.block_size}, {args.strategy} strategy"
+    )
+    print(
+        f"pooled reduction {summary.reduction_percent:.2f}% "
+        f"(mean {summary.mean_percent:.2f}%, "
+        f"stdev {summary.stdev_percent:.2f}%)"
+    )
+    return 0
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    from repro.pipeline.flow import EncodingFlow
+    from repro.workloads.registry import build_workload
+
+    workload = build_workload(args.workload)
+    flow = EncodingFlow(
+        block_size=args.block_size, tt_capacity=args.tt_entries
+    )
+    result = flow.run_workload(workload)
+    print(f"workload:      {workload.description}")
+    print(f"trace:         {result.trace_length} fetches")
+    print(
+        f"blocks:        {len(result.selected_blocks)} encoded, "
+        f"{result.tt_entries_used}/{result.tt_capacity} TT entries, "
+        f"{result.hot_coverage:.0%} of fetches covered"
+    )
+    print(
+        f"transitions:   {result.baseline_transitions} -> "
+        f"{result.encoded_transitions} "
+        f"({result.reduction_percent:.1f}% reduction)"
+    )
+    print(f"decode:        {'verified bit-exact' if result.decode_verified else 'n/a'}")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.pipeline.flow import EncodingFlow
+    from repro.pipeline.report import (
+        fig6_table,
+        fig7_series,
+        format_fig6,
+        format_fig7_ascii,
+    )
+    from repro.sim.cpu import run_program
+    from repro.workloads.registry import build_workload
+
+    results = {}
+    for name in BENCHMARK_ORDER:
+        workload = build_workload(name)
+        program = workload.assemble()
+        cpu, trace = run_program(program)
+        if workload.verify is not None:
+            workload.verify(cpu)
+        results[name] = {
+            k: EncodingFlow(block_size=k).run(program, trace, name)
+            for k in args.block_sizes
+        }
+        print(f"{name}: done ({len(trace)} fetches)", file=sys.stderr)
+    print(format_fig6(fig6_table(results, BENCHMARK_ORDER)))
+    if args.chart:
+        print()
+        print(
+            format_fig7_ascii(
+                fig7_series(results, BENCHMARK_ORDER), BENCHMARK_ORDER
+            )
+        )
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.minicc import compile_kernel
+    from repro.pipeline.flow import EncodingFlow
+
+    with open(args.file) as handle:
+        source = handle.read()
+    kernel = compile_kernel(source, name=args.file, opt_level=args.opt)
+    program = kernel.assemble()
+    print(f"compiled {args.file}: {len(program.words)} instructions")
+    if args.show_asm:
+        print(kernel.assembly)
+    cpu, trace = kernel.run()
+    print(f"executed {cpu.steps} instructions")
+    result = EncodingFlow(block_size=args.block_size).run(
+        program, trace, args.file
+    )
+    print(
+        f"encoding (k={args.block_size}): {result.baseline_transitions} -> "
+        f"{result.encoded_transitions} transitions "
+        f"({result.reduction_percent:.1f}% reduction), decode "
+        f"{'verified' if result.decode_verified else 'n/a'}"
+    )
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    from repro.hw.cost import cost_sweep
+
+    print(
+        f"{'k':>2s} {'TT bits':>8s} {'BBIT bits':>9s} {'gates':>6s} "
+        f"{'max loop instrs':>15s}"
+    )
+    for cost in cost_sweep(tuple(args.sizes), tt_entries=args.tt_entries):
+        print(
+            f"{cost.block_size:2d} {cost.tt_bits:8d} {cost.bbit_bits:9d} "
+            f"{cost.decode_gates:6d} {cost.max_instructions:15d}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("codebook", help="Figure-2/4 style codebook")
+    p.add_argument("-k", "--block-size", type=int, default=3)
+    p.add_argument(
+        "--full", action="store_true", help="search all 16 functions"
+    )
+    p.set_defaults(func=_cmd_codebook)
+
+    p = sub.add_parser("theory", help="Figure-3 TTN/RTN table")
+    p.add_argument(
+        "--sizes", type=int, nargs="+", default=[2, 3, 4, 5, 6, 7]
+    )
+    p.set_defaults(func=_cmd_theory)
+
+    p = sub.add_parser("streams", help="Section-6 random streams")
+    p.add_argument("-k", "--block-size", type=int, default=5)
+    p.add_argument("--count", type=int, default=50)
+    p.add_argument("--length", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=2003)
+    p.add_argument(
+        "--strategy", choices=("greedy", "optimal", "disjoint"), default="greedy"
+    )
+    p.set_defaults(func=_cmd_streams)
+
+    p = sub.add_parser("encode", help="run the flow on one benchmark")
+    p.add_argument("workload", choices=BENCHMARK_ORDER)
+    p.add_argument("-k", "--block-size", type=int, default=5)
+    p.add_argument("--tt-entries", type=int, default=16)
+    p.set_defaults(func=_cmd_encode)
+
+    p = sub.add_parser("suite", help="Figure 6 (+7) over all benchmarks")
+    p.add_argument(
+        "--block-sizes", type=int, nargs="+", default=[4, 5, 6, 7]
+    )
+    p.add_argument("--chart", action="store_true", help="also print Figure 7")
+    p.set_defaults(func=_cmd_suite)
+
+    p = sub.add_parser("compile", help="compile and encode a minicc kernel")
+    p.add_argument("file", help="minicc source file")
+    p.add_argument("-k", "--block-size", type=int, default=5)
+    p.add_argument("-O", "--opt", type=int, choices=(0, 1), default=0)
+    p.add_argument("--show-asm", action="store_true")
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("cost", help="Section-7.2 hardware cost table")
+    p.add_argument("--sizes", type=int, nargs="+", default=[4, 5, 6, 7])
+    p.add_argument("--tt-entries", type=int, default=16)
+    p.set_defaults(func=_cmd_cost)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

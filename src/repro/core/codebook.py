@@ -1,0 +1,112 @@
+"""Codebook generation — reproduces Figures 2 and 4.
+
+A *codebook* for block size ``k`` maps every ``2**k`` block word to its
+optimal anchored :class:`~repro.core.block_solver.BlockSolution`.  The
+paper prints these books for ``k = 3`` (Figure 2, full 16-function
+search) and ``k = 5`` (Figure 4, restricted 8-function search; only the
+lexicographic first half is shown, the rest following by the
+global-inversion symmetry).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.bitstream import to_paper_string
+from repro.core.block_solver import BlockSolution, BlockSolver
+from repro.core.transformations import OPTIMAL_SET, Transformation
+
+# Pretty names matching the paper's tau column typography.
+_PAPER_TAU_NAMES = {
+    "x": "x",
+    "~x": "!x",
+    "y": "y",
+    "~y": "!y",
+    "xor": "x^y",
+    "xnor": "x~^y",
+    "nor": "!(x|y)",
+    "nand": "!(x&y)",
+}
+
+
+@dataclass(frozen=True)
+class Codebook:
+    """All optimal anchored block solutions for one block size."""
+
+    block_size: int
+    solutions: tuple[BlockSolution, ...]
+
+    @property
+    def total_transitions(self) -> int:
+        """The paper's TTN: transitions summed over all block words."""
+        return sum(s.original_transitions for s in self.solutions)
+
+    @property
+    def reduced_transitions(self) -> int:
+        """The paper's RTN: transitions summed over all code words."""
+        return sum(s.encoded_transitions for s in self.solutions)
+
+    @property
+    def improvement_percent(self) -> float:
+        """The paper's Impr(%) row of Figure 3."""
+        ttn = self.total_transitions
+        if ttn == 0:
+            return 0.0
+        return 100.0 * (ttn - self.reduced_transitions) / ttn
+
+    def solution_for(self, word_paper_string: str) -> BlockSolution:
+        """Look up the row for a paper-style block word, e.g. "01001"."""
+        for solution in self.solutions:
+            if to_paper_string(solution.word) == word_paper_string:
+                return solution
+        raise KeyError(f"no block word {word_paper_string!r} in codebook")
+
+    def first_half(self) -> tuple[BlockSolution, ...]:
+        """Rows whose paper-style word starts with 0 (the half printed
+        in Figure 4; the other half follows by symmetry)."""
+        return tuple(
+            s for s in self.solutions if to_paper_string(s.word)[0] == "0"
+        )
+
+    def rows(self) -> list[tuple[str, str, str, int, int]]:
+        """Figure-2/4 style rows: (X, X~, tau, T_x, T_x~)."""
+        return [
+            (
+                to_paper_string(s.word),
+                to_paper_string(s.code),
+                _PAPER_TAU_NAMES.get(s.transformation.name, s.transformation.name),
+                s.original_transitions,
+                s.encoded_transitions,
+            )
+            for s in self.solutions
+        ]
+
+    def format_table(self) -> str:
+        """Render the codebook in the layout of Figures 2 and 4."""
+        header = f"{'X':>{self.block_size}}  {'X~':>{self.block_size}}  {'tau':>8}  Tx  Tx~"
+        lines = [header, "-" * len(header)]
+        for word, code, tau, tx, txt in self.rows():
+            lines.append(f"{word}  {code}  {tau:>8}  {tx:>2}  {txt:>3}")
+        return "\n".join(lines)
+
+
+def build_codebook(
+    block_size: int,
+    transformations: Sequence[Transformation] = OPTIMAL_SET,
+) -> Codebook:
+    """Compute the optimal anchored codebook for ``block_size``.
+
+    Words are produced in the paper's lexicographic order (the order of
+    the printed paper strings), so ``rows()`` lines up with Figures 2
+    and 4 directly.
+    """
+    if block_size < 1:
+        raise ValueError(f"block size must be >= 1, got {block_size}")
+    solver = BlockSolver(transformations)
+    solutions = []
+    for paper_bits in itertools.product((0, 1), repeat=block_size):
+        word = list(reversed(paper_bits))  # paper string -> time order
+        solutions.append(solver.solve_anchored(word))
+    return Codebook(block_size=block_size, solutions=tuple(solutions))

@@ -1,0 +1,199 @@
+"""Longer-history transformations — the paper's stated generalisation.
+
+Section 5.1: "The transformation tau should be a function of the
+current bit and a highly limited number, h, of history bits in the
+form of ``x_n = tau(x~_n, x_{n-1}, ..., x_{n-h})``.  While
+transformations with various history lengths can be considered, in
+this paper we concentrate our attention on transformations with one
+bit history."
+
+This module explores the road not taken: ``h``-history transformations
+as boolean functions of ``1 + h`` inputs (``2**2**(1+h)`` functions —
+16 for h=1, 256 for h=2).  It answers, computationally, what the paper
+leaves open:
+
+* how much more transition reduction does h=2 buy on the theoretical
+  (uniform) tables and on streams?
+* what does it cost? (selector bits per block-line grow from 3 to
+  ``ceil(log2 |set|)``, the per-line gate becomes a 3-input LUT, and
+  the decoder needs a second history flip-flop.)
+
+The encoder/decoder protocol generalises the h=1 anchored scheme: the
+first ``h`` bits of a stream pass through unchanged (the decoder has
+no history for them), later bits decode as
+``x_n = tau(x~_n, x_{n-1}, ..., x_{n-h})`` over *decoded* history.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.bitstream import count_transitions, validate_bits
+
+_INF = 1 << 30
+
+
+@dataclass(frozen=True)
+class HistoryFunc:
+    """A boolean function of (stored bit, h history bits).
+
+    ``truth_table`` bit index: ``x * 2**h + int(history_bits)`` where
+    ``history_bits`` packs ``(y_1 .. y_h)`` (``y_1`` = most recent) in
+    binary with ``y_1`` as the high bit.
+    """
+
+    history: int  # h
+    truth_table: int
+
+    def __post_init__(self) -> None:
+        if self.history < 1:
+            raise ValueError("history must be >= 1")
+        size = 1 << (1 + self.history)
+        if not 0 <= self.truth_table < (1 << size):
+            raise ValueError(
+                f"truth table must fit {size} entries, got {self.truth_table}"
+            )
+
+    def __call__(self, x: int, history_bits: Sequence[int]) -> int:
+        if len(history_bits) != self.history:
+            raise ValueError(
+                f"expected {self.history} history bits, got {len(history_bits)}"
+            )
+        packed = 0
+        for bit in history_bits:
+            packed = (packed << 1) | (bit & 1)
+        return (self.truth_table >> (((x & 1) << self.history) | packed)) & 1
+
+    def solve_x(self, result: int, history_bits: Sequence[int]) -> tuple[int, ...]:
+        """Stored bits ``x`` with ``f(x, history) == result``."""
+        return tuple(
+            x for x in (0, 1) if self(x, history_bits) == result
+        )
+
+
+def num_functions(history: int) -> int:
+    """``2**2**(1+h)`` boolean functions of 1+h inputs."""
+    return 1 << (1 << (1 + history))
+
+
+def identity_function(history: int) -> HistoryFunc:
+    """The function returning the stored bit regardless of history."""
+    size = 1 << (1 + history)
+    table = 0
+    for index in range(size):
+        x = index >> history
+        table |= x << index
+    return HistoryFunc(history, table)
+
+
+class MultiHistorySolver:
+    """Anchored per-block optimal search for h-history functions.
+
+    The block's first ``h`` bits are anchored (stored unchanged); for
+    ``i >= h`` the equation ``x_i = tau(c_i, x_{i-1}, .., x_{i-h})``
+    must hold.  As in the h=1 case, for a fixed tau each position's
+    stored bit is forced, free or infeasible, and a tiny DP fills free
+    positions with minimal transitions.
+    """
+
+    def __init__(self, history: int, functions: Sequence[HistoryFunc] | None = None):
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        self.history = history
+        if functions is None:
+            functions = [
+                HistoryFunc(history, tt) for tt in range(num_functions(history))
+            ]
+        self.functions = tuple(functions)
+
+    def best_for_function(
+        self, word: Sequence[int], func: HistoryFunc
+    ) -> tuple[int, list[int]] | None:
+        h = self.history
+        allowed: list[tuple[int, ...]] = [(bit,) for bit in word[:h]]
+        for i in range(h, len(word)):
+            history_bits = [word[i - j] for j in range(1, h + 1)]
+            options = func.solve_x(word[i], history_bits)
+            if not options:
+                return None
+            allowed.append(options)
+        # Min-transition fill (same DP as the h=1 solver).
+        cost = {bit: 0 if bit in allowed[0] else _INF for bit in (0, 1)}
+        back: list[dict[int, int]] = []
+        for options in allowed[1:]:
+            new_cost = {0: _INF, 1: _INF}
+            pointers: dict[int, int] = {}
+            for bit in options:
+                best_prev, best = 0, _INF
+                for prev in (0, 1):
+                    candidate = cost[prev] + (prev != bit)
+                    if candidate < best:
+                        best, best_prev = candidate, prev
+                new_cost[bit] = best
+                pointers[bit] = best_prev
+            cost = new_cost
+            back.append(pointers)
+        final_bit = 0 if cost[0] <= cost[1] else 1
+        if cost[final_bit] >= _INF:
+            return None
+        bits = [final_bit]
+        for pointers in reversed(back):
+            bits.append(pointers[bits[-1]])
+        bits.reverse()
+        return cost[final_bit], bits
+
+    def solve(self, word: Sequence[int]) -> tuple[int, list[int], HistoryFunc]:
+        """Optimal (transitions, code, function) for one block word."""
+        word = validate_bits(word)
+        if len(word) <= self.history:
+            return count_transitions(word), list(word), identity_function(self.history)
+        best: tuple[int, list[int], HistoryFunc] | None = None
+        for func in self.functions:
+            result = self.best_for_function(word, func)
+            if result is None:
+                continue
+            transitions, code = result
+            if best is None or transitions < best[0]:
+                best = (transitions, code, func)
+                if transitions == 0:
+                    break
+        assert best is not None  # identity is always feasible
+        return best
+
+    def decode(
+        self, code: Sequence[int], func: HistoryFunc
+    ) -> list[int]:
+        """Bit-serial decode: first h bits pass through."""
+        h = self.history
+        decoded = list(code[:h])
+        for i in range(h, len(code)):
+            history_bits = [decoded[i - j] for j in range(1, h + 1)]
+            decoded.append(func(code[i], history_bits))
+        return decoded
+
+
+def theory_rtn(block_size: int, history: int) -> int:
+    """RTN over all block words for h-history transformations.
+
+    The h=1 case must agree with :mod:`repro.core.theory`; h=2 answers
+    the paper's open generalisation.  Exponential in ``2**2**(1+h)`` —
+    practical for h <= 2.
+    """
+    solver = MultiHistorySolver(history)
+    total = 0
+    for word in itertools.product((0, 1), repeat=block_size):
+        transitions, _, _ = solver.solve(list(word))
+        total += transitions
+    return total
+
+
+def used_functions(block_size: int, history: int) -> set[int]:
+    """Truth tables of functions chosen by the optimal codebooks."""
+    solver = MultiHistorySolver(history)
+    used = set()
+    for word in itertools.product((0, 1), repeat=block_size):
+        _, _, func = solver.solve(list(word))
+        used.add(func.truth_table)
+    return used

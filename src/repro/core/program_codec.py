@@ -1,0 +1,166 @@
+"""Vertical per-bus-line encoding of instruction words (Section 4).
+
+A basic block of ``m`` instructions induces ``width`` vertical bit
+streams (one per bus line, Figure 1b).  Every stream is chain-encoded
+with the same block segmentation — a Transformation Table entry is one
+segment: the 3-bit selectors for *all* bus lines plus the E/CT tail
+bookkeeping (Figure 5a).  This module produces the encoded instruction
+words (what is stored in program memory) and the per-segment selector
+plans (what is loaded into the TT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.bitstream import (
+    columns_to_words,
+    total_word_transitions,
+    word_column,
+)
+from repro.core.stream_codec import (
+    StreamEncoder,
+    decode_with_plan,
+    segment_bounds,
+)
+from repro.core.transformations import OPTIMAL_SET, Transformation
+
+
+@dataclass(frozen=True)
+class BlockEncoding:
+    """The encoded form of one basic block.
+
+    Attributes
+    ----------
+    original_words / encoded_words:
+        Instruction words in fetch order, before and after encoding.
+    block_size:
+        The vertical block length ``k``.
+    width:
+        Bus width in bits (32 for our ISA).
+    segment_plans:
+        ``segment_plans[s][b]`` is the transformation applied by bus
+        line ``b`` during segment ``s`` — exactly the payload of the
+        ``s``-th Transformation Table entry for this basic block.
+    """
+
+    original_words: tuple[int, ...]
+    encoded_words: tuple[int, ...]
+    block_size: int
+    width: int
+    segment_plans: tuple[tuple[Transformation, ...], ...]
+
+    def __len__(self) -> int:
+        return len(self.original_words)
+
+    @property
+    def num_segments(self) -> int:
+        """Transformation Table entries this basic block consumes."""
+        return len(self.segment_plans)
+
+    @property
+    def bounds(self) -> list[tuple[int, int]]:
+        """(start, length) of each segment in instruction indices."""
+        return segment_bounds(len(self.original_words), self.block_size)
+
+    @property
+    def original_transitions(self) -> int:
+        """Bus transitions fetching the original block start-to-end."""
+        return total_word_transitions(self.original_words)
+
+    @property
+    def encoded_transitions(self) -> int:
+        """Bus transitions fetching the encoded block start-to-end."""
+        return total_word_transitions(self.encoded_words)
+
+    @property
+    def reduction_percent(self) -> float:
+        total = self.original_transitions
+        if total == 0:
+            return 0.0
+        return 100.0 * (total - self.encoded_transitions) / total
+
+    def selectors(self) -> list[list[int]]:
+        """3-bit TT selector codes, ``selectors()[segment][line]``.
+
+        Raises if any planned transformation lies outside the optimal
+        8-set (cannot happen when encoding used the default set).
+        """
+        table = []
+        for plan in self.segment_plans:
+            row = []
+            for transformation in plan:
+                if transformation.selector is None:
+                    raise ValueError(
+                        f"transformation {transformation.name!r} has no "
+                        "hardware selector (outside the optimal 8-set)"
+                    )
+                row.append(transformation.selector)
+            table.append(row)
+        return table
+
+
+def tt_entries_required(num_instructions: int, block_size: int) -> int:
+    """Transformation Table entries a basic block of the given length
+    consumes (used by the hot-spot selector's capacity accounting)."""
+    return max(1, len(segment_bounds(num_instructions, block_size)))
+
+
+def encode_basic_block(
+    words: Sequence[int],
+    block_size: int,
+    width: int = 32,
+    transformations: Sequence[Transformation] = OPTIMAL_SET,
+    strategy: str = "greedy",
+) -> BlockEncoding:
+    """Encode a basic block's instruction words vertically.
+
+    Every bus line is encoded independently (Section 4: "Each bit, or
+    column ..., undergoes a distinct encoding analysis"), but all lines
+    share the same segmentation so a TT entry can carry one selector
+    per line.
+    """
+    words = [int(w) for w in words]
+    for w in words:
+        if w < 0 or w >= (1 << width):
+            raise ValueError(f"word {w:#x} does not fit in {width} bits")
+    if not words:
+        return BlockEncoding((), (), block_size, width, ())
+
+    encoder = StreamEncoder(block_size, transformations, strategy)
+    encoded_columns: list[list[int]] = []
+    per_line_segments: list[list[Transformation]] = []
+    for line in range(width):
+        encoding = encoder.encode(word_column(words, line))
+        encoded_columns.append(list(encoding.encoded))
+        per_line_segments.append(encoding.transformations())
+
+    num_segments = len(per_line_segments[0])
+    segment_plans = tuple(
+        tuple(per_line_segments[line][segment] for line in range(width))
+        for segment in range(num_segments)
+    )
+    encoded_words = columns_to_words(encoded_columns)
+    return BlockEncoding(
+        original_words=tuple(words),
+        encoded_words=tuple(encoded_words),
+        block_size=block_size,
+        width=width,
+        segment_plans=segment_plans,
+    )
+
+
+def decode_basic_block(encoding: BlockEncoding) -> list[int]:
+    """Restore the original instruction words from a
+    :class:`BlockEncoding` (software mirror of the fetch hardware)."""
+    if not encoding.encoded_words:
+        return []
+    decoded_columns = []
+    for line in range(encoding.width):
+        stored = word_column(encoding.encoded_words, line)
+        plan = [plan[line] for plan in encoding.segment_plans]
+        decoded_columns.append(
+            decode_with_plan(stored, encoding.block_size, plan)
+        )
+    return columns_to_words(decoded_columns)

@@ -1,0 +1,332 @@
+"""Chained encoding of arbitrary-length bit streams (Section 6).
+
+A stream is split into blocks of ``block_size`` bits with a one-bit
+overlap between neighbours: block ``j`` covers stream positions
+``[j*(k-1), j*(k-1) + k)``.  The first block is anchored (its first
+stored bit equals the original); every later block inherits its first
+stored bit from the previous block's encoding, which couples the block
+choices sequentially ("the transformation selected for a given block
+depends on the transformation selected for the previous block").
+
+Three strategies are provided:
+
+``greedy``
+    The paper's iterative approach: encode blocks left to right, each
+    minimising its own transitions given the inherited overlap bit.
+``optimal``
+    A dynamic program over the one-bit block interface that finds the
+    globally minimal-transition encoding; used to substantiate the
+    paper's empirical claim that greedy is near-optimal.
+``disjoint``
+    Blocks without overlap, each independently anchored — the strawman
+    the paper dismisses ("Were blocks to be disjoint, no improvement
+    can be effected" across boundaries); kept for the overlap ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.bitstream import count_transitions, validate_bits
+from repro.core.block_solver import BlockSolver
+from repro.core.transformations import (
+    IDENTITY,
+    OPTIMAL_SET,
+    Transformation,
+)
+
+_INF = 1 << 30
+
+STRATEGIES = ("greedy", "optimal", "disjoint")
+
+
+@dataclass(frozen=True)
+class SegmentEncoding:
+    """One encoded block within a stream.
+
+    ``start`` indexes the stream position of the block's first bit
+    (the overlap bit for non-initial blocks); ``length`` counts the
+    positions covered including the overlap bit.
+    """
+
+    start: int
+    length: int
+    transformation: Transformation
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+
+@dataclass(frozen=True)
+class StreamEncoding:
+    """A fully encoded bit stream with its block/transformation plan."""
+
+    original: tuple[int, ...]
+    encoded: tuple[int, ...]
+    block_size: int
+    segments: tuple[SegmentEncoding, ...]
+    overlapped: bool = True
+
+    @property
+    def original_transitions(self) -> int:
+        return count_transitions(self.original)
+
+    @property
+    def encoded_transitions(self) -> int:
+        return count_transitions(self.encoded)
+
+    @property
+    def reduction(self) -> int:
+        return self.original_transitions - self.encoded_transitions
+
+    @property
+    def reduction_percent(self) -> float:
+        total = self.original_transitions
+        if total == 0:
+            return 0.0
+        return 100.0 * self.reduction / total
+
+    def transformations(self) -> list[Transformation]:
+        return [segment.transformation for segment in self.segments]
+
+
+def segment_bounds(length: int, block_size: int, overlapped: bool = True) -> list[tuple[int, int]]:
+    """Block (start, length) pairs covering a stream of ``length`` bits.
+
+    With overlap, consecutive blocks share one position; the tail block
+    may be shorter than ``block_size`` (the hardware handles it via the
+    E/CT fields of the Transformation Table, Section 7.2).
+    """
+    if block_size < 2:
+        raise ValueError(f"block size must be >= 2, got {block_size}")
+    if length <= 0:
+        return []
+    if length == 1:
+        return [(0, 1)]
+    bounds = []
+    if overlapped:
+        start = 0
+        while start < length - 1:
+            bounds.append((start, min(block_size, length - start)))
+            start += block_size - 1
+    else:
+        start = 0
+        while start < length:
+            bounds.append((start, min(block_size, length - start)))
+            start += block_size
+    return bounds
+
+
+class StreamEncoder:
+    """Encoder for vertical bit streams.
+
+    Parameters
+    ----------
+    block_size:
+        Block length ``k`` (the paper studies 4..7).
+    transformations:
+        Candidate transformation set (defaults to the optimal 8-set).
+    strategy:
+        ``"greedy"`` (the paper's), ``"optimal"`` (interface DP) or
+        ``"disjoint"`` (no overlap, ablation only).
+    """
+
+    def __init__(
+        self,
+        block_size: int,
+        transformations: Sequence[Transformation] = OPTIMAL_SET,
+        strategy: str = "greedy",
+    ) -> None:
+        if block_size < 2:
+            raise ValueError(f"block size must be >= 2, got {block_size}")
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        self.block_size = block_size
+        self.transformations = tuple(transformations)
+        self.strategy = strategy
+        self._solver = BlockSolver(self.transformations)
+
+    # ------------------------------------------------------------------
+
+    def encode(self, stream: Sequence[int]) -> StreamEncoding:
+        """Encode a stream; decoding the result restores it exactly."""
+        stream = validate_bits(stream)
+        if not stream:
+            return StreamEncoding((), (), self.block_size, (), self.strategy != "disjoint")
+        if len(stream) == 1:
+            return StreamEncoding(
+                tuple(stream),
+                tuple(stream),
+                self.block_size,
+                (SegmentEncoding(0, 1, IDENTITY),),
+                self.strategy != "disjoint",
+            )
+        if self.strategy == "greedy":
+            return self._encode_greedy(stream)
+        if self.strategy == "optimal":
+            return self._encode_optimal(stream)
+        return self._encode_disjoint(stream)
+
+    # ------------------------------------------------------------------
+
+    def _encode_greedy(self, stream: list[int]) -> StreamEncoding:
+        bounds = segment_bounds(len(stream), self.block_size, overlapped=True)
+        encoded: list[int] = [0] * len(stream)
+        segments: list[SegmentEncoding] = []
+        for index, (start, seg_len) in enumerate(bounds):
+            word = stream[start : start + seg_len]
+            if index == 0:
+                solution = self._solver.solve_anchored(word)
+            else:
+                solution = self._solver.solve_constrained(word, encoded[start])
+            for offset, bit in enumerate(solution.code):
+                encoded[start + offset] = bit
+            segments.append(
+                SegmentEncoding(start, seg_len, solution.transformation)
+            )
+        return StreamEncoding(
+            tuple(stream), tuple(encoded), self.block_size, tuple(segments), True
+        )
+
+    def _encode_disjoint(self, stream: list[int]) -> StreamEncoding:
+        bounds = segment_bounds(len(stream), self.block_size, overlapped=False)
+        encoded: list[int] = [0] * len(stream)
+        segments: list[SegmentEncoding] = []
+        for start, seg_len in bounds:
+            word = stream[start : start + seg_len]
+            solution = self._solver.solve_anchored(word)
+            for offset, bit in enumerate(solution.code):
+                encoded[start + offset] = bit
+            segments.append(
+                SegmentEncoding(start, seg_len, solution.transformation)
+            )
+        return StreamEncoding(
+            tuple(stream), tuple(encoded), self.block_size, tuple(segments), False
+        )
+
+    def _encode_optimal(self, stream: list[int]) -> StreamEncoding:
+        """Global minimum via DP over the one-bit block interface.
+
+        For each block and each (incoming stored bit, outgoing stored
+        bit, transformation) we precompute the minimal internal
+        transitions; a forward pass then chains blocks through the
+        shared overlap bit.
+        """
+        bounds = segment_bounds(len(stream), self.block_size, overlapped=True)
+        # profiles[j][(in_bit, out_bit)] = (cost, transformation, code)
+        profiles: list[dict[tuple[int, int], tuple[int, Transformation, tuple[int, ...]]]] = []
+        for index, (start, seg_len) in enumerate(bounds):
+            word = stream[start : start + seg_len]
+            profile: dict[tuple[int, int], tuple[int, Transformation, tuple[int, ...]]] = {}
+            in_bits = (word[0],) if index == 0 else (0, 1)
+            for in_bit in in_bits:
+                for transformation in self.transformations:
+                    fixed_first = None if index == 0 else in_bit
+                    by_final = self._solver.best_by_final_bit(
+                        word, transformation, fixed_first
+                    )
+                    if by_final is None:
+                        continue
+                    for out_bit, (cost, code) in by_final.items():
+                        key = (in_bit, out_bit)
+                        if key not in profile or cost < profile[key][0]:
+                            profile[key] = (cost, transformation, code)
+            profiles.append(profile)
+
+        # Forward DP over the interface bit.
+        state: dict[int, tuple[int, list[tuple[Transformation, tuple[int, ...]]]]] = {}
+        first_profile = profiles[0]
+        for (in_bit, out_bit), (cost, transformation, code) in first_profile.items():
+            if out_bit not in state or cost < state[out_bit][0]:
+                state[out_bit] = (cost, [(transformation, code)])
+        for profile in profiles[1:]:
+            new_state: dict[int, tuple[int, list[tuple[Transformation, tuple[int, ...]]]]] = {}
+            for (in_bit, out_bit), (cost, transformation, code) in profile.items():
+                if in_bit not in state:
+                    continue
+                prev_cost, prev_plan = state[in_bit]
+                total = prev_cost + cost
+                if out_bit not in new_state or total < new_state[out_bit][0]:
+                    new_state[out_bit] = (total, prev_plan + [(transformation, code)])
+            state = new_state
+
+        best_cost, plan = min(state.values(), key=lambda item: item[0])
+        encoded: list[int] = [0] * len(stream)
+        segments: list[SegmentEncoding] = []
+        for (start, seg_len), (transformation, code) in zip(bounds, plan):
+            for offset, bit in enumerate(code):
+                encoded[start + offset] = bit
+            segments.append(SegmentEncoding(start, seg_len, transformation))
+        result = StreamEncoding(
+            tuple(stream), tuple(encoded), self.block_size, tuple(segments), True
+        )
+        assert result.encoded_transitions == best_cost
+        return result
+
+
+def encode_stream(
+    stream: Sequence[int],
+    block_size: int,
+    transformations: Sequence[Transformation] = OPTIMAL_SET,
+    strategy: str = "greedy",
+) -> StreamEncoding:
+    """Convenience wrapper around :class:`StreamEncoder`."""
+    encoder = StreamEncoder(block_size, transformations, strategy)
+    return encoder.encode(stream)
+
+
+def decode_stream(encoding: StreamEncoding) -> list[int]:
+    """Bit-serial decode of a :class:`StreamEncoding`.
+
+    Mirrors the hardware: the stream's first bit passes through
+    unchanged; every later bit is ``tau(stored, previous_decoded)``
+    with ``tau`` selected by the segment covering that position.
+    """
+    encoded = list(encoding.encoded)
+    if not encoded:
+        return []
+    decoded: list[int] = [encoded[0]]
+    if encoding.overlapped:
+        for segment in encoding.segments:
+            for pos in range(segment.start + 1, segment.end):
+                decoded.append(
+                    segment.transformation(encoded[pos], decoded[pos - 1])
+                )
+    else:
+        for segment in encoding.segments:
+            for pos in range(segment.start, segment.end):
+                if pos == segment.start:
+                    if pos != 0:
+                        decoded.append(encoded[pos])  # each block re-anchors
+                else:
+                    decoded.append(
+                        segment.transformation(encoded[pos], decoded[pos - 1])
+                    )
+    return decoded
+
+
+def decode_with_plan(
+    encoded: Sequence[int],
+    block_size: int,
+    transformations: Sequence[Transformation],
+) -> list[int]:
+    """Decode from raw materials (stored bits + per-block tau plan) —
+    exactly the information a Transformation Table holds."""
+    encoded = validate_bits(encoded)
+    bounds = segment_bounds(len(encoded), block_size, overlapped=True)
+    if len(bounds) != len(transformations):
+        raise ValueError(
+            f"plan length {len(transformations)} does not match "
+            f"{len(bounds)} blocks for a stream of {len(encoded)} bits"
+        )
+    if not encoded:
+        return []
+    decoded = [encoded[0]]
+    for (start, seg_len), transformation in zip(bounds, transformations):
+        for pos in range(start + 1, start + seg_len):
+            decoded.append(transformation(encoded[pos], decoded[pos - 1]))
+    return decoded

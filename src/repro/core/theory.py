@@ -1,0 +1,135 @@
+"""Theoretical transition-reduction numbers — reproduces Figure 3.
+
+For each block size ``k`` the paper counts, over all ``2**k`` block
+words, the total transitions of the original words (TTN) and of their
+optimal code words (RTN); the improvement percentage is the expected
+transition reduction on a bit stream with uniform bit values.
+
+Note on the paper's Figure 3: the ``k = 6`` column (TTN=320, RTN=180)
+is exactly twice the value implied by the paper's own counting rule
+(``TTN = sum of per-word transitions = 2**k * (k-1) / 2``, which gives
+64*5/2 = 160), while every other column matches the rule and the
+printed 43.8% improvement matches the corrected 160/90.  We therefore
+treat the k=6 absolute entries as a typo; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.codebook import build_codebook
+from repro.core.transformations import OPTIMAL_SET, Transformation
+
+
+@dataclass(frozen=True)
+class TheoryRow:
+    """One column of Figure 3."""
+
+    block_size: int
+    total_transitions: int  # TTN
+    reduced_transitions: int  # RTN
+
+    @property
+    def improvement_percent(self) -> float:
+        if self.total_transitions == 0:
+            return 0.0
+        return (
+            100.0
+            * (self.total_transitions - self.reduced_transitions)
+            / self.total_transitions
+        )
+
+
+def expected_total_transitions(block_size: int) -> int:
+    """Closed form for TTN: each of the ``k-1`` adjacent pairs differs
+    in exactly half of the ``2**k`` words."""
+    return (1 << block_size) * (block_size - 1) // 2
+
+
+def theory_row(
+    block_size: int,
+    transformations: Sequence[Transformation] = OPTIMAL_SET,
+) -> TheoryRow:
+    """Compute one Figure-3 column by exhaustive codebook search."""
+    book = build_codebook(block_size, transformations)
+    return TheoryRow(
+        block_size=block_size,
+        total_transitions=book.total_transitions,
+        reduced_transitions=book.reduced_transitions,
+    )
+
+
+def theory_table(
+    block_sizes: Sequence[int] = (2, 3, 4, 5, 6, 7),
+    transformations: Sequence[Transformation] = OPTIMAL_SET,
+) -> list[TheoryRow]:
+    """The full Figure 3 table."""
+    return [theory_row(k, transformations) for k in block_sizes]
+
+
+#: Figure 3 as printed in the paper (block size -> (TTN, RTN)).
+PAPER_FIGURE3 = {
+    2: (2, 0),
+    3: (8, 2),
+    4: (24, 10),
+    5: (64, 32),
+    6: (320, 180),  # see module docstring: internally inconsistent, 2x
+    7: (384, 234),
+}
+
+#: Figure 3 with the k=6 column corrected to the paper's own counting
+#: rule (the printed percentage, 43.8%, matches these numbers).
+CORRECTED_FIGURE3 = {
+    2: (2, 0),
+    3: (8, 2),
+    4: (24, 10),
+    5: (64, 32),
+    6: (160, 90),
+    7: (384, 234),
+}
+
+
+def expected_improvement_biased(
+    block_size: int,
+    bias: float,
+    transformations: Sequence[Transformation] = OPTIMAL_SET,
+) -> float:
+    """Expected transition-reduction percentage for anchored blocks
+    whose bits are i.i.d. Bernoulli(``bias``).
+
+    Figure 3 is the ``bias == 0.5`` special case (every word equally
+    likely).  This closed form extends the paper's table to biased
+    inputs and backs its "essentially independent of the input value
+    distributions" claim analytically: each block word is weighted by
+    ``bias**ones * (1-bias)**zeros`` instead of uniformly.
+    """
+    if not 0.0 <= bias <= 1.0:
+        raise ValueError(f"bias must be in [0, 1], got {bias}")
+    book = build_codebook(block_size, transformations)
+    expected_original = 0.0
+    expected_encoded = 0.0
+    for solution in book.solutions:
+        ones = sum(solution.word)
+        weight = bias**ones * (1.0 - bias) ** (block_size - ones)
+        expected_original += weight * solution.original_transitions
+        expected_encoded += weight * solution.encoded_transitions
+    if expected_original == 0.0:
+        return 0.0
+    return 100.0 * (expected_original - expected_encoded) / expected_original
+
+
+def format_theory_table(rows: Sequence[TheoryRow]) -> str:
+    """Render rows in the layout of Figure 3."""
+    sizes = "  ".join(f"{r.block_size:>6}" for r in rows)
+    ttn = "  ".join(f"{r.total_transitions:>6}" for r in rows)
+    rtn = "  ".join(f"{r.reduced_transitions:>6}" for r in rows)
+    impr = "  ".join(f"{r.improvement_percent:>6.1f}" for r in rows)
+    return "\n".join(
+        [
+            f"Size     {sizes}",
+            f"TTN      {ttn}",
+            f"RTN      {rtn}",
+            f"Impr(%)  {impr}",
+        ]
+    )

@@ -1,0 +1,25 @@
+"""Behavioural model of the fetch-side decode hardware (Section 7).
+
+``tt`` and ``bbit`` model the two SRAM tables of Figure 5; the
+``fetch_decoder`` walks a fetch stream exactly as the hardware would —
+BBIT lookup on basic-block entry, per-entry transformation selection,
+E/CT tail bookkeeping — and restores original instruction words with
+one two-input boolean function per bus line.  ``cost`` reproduces the
+paper's storage/gate arithmetic.
+"""
+
+from repro.hw.tt import TTEntry, TransformationTable
+from repro.hw.bbit import BBITEntry, BasicBlockIdentificationTable
+from repro.hw.fetch_decoder import FetchDecoder, DecodeFault
+from repro.hw.cost import HardwareCost, estimate_cost
+
+__all__ = [
+    "TTEntry",
+    "TransformationTable",
+    "BBITEntry",
+    "BasicBlockIdentificationTable",
+    "FetchDecoder",
+    "DecodeFault",
+    "HardwareCost",
+    "estimate_cost",
+]

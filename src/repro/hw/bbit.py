@@ -1,0 +1,70 @@
+"""The Basic Block Identification Table (BBIT) of Figure 5.
+
+One entry per encoded basic block: the PC of its first instruction and
+the index of its first Transformation Table entry.  "When an
+application loop basic block is complete, a lookup into the BBIT
+produces the TT index for the next basic block" (Section 7.2).  The
+hardware analogue is a small CAM on the fetch PC; the model keeps a
+dict for O(1) lookups and counts them for the power bookkeeping
+("a lookup into the BBIT is performed only in the beginning of a
+basic block").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BBITEntry:
+    """One BBIT row: basic-block start PC -> first TT entry index."""
+
+    pc: int
+    tt_index: int
+    num_instructions: int  # block length, for sequencing bookkeeping
+
+
+class BasicBlockIdentificationTable:
+    """A fixed-capacity PC-indexed table."""
+
+    def __init__(self, capacity: int = 16):
+        if capacity < 1:
+            raise ValueError("BBIT needs at least one entry")
+        self.capacity = capacity
+        self._by_pc: dict[int, BBITEntry] = {}
+        self.lookups = 0
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._by_pc)
+
+    def clear(self) -> None:
+        self._by_pc.clear()
+        self.lookups = 0
+        self.hits = 0
+
+    def install(self, entry: BBITEntry) -> None:
+        if entry.pc in self._by_pc:
+            raise ValueError(f"duplicate BBIT entry for {entry.pc:#010x}")
+        if len(self._by_pc) >= self.capacity:
+            raise ValueError(
+                f"BBIT full ({self.capacity} entries); cannot add "
+                f"{entry.pc:#010x}"
+            )
+        self._by_pc[entry.pc] = entry
+
+    def lookup(self, pc: int) -> BBITEntry | None:
+        """CAM match on a fetch PC; counts every probe."""
+        self.lookups += 1
+        entry = self._by_pc.get(pc)
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    def peek(self, pc: int) -> BBITEntry | None:
+        """Lookup without statistics (for assertions in tests)."""
+        return self._by_pc.get(pc)
+
+    def storage_bits(self, pc_bits: int = 30, tt_index_bits: int = 4) -> int:
+        """Physical bits: tag (word-aligned PC) + TT index per entry."""
+        return self.capacity * (pc_bits + tt_index_bits)

@@ -1,0 +1,101 @@
+"""Hardware cost model for the decode support (Section 7.2).
+
+The paper's cost argument is structural: the overhead is "the size of
+the TT and BBIT arrays" plus, per bus line, the transformation logic —
+eight two-input gates and an 8:1 selector driven by three control
+bits (only one gate's output is ever used per block: "a frugal
+functional transformation, reliant on a single bit logic gate").
+This module turns those structures into storage-bit and gate-count
+estimates, parameterised the same way the paper trades off block size
+against table utilisation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Gate-equivalents (NAND2-normalised) for the per-line decode logic:
+#: the 8 candidate two-input functions plus an 8:1 mux (~7 x 2:1 muxes,
+#: ~3 gate equivalents each) plus the history flip-flop (~6).
+GATES_PER_FUNCTION_BANK = 8
+GATES_PER_MUX8 = 21
+GATES_PER_FLOP = 6
+
+#: SRAM bit cost expressed in gate equivalents (6T cell ~ 1.5 NAND2).
+GATE_EQUIV_PER_SRAM_BIT = 1.5
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """Storage and logic cost of one decoder configuration."""
+
+    block_size: int
+    bus_width: int
+    tt_entries: int
+    bbit_entries: int
+    tt_bits: int
+    bbit_bits: int
+    decode_gates: int
+
+    @property
+    def total_storage_bits(self) -> int:
+        return self.tt_bits + self.bbit_bits
+
+    @property
+    def gate_equivalents(self) -> float:
+        """Single-figure area proxy: logic + SRAM in NAND2 units."""
+        return self.decode_gates + GATE_EQUIV_PER_SRAM_BIT * self.total_storage_bits
+
+    @property
+    def max_instructions(self) -> int:
+        """Instructions coverable by a full TT (the paper's 7 * 16 =
+        112 sizing argument, adjusted for the one-bit overlap: the
+        first entry of a block covers k, later entries k - 1)."""
+        return self.block_size + (self.tt_entries - 1) * (self.block_size - 1)
+
+
+def ct_field_bits(block_size: int) -> int:
+    """Bits for the CT counter: counts up to block_size instructions."""
+    return max(1, math.ceil(math.log2(block_size + 1)))
+
+
+def estimate_cost(
+    block_size: int,
+    bus_width: int = 32,
+    tt_entries: int = 16,
+    bbit_entries: int = 16,
+    pc_tag_bits: int = 30,
+) -> HardwareCost:
+    """Cost of a decoder with the given table geometry."""
+    if block_size < 2:
+        raise ValueError("block size must be >= 2")
+    selector_bits = 3 * bus_width
+    tt_bits = tt_entries * (selector_bits + 1 + ct_field_bits(block_size))
+    tt_index_bits = max(1, math.ceil(math.log2(tt_entries)))
+    bbit_bits = bbit_entries * (pc_tag_bits + tt_index_bits)
+    decode_gates = bus_width * (
+        GATES_PER_FUNCTION_BANK + GATES_PER_MUX8 + GATES_PER_FLOP
+    )
+    return HardwareCost(
+        block_size=block_size,
+        bus_width=bus_width,
+        tt_entries=tt_entries,
+        bbit_entries=bbit_entries,
+        tt_bits=tt_bits,
+        bbit_bits=bbit_bits,
+        decode_gates=decode_gates,
+    )
+
+
+def cost_sweep(
+    block_sizes=(4, 5, 6, 7),
+    tt_entries: int = 16,
+    bus_width: int = 32,
+) -> list[HardwareCost]:
+    """The paper's block-size/area trade-off as a table: longer blocks
+    cover more instructions per TT entry at slightly more CT bits."""
+    return [
+        estimate_cost(k, bus_width=bus_width, tt_entries=tt_entries)
+        for k in block_sizes
+    ]

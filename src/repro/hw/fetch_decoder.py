@@ -1,0 +1,129 @@
+"""The fetch-path decode engine (Section 7.2, Figure 5).
+
+Walks a fetch stream exactly as the hardware would:
+
+* On every fetch the PC is matched against the BBIT.  A hit activates
+  decoding for that basic block: the entry supplies the base TT index,
+  a segment-position counter resets, and the per-line one-bit history
+  registers load from the first (pass-through) instruction.
+* While active, each fetched word is restored by applying the current
+  TT entry's per-line transformations to the stored word and the
+  previous *decoded* word; the segment counter advances to the next TT
+  entry every ``k - 1`` instructions (one-bit overlap).
+* The entry with the E bit set finishes after CT decoded instructions;
+  the engine then deactivates until the next BBIT hit.
+* A non-sequential fetch (taken branch out of the block) also
+  deactivates the engine; the new PC immediately re-probes the BBIT.
+
+Fetches that miss the BBIT pass through unchanged — the identity
+treatment for unencoded code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.bbit import BasicBlockIdentificationTable
+from repro.hw.tt import TransformationTable
+
+
+class DecodeFault(RuntimeError):
+    """Raised when the fetch stream violates the decode protocol,
+    e.g. jumping into the middle of an encoded basic block."""
+
+
+@dataclass
+class _ActiveBlock:
+    base_tt_index: int
+    start_pc: int
+    instructions_total: int
+    index: int  # instruction index within the basic block
+
+
+class FetchDecoder:
+    """Behavioural model of the decode hardware on the fetch path."""
+
+    def __init__(
+        self,
+        tt: TransformationTable,
+        bbit: BasicBlockIdentificationTable,
+        block_size: int,
+        encoded_region: set[int] | None = None,
+    ):
+        if block_size < 2:
+            raise ValueError("block size must be >= 2")
+        self.tt = tt
+        self.bbit = bbit
+        self.block_size = block_size
+        #: Addresses whose stored words are encoded; used to detect
+        #: protocol violations (entering an encoded block mid-way).
+        self.encoded_region = encoded_region or set()
+        self._active: _ActiveBlock | None = None
+        self._history_word = 0
+        self._expected_pc: int | None = None
+        self.decoded_instructions = 0
+        self.passthrough_instructions = 0
+        #: Activity counters for the overhead argument (Section 7.2):
+        #: TT reads happen once per decoded (non-anchor) instruction,
+        #: BBIT probes only when the engine is inactive.
+        self.tt_reads = 0
+
+    def reset(self) -> None:
+        self._active = None
+        self._history_word = 0
+        self._expected_pc = None
+
+    # ------------------------------------------------------------------
+
+    def fetch(self, pc: int, stored_word: int) -> int:
+        """Process one fetch; returns the restored instruction word."""
+        if self._active is not None and pc != self._expected_pc:
+            # Taken branch out of the current block.
+            self._active = None
+        if self._active is None:
+            entry = self.bbit.lookup(pc)
+            if entry is None:
+                if pc in self.encoded_region:
+                    raise DecodeFault(
+                        f"fetch of encoded word at {pc:#010x} without an "
+                        "active basic block (mid-block entry?)"
+                    )
+                self.passthrough_instructions += 1
+                self._expected_pc = None
+                return stored_word
+            self._active = _ActiveBlock(
+                base_tt_index=entry.tt_index,
+                start_pc=pc,
+                instructions_total=entry.num_instructions,
+                index=0,
+            )
+
+        active = self._active
+        if active.index == 0:
+            decoded = stored_word  # block's first instruction passes through
+        else:
+            segment = (active.index - 1) // (self.block_size - 1)
+            tt_entry = self.tt.entry(active.base_tt_index + segment)
+            self.tt_reads += 1
+            decoded = tt_entry.decode(stored_word, self._history_word)
+        self._history_word = decoded
+        self.decoded_instructions += 1
+        active.index += 1
+        if active.index >= active.instructions_total:
+            self._active = None
+            self._expected_pc = None
+        else:
+            self._expected_pc = pc + 4
+        return decoded
+
+    # ------------------------------------------------------------------
+
+    def decode_trace(
+        self,
+        addresses: list[int],
+        stored_image_lookup,
+    ) -> list[int]:
+        """Decode a full fetch trace.  ``stored_image_lookup`` maps a
+        PC to the stored (possibly encoded) word."""
+        self.reset()
+        return [self.fetch(pc, stored_image_lookup(pc)) for pc in addresses]

@@ -1,0 +1,161 @@
+"""The Transformation Table (TT) of Figure 5.
+
+One entry per encoded code block (segment).  An entry stores a 3-bit
+transformation selector for every bus line, the End (E) bit marking
+the final segment of a basic block, and the CT counter giving the
+number of instructions decoded under that final segment (Section 7.2:
+"a counter corresponding to the size of the last bit sequence ...
+decremented with each instruction fetched").
+
+For fast word-level decoding each entry precomputes one 32-bit mask
+per transformation selector; a stored word then decodes with eight
+bitwise operations instead of 32 bit-by-bit gate evaluations — the
+software analogue of the per-line parallel gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.program_codec import BlockEncoding
+
+# Selector indices, fixed by repro.core.transformations.OPTIMAL_SET:
+# 0=x 1=~x 2=y 3=~y 4=xor 5=xnor 6=nor 7=nand
+_NUM_SELECTORS = 8
+
+
+def _decode_masked(selector: int, stored: int, prev: int, mask: int) -> int:
+    if selector == 0:
+        return stored & mask
+    if selector == 1:
+        return ~stored & mask
+    if selector == 2:
+        return prev & mask
+    if selector == 3:
+        return ~prev & mask
+    if selector == 4:
+        return (stored ^ prev) & mask
+    if selector == 5:
+        return ~(stored ^ prev) & mask
+    if selector == 6:
+        return ~(stored | prev) & mask
+    if selector == 7:
+        return ~(stored & prev) & mask
+    raise ValueError(f"selector out of range: {selector}")
+
+
+@dataclass
+class TTEntry:
+    """One Transformation Table entry (Figure 5a)."""
+
+    selectors: tuple[int, ...]  # 3-bit selector per bus line
+    end: bool = False  # E field
+    count: int = 0  # CT field (instructions under a final segment)
+    _masks: list[int] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        for selector in self.selectors:
+            if not 0 <= selector < _NUM_SELECTORS:
+                raise ValueError(f"selector out of range: {selector}")
+        masks = [0] * _NUM_SELECTORS
+        for line, selector in enumerate(self.selectors):
+            masks[selector] |= 1 << line
+        self._masks = masks
+
+    @property
+    def width(self) -> int:
+        return len(self.selectors)
+
+    def decode(self, stored_word: int, previous_decoded: int) -> int:
+        """Restore an original word from the stored word and the
+        previously decoded word (the per-line one-bit history)."""
+        word_mask = (1 << self.width) - 1
+        out = 0
+        for selector, mask in enumerate(self._masks):
+            if mask:
+                out |= _decode_masked(
+                    selector, stored_word, previous_decoded, mask
+                )
+        return out & word_mask
+
+    @classmethod
+    def identity(cls, width: int = 32) -> "TTEntry":
+        """The all-zero entry: decodes any block unchanged (the
+        paper's shared entry for infrequent basic blocks)."""
+        return cls(selectors=(0,) * width)
+
+
+class TableCapacityError(ValueError):
+    """Raised when a load exceeds the table's physical entry count."""
+
+
+class TransformationTable:
+    """A fixed-capacity TT with allocation bookkeeping.
+
+    Entries for one basic block occupy a contiguous index range whose
+    final entry has E set (Section 7.2).  The table is reprogrammable:
+    :meth:`clear` + :meth:`allocate` model the software reload before
+    entering a new application hot spot.
+    """
+
+    def __init__(self, capacity: int = 16, width: int = 32):
+        if capacity < 1:
+            raise ValueError("TT needs at least one entry")
+        self.capacity = capacity
+        self.width = width
+        self.entries: list[TTEntry] = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def free_entries(self) -> int:
+        return self.capacity - len(self.entries)
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def allocate(self, encoding: BlockEncoding) -> int:
+        """Install a basic block's segment plans; returns the base
+        index its first entry landed at."""
+        if encoding.width != self.width:
+            raise ValueError(
+                f"encoding width {encoding.width} != table width {self.width}"
+            )
+        selector_rows = encoding.selectors()
+        if len(selector_rows) > self.free_entries:
+            raise TableCapacityError(
+                f"need {len(selector_rows)} entries, only "
+                f"{self.free_entries} free of {self.capacity}"
+            )
+        base = len(self.entries)
+        bounds = encoding.bounds
+        for row, (start, seg_len) in zip(selector_rows, bounds):
+            is_tail = start + seg_len >= len(encoding.original_words)
+            self.entries.append(
+                TTEntry(
+                    selectors=tuple(row),
+                    end=is_tail,
+                    # Instructions decoded under this entry: the tail
+                    # segment's non-overlap positions (every position
+                    # for a single-segment block).
+                    count=(seg_len if start == 0 else seg_len - 1)
+                    if is_tail
+                    else 0,
+                )
+            )
+        return base
+
+    def entry(self, index: int) -> TTEntry:
+        return self.entries[index]
+
+    def storage_bits(self, ct_bits: int = 4) -> int:
+        """Physical SRAM bits: per entry, 3 selector bits per line plus
+        the E bit plus the CT field."""
+        return self.capacity * (3 * self.width + 1 + ct_bits)
+
+
+def selectors_from_sequence(rows: Sequence[Sequence[int]]) -> list[TTEntry]:
+    """Build raw entries from selector rows (testing helper)."""
+    return [TTEntry(selectors=tuple(row)) for row in rows]

@@ -1,0 +1,60 @@
+"""Disassembler: 32-bit words back to assembly text.
+
+Primarily a debugging and testing aid; the test suite round-trips
+``assemble -> encode -> disassemble -> assemble`` to pin the encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.isa.instruction import Instruction, decode_word
+from repro.isa.registers import freg_name, reg_name
+
+
+def _format_operand(role: str, inst: Instruction, address: int | None) -> str:
+    if role in ("rd", "rs", "rt"):
+        return reg_name(inst.get(role))
+    if role in ("fd", "fs", "ft"):
+        return freg_name(inst.get(role))
+    if role == "shamt":
+        return str(inst.get("shamt"))
+    if role == "imm":
+        return str(inst.simm)
+    if role == "mem":
+        return f"{inst.simm}({reg_name(inst.get('rs'))})"
+    if role == "branch":
+        if address is None:
+            return f".{4 * inst.simm + 4:+d}"
+        return f"{address + 4 + 4 * inst.simm:#010x}"
+    if role == "target":
+        return f"{inst.get('target') << 2:#010x}"
+    raise AssertionError(f"unknown syntax role {role}")
+
+
+def format_instruction(inst: Instruction, address: int | None = None) -> str:
+    """Render a decoded instruction as assembly text."""
+    operands = ", ".join(
+        _format_operand(role, inst, address) for role in inst.spec.syntax
+    )
+    return f"{inst.name} {operands}".strip()
+
+
+def disassemble_word(word: int, address: int | None = None) -> str:
+    """Disassemble a single 32-bit word."""
+    return format_instruction(decode_word(word), address)
+
+
+def disassemble(
+    words: Sequence[int], base_address: int = 0, with_addresses: bool = True
+) -> str:
+    """Disassemble a sequence of words into a listing."""
+    lines = []
+    for i, word in enumerate(words):
+        address = base_address + 4 * i
+        text = disassemble_word(word, address)
+        if with_addresses:
+            lines.append(f"{address:#010x}:  {word:08x}  {text}")
+        else:
+            lines.append(text)
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""32-bit instruction word encoding and decoding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import (
+    FMT_BC,
+    FMT_MFC1,
+    FMT_MTC1,
+    FR_BY_KEY,
+    IJ_BY_OPCODE,
+    OP_COP1,
+    OP_REGIMM,
+    OP_SPECIAL,
+    R_BY_FUNCT,
+    RI_BY_COND,
+    SPECS_BY_NAME,
+    InstructionSpec,
+)
+
+MASK32 = 0xFFFFFFFF
+
+
+class DecodeError(ValueError):
+    """Raised when a word does not decode to a known instruction."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded (or assembled) instruction: spec plus field values.
+
+    Field dictionary keys: ``rs rt rd shamt imm target ft fs fd``.
+    ``imm`` is stored as an unsigned 16-bit value; use :attr:`simm`
+    for the sign-extended interpretation.
+    """
+
+    spec: InstructionSpec
+    fields: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def get(self, key: str) -> int:
+        return self.fields.get(key, 0)
+
+    @property
+    def simm(self) -> int:
+        """Sign-extended 16-bit immediate."""
+        imm = self.get("imm")
+        return imm - 0x10000 if imm & 0x8000 else imm
+
+    def encode(self) -> int:
+        """Pack the instruction into its 32-bit word."""
+        return encode_fields(self.spec, self.fields)
+
+    def __repr__(self) -> str:
+        parts = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"Instruction({self.name} {parts})"
+
+
+def _check(value: int, width: int, what: str) -> int:
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"{what} {value} does not fit in {width} bits")
+    return value
+
+
+def encode_fields(spec: InstructionSpec, fields: dict[str, int]) -> int:
+    """Pack a spec + field dict into a 32-bit instruction word."""
+    get = lambda key: fields.get(key, 0)  # noqa: E731 - tiny local alias
+    rs = _check(get("rs"), 5, "rs")
+    # FP loads/stores (ldc1 etc.) are I-format with the FP register in
+    # the rt bit positions.
+    rt = _check(get("rt") or get("ft"), 5, "rt")
+    if spec.fmt == "R":
+        return (
+            (OP_SPECIAL << 26)
+            | (rs << 21)
+            | (rt << 16)
+            | (_check(get("rd"), 5, "rd") << 11)
+            | (_check(get("shamt"), 5, "shamt") << 6)
+            | spec.funct
+        )
+    if spec.fmt == "I":
+        return (
+            (spec.opcode << 26)
+            | (rs << 21)
+            | (rt << 16)
+            | _check(get("imm"), 16, "imm")
+        )
+    if spec.fmt == "J":
+        return (spec.opcode << 26) | _check(get("target"), 26, "target")
+    if spec.fmt == "RI":
+        return (
+            (OP_REGIMM << 26)
+            | (rs << 21)
+            | (spec.cond << 16)
+            | _check(get("imm"), 16, "imm")
+        )
+    if spec.fmt == "FR":
+        return (
+            (OP_COP1 << 26)
+            | (spec.cop_fmt << 21)
+            | (_check(get("ft"), 5, "ft") << 16)
+            | (_check(get("fs"), 5, "fs") << 11)
+            | (_check(get("fd"), 5, "fd") << 6)
+            | spec.funct
+        )
+    if spec.fmt == "FB":
+        return (
+            (OP_COP1 << 26)
+            | (FMT_BC << 21)
+            | (spec.cond << 16)
+            | _check(get("imm"), 16, "imm")
+        )
+    if spec.fmt == "FM":
+        return (
+            (OP_COP1 << 26)
+            | (spec.cop_fmt << 21)
+            | (rt << 16)
+            | (_check(get("fs"), 5, "fs") << 11)
+        )
+    raise AssertionError(f"unhandled format {spec.fmt}")
+
+
+def decode_word(word: int) -> Instruction:
+    """Decode a 32-bit word into an :class:`Instruction`.
+
+    Raises :class:`DecodeError` for unknown encodings.
+    """
+    word &= MASK32
+    opcode = word >> 26
+    rs = (word >> 21) & 0x1F
+    rt = (word >> 16) & 0x1F
+    rd = (word >> 11) & 0x1F
+    shamt = (word >> 6) & 0x1F
+    funct = word & 0x3F
+    imm = word & 0xFFFF
+
+    if opcode == OP_SPECIAL:
+        spec = R_BY_FUNCT.get(funct)
+        if spec is None:
+            raise DecodeError(f"unknown R-type funct {funct:#x} in {word:#010x}")
+        return Instruction(
+            spec, {"rs": rs, "rt": rt, "rd": rd, "shamt": shamt}
+        )
+    if opcode == OP_REGIMM:
+        spec = RI_BY_COND.get(rt)
+        if spec is None:
+            raise DecodeError(f"unknown regimm cond {rt} in {word:#010x}")
+        return Instruction(spec, {"rs": rs, "imm": imm})
+    if opcode == OP_COP1:
+        cop_fmt = rs
+        if cop_fmt == FMT_BC:
+            spec = SPECS_BY_NAME["bc1t" if rt & 1 else "bc1f"]
+            return Instruction(spec, {"imm": imm})
+        if cop_fmt == FMT_MFC1:
+            return Instruction(SPECS_BY_NAME["mfc1"], {"rt": rt, "fs": rd})
+        if cop_fmt == FMT_MTC1:
+            return Instruction(SPECS_BY_NAME["mtc1"], {"rt": rt, "fs": rd})
+        spec = FR_BY_KEY.get((cop_fmt, funct))
+        if spec is None:
+            raise DecodeError(
+                f"unknown COP1 fmt/funct {cop_fmt:#x}/{funct:#x} in {word:#010x}"
+            )
+        return Instruction(spec, {"ft": rt, "fs": rd, "fd": shamt})
+    spec = IJ_BY_OPCODE.get(opcode)
+    if spec is None:
+        raise DecodeError(f"unknown opcode {opcode:#x} in {word:#010x}")
+    if spec.fmt == "J":
+        return Instruction(spec, {"target": word & 0x3FFFFFF})
+    if "ft" in spec.syntax:  # FP load/store: rt bits hold the FP register
+        return Instruction(spec, {"rs": rs, "ft": rt, "imm": imm})
+    return Instruction(spec, {"rs": rs, "rt": rt, "imm": imm})

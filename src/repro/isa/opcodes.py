@@ -1,0 +1,213 @@
+"""Instruction specifications: formats, opcodes and operand syntax.
+
+The encoding follows MIPS I field layout:
+
+===========  =======================================================
+Format       Fields (msb..lsb)
+===========  =======================================================
+``R``        op(6)=0  rs(5) rt(5) rd(5) shamt(5) funct(6)
+``I``        op(6)    rs(5) rt(5) imm(16)
+``J``        op(6)    target(26)
+``RI``       op(6)=1  rs(5) cond(5) imm(16)          (bltz/bgez)
+``FR``       op(6)=17 fmt(5) ft(5) fs(5) fd(5) funct(6)
+``FB``       op(6)=17 fmt(5)=8 flag/tf(5) imm(16)    (bc1f/bc1t)
+``FM``       op(6)=17 fmt(5) rt(5) fs(5) 0(11)       (mtc1/mfc1)
+===========  =======================================================
+
+``syntax`` strings describe assembly operand order; the assembler and
+disassembler share them.  Recognised operand kinds:
+
+``rd rs rt shamt`` integer register / shift fields,
+``imm``            16-bit immediate,
+``mem``            ``offset(base)`` addressing (fills imm + rs),
+``target``         26-bit jump target (label),
+``branch``         16-bit PC-relative branch (label),
+``fd fs ft``       FP register fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Static description of one machine instruction."""
+
+    name: str
+    fmt: str  # 'R', 'I', 'J', 'RI', 'FR', 'FB', 'FM'
+    opcode: int
+    funct: int = 0
+    cop_fmt: int = 0  # COP1 fmt field (0x11 = double, 0x14 = word)
+    cond: int = 0  # regimm condition field (bltz=0, bgez=1)
+    syntax: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.fmt not in ("R", "I", "J", "RI", "FR", "FB", "FM"):
+            raise ValueError(f"unknown format {self.fmt!r}")
+
+
+OP_SPECIAL = 0
+OP_REGIMM = 1
+OP_COP1 = 0x11
+FMT_D = 0x11  # COP1 double-precision
+FMT_W = 0x14  # COP1 word (for conversions)
+FMT_BC = 0x08  # COP1 branch-on-condition
+FMT_MFC1 = 0x00
+FMT_MTC1 = 0x04
+
+
+def _r(name: str, funct: int, syntax: str) -> InstructionSpec:
+    return InstructionSpec(name, "R", OP_SPECIAL, funct=funct, syntax=tuple(syntax.split()))
+
+
+def _i(name: str, opcode: int, syntax: str) -> InstructionSpec:
+    return InstructionSpec(name, "I", opcode, syntax=tuple(syntax.split()))
+
+
+def _j(name: str, opcode: int) -> InstructionSpec:
+    return InstructionSpec(name, "J", opcode, syntax=("target",))
+
+
+def _ri(name: str, cond: int) -> InstructionSpec:
+    return InstructionSpec(name, "RI", OP_REGIMM, cond=cond, syntax=("rs", "branch"))
+
+
+def _fr(name: str, funct: int, syntax: str, cop_fmt: int = FMT_D) -> InstructionSpec:
+    return InstructionSpec(
+        name, "FR", OP_COP1, funct=funct, cop_fmt=cop_fmt, syntax=tuple(syntax.split())
+    )
+
+
+_SPECS: tuple[InstructionSpec, ...] = (
+    # --- R-type integer ---------------------------------------------------
+    _r("sll", 0x00, "rd rt shamt"),
+    _r("srl", 0x02, "rd rt shamt"),
+    _r("sra", 0x03, "rd rt shamt"),
+    _r("sllv", 0x04, "rd rt rs"),
+    _r("srlv", 0x06, "rd rt rs"),
+    _r("srav", 0x07, "rd rt rs"),
+    _r("jr", 0x08, "rs"),
+    _r("jalr", 0x09, "rd rs"),
+    _r("syscall", 0x0C, ""),
+    _r("mfhi", 0x10, "rd"),
+    _r("mflo", 0x12, "rd"),
+    _r("mthi", 0x11, "rs"),
+    _r("mtlo", 0x13, "rs"),
+    _r("mult", 0x18, "rs rt"),
+    _r("multu", 0x19, "rs rt"),
+    _r("div", 0x1A, "rs rt"),
+    _r("divu", 0x1B, "rs rt"),
+    _r("add", 0x20, "rd rs rt"),
+    _r("addu", 0x21, "rd rs rt"),
+    _r("sub", 0x22, "rd rs rt"),
+    _r("subu", 0x23, "rd rs rt"),
+    _r("and", 0x24, "rd rs rt"),
+    _r("or", 0x25, "rd rs rt"),
+    _r("xor", 0x26, "rd rs rt"),
+    _r("nor", 0x27, "rd rs rt"),
+    _r("slt", 0x2A, "rd rs rt"),
+    _r("sltu", 0x2B, "rd rs rt"),
+    # --- regimm branches --------------------------------------------------
+    _ri("bltz", 0x00),
+    _ri("bgez", 0x01),
+    # --- I-type -----------------------------------------------------------
+    _i("beq", 0x04, "rs rt branch"),
+    _i("bne", 0x05, "rs rt branch"),
+    _i("blez", 0x06, "rs branch"),
+    _i("bgtz", 0x07, "rs branch"),
+    _i("addi", 0x08, "rt rs imm"),
+    _i("addiu", 0x09, "rt rs imm"),
+    _i("slti", 0x0A, "rt rs imm"),
+    _i("sltiu", 0x0B, "rt rs imm"),
+    _i("andi", 0x0C, "rt rs imm"),
+    _i("ori", 0x0D, "rt rs imm"),
+    _i("xori", 0x0E, "rt rs imm"),
+    _i("lui", 0x0F, "rt imm"),
+    _i("lb", 0x20, "rt mem"),
+    _i("lh", 0x21, "rt mem"),
+    _i("lw", 0x23, "rt mem"),
+    _i("lbu", 0x24, "rt mem"),
+    _i("lhu", 0x25, "rt mem"),
+    _i("sb", 0x28, "rt mem"),
+    _i("sh", 0x29, "rt mem"),
+    _i("sw", 0x2B, "rt mem"),
+    _i("lwc1", 0x31, "ft mem"),
+    _i("ldc1", 0x35, "ft mem"),
+    _i("swc1", 0x39, "ft mem"),
+    _i("sdc1", 0x3D, "ft mem"),
+    # --- J-type -----------------------------------------------------------
+    _j("j", 0x02),
+    _j("jal", 0x03),
+    # --- COP1 double arithmetic -------------------------------------------
+    _fr("add.d", 0x00, "fd fs ft"),
+    _fr("sub.d", 0x01, "fd fs ft"),
+    _fr("mul.d", 0x02, "fd fs ft"),
+    _fr("div.d", 0x03, "fd fs ft"),
+    _fr("sqrt.d", 0x04, "fd fs"),
+    _fr("abs.d", 0x05, "fd fs"),
+    _fr("mov.d", 0x06, "fd fs"),
+    _fr("neg.d", 0x07, "fd fs"),
+    _fr("cvt.w.d", 0x24, "fd fs"),  # double -> int (truncating)
+    _fr("cvt.d.w", 0x21, "fd fs", cop_fmt=FMT_W),  # int -> double
+    _fr("c.eq.d", 0x32, "fs ft"),
+    _fr("c.lt.d", 0x3C, "fs ft"),
+    _fr("c.le.d", 0x3E, "fs ft"),
+    # --- COP1 moves and branches -------------------------------------------
+    InstructionSpec("mfc1", "FM", OP_COP1, cop_fmt=FMT_MFC1, syntax=("rt", "fs")),
+    InstructionSpec("mtc1", "FM", OP_COP1, cop_fmt=FMT_MTC1, syntax=("rt", "fs")),
+    InstructionSpec("bc1f", "FB", OP_COP1, cop_fmt=FMT_BC, cond=0, syntax=("branch",)),
+    InstructionSpec("bc1t", "FB", OP_COP1, cop_fmt=FMT_BC, cond=1, syntax=("branch",)),
+)
+
+#: Specs indexed by mnemonic.
+SPECS_BY_NAME: dict[str, InstructionSpec] = {s.name: s for s in _SPECS}
+
+#: R-type specs by funct field.
+R_BY_FUNCT: dict[int, InstructionSpec] = {
+    s.funct: s for s in _SPECS if s.fmt == "R"
+}
+
+#: I/J-type specs by opcode.
+IJ_BY_OPCODE: dict[int, InstructionSpec] = {
+    s.opcode: s for s in _SPECS if s.fmt in ("I", "J")
+}
+
+#: regimm specs by condition field.
+RI_BY_COND: dict[int, InstructionSpec] = {
+    s.cond: s for s in _SPECS if s.fmt == "RI"
+}
+
+#: COP1 arithmetic by (fmt, funct).
+FR_BY_KEY: dict[tuple[int, int], InstructionSpec] = {
+    (s.cop_fmt, s.funct): s for s in _SPECS if s.fmt == "FR"
+}
+
+#: Mnemonics that end a basic block (for CFG leader detection).
+CONTROL_TRANSFER = {
+    "j",
+    "jal",
+    "jr",
+    "jalr",
+    "beq",
+    "bne",
+    "blez",
+    "bgtz",
+    "bltz",
+    "bgez",
+    "bc1f",
+    "bc1t",
+    "syscall",
+}
+
+#: Conditional branches (fall-through successor exists).
+CONDITIONAL_BRANCHES = {
+    "beq",
+    "bne",
+    "blez",
+    "bgtz",
+    "bltz",
+    "bgez",
+    "bc1f",
+    "bc1t",
+}

@@ -1,0 +1,106 @@
+"""Register naming for the MIPS-like ISA.
+
+Thirty-two integer registers with the standard MIPS ABI names and
+thirty-two floating-point registers ``$f0``-``$f31``.  ``$zero`` is
+hard-wired to zero; ``$at`` is reserved for assembler pseudo-instruction
+expansion.
+"""
+
+from __future__ import annotations
+
+#: ABI names indexed by register number.
+REG_NAMES: tuple[str, ...] = (
+    "zero",
+    "at",
+    "v0",
+    "v1",
+    "a0",
+    "a1",
+    "a2",
+    "a3",
+    "t0",
+    "t1",
+    "t2",
+    "t3",
+    "t4",
+    "t5",
+    "t6",
+    "t7",
+    "s0",
+    "s1",
+    "s2",
+    "s3",
+    "s4",
+    "s5",
+    "s6",
+    "s7",
+    "t8",
+    "t9",
+    "k0",
+    "k1",
+    "gp",
+    "sp",
+    "fp",
+    "ra",
+)
+
+_NAME_TO_NUM: dict[str, int] = {name: i for i, name in enumerate(REG_NAMES)}
+_NAME_TO_NUM.update({str(i): i for i in range(32)})
+
+#: Number of integer / floating point registers.
+NUM_REGS = 32
+NUM_FREGS = 32
+
+#: Register numbers with special roles.
+ZERO, AT, V0, V1 = 0, 1, 2, 3
+A0, A1, A2, A3 = 4, 5, 6, 7
+GP, SP, FP, RA = 28, 29, 30, 31
+
+
+def reg_num(token: str) -> int:
+    """Parse an integer register reference like ``$t0``, ``$8`` or
+    ``t0`` into its number."""
+    name = token[1:] if token.startswith("$") else token
+    try:
+        return _NAME_TO_NUM[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown integer register {token!r}") from None
+
+
+def reg_name(num: int) -> str:
+    """ABI name (with ``$``) for a register number."""
+    if not 0 <= num < NUM_REGS:
+        raise ValueError(f"register number out of range: {num}")
+    return f"${REG_NAMES[num]}"
+
+
+def freg_num(token: str) -> int:
+    """Parse a floating-point register reference like ``$f4``."""
+    name = token[1:] if token.startswith("$") else token
+    name = name.lower()
+    if name.startswith("f"):
+        try:
+            num = int(name[1:])
+        except ValueError:
+            raise ValueError(f"unknown FP register {token!r}") from None
+        if 0 <= num < NUM_FREGS:
+            return num
+    raise ValueError(f"unknown FP register {token!r}")
+
+
+def freg_name(num: int) -> str:
+    """Name (with ``$``) for an FP register number."""
+    if not 0 <= num < NUM_FREGS:
+        raise ValueError(f"FP register number out of range: {num}")
+    return f"$f{num}"
+
+
+def is_freg(token: str) -> bool:
+    """True if the token looks like an FP register reference."""
+    name = token[1:] if token.startswith("$") else token
+    return (
+        len(name) >= 2
+        and name[0] in "fF"
+        and name[1:].isdigit()
+        and 0 <= int(name[1:]) < NUM_FREGS
+    )

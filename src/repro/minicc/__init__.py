@@ -1,0 +1,29 @@
+"""minicc — a small C-like kernel compiler targeting the repro ISA.
+
+The paper evaluated *compiled* C benchmarks (SimpleScalar's gcc); our
+Figure-6 workloads are hand-written assembly, which is more regular
+vertically and therefore encodes a little better.  minicc closes that
+methodological gap: the same kernels can be compiled by a deliberately
+naive compiler (global variables, load/store per access, stack-style
+expression evaluation, no register allocation across statements) and
+pushed through the identical encoding flow, quantifying how much of
+the reduction depends on code-generation style.
+
+Language (see ``docs/minicc.md``):
+
+* declarations: ``int x;  double y;  double A[64];  double M[8][8];``
+* statements: assignment, ``for (init; cond; step)``, ``while``,
+  ``if``/``else``, blocks;
+* expressions: ``+ - * / %``, comparisons, ``&& || !``, unary minus,
+  array indexing, int literals, float literals; ints promote to
+  double in mixed arithmetic;
+* no functions, no pointers, no I/O — kernels communicate through
+  their global arrays, which the host reads back from simulated
+  memory (and may pre-initialise).
+
+Entry point: :func:`compile_kernel`.
+"""
+
+from repro.minicc.compiler import CompiledKernel, CompileError, compile_kernel
+
+__all__ = ["CompiledKernel", "CompileError", "compile_kernel"]

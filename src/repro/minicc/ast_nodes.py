@@ -1,0 +1,127 @@
+"""Abstract syntax tree for minicc."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+INT = "int"
+DOUBLE = "double"
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """A global declaration: scalar or (up to 2-D) array."""
+
+    name: str
+    base_type: str  # INT or DOUBLE
+    dims: tuple[int, ...] = ()  # () scalar, (n,), or (rows, cols)
+
+    @property
+    def element_size(self) -> int:
+        return 4 if self.base_type == INT else 8
+
+    @property
+    def element_count(self) -> int:
+        count = 1
+        for dim in self.dims:
+            count *= dim
+        return count
+
+    @property
+    def byte_size(self) -> int:
+        return self.element_size * self.element_count
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntLit:
+    value: int
+
+
+@dataclass(frozen=True)
+class FloatLit:
+    value: float
+
+
+@dataclass(frozen=True)
+class VarRef:
+    name: str
+    indices: tuple["Expr", ...] = ()  # 0, 1 or 2 index expressions
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # '-' or '!'
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str  # + - * / % < <= > >= == != && ||
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[IntLit, FloatLit, VarRef, Unary, Binary]
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assign:
+    target: VarRef
+    value: Expr
+
+
+@dataclass(frozen=True)
+class If:
+    condition: Expr
+    then_body: "Stmt"
+    else_body: "Stmt | None" = None
+
+
+@dataclass(frozen=True)
+class While:
+    condition: Expr
+    body: "Stmt"
+
+
+@dataclass(frozen=True)
+class For:
+    init: Assign
+    condition: Expr
+    step: Assign
+    body: "Stmt"
+
+
+@dataclass(frozen=True)
+class Block:
+    statements: tuple["Stmt", ...] = ()
+
+
+Stmt = Union[Assign, If, While, For, Block]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A parsed program: declarations followed by statements."""
+
+    decls: tuple[VarDecl, ...]
+    body: tuple[Stmt, ...]
+    decl_by_name: dict[str, VarDecl] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "decl_by_name", {d.name: d for d in self.decls}
+        )

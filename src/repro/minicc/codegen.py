@@ -1,0 +1,474 @@
+"""Code generation: minicc AST to repro assembly.
+
+Deliberately naive, like an unoptimising C compiler:
+
+* every variable access goes through memory (``la`` + load/store);
+* expressions evaluate on a register stack (``$t0..$t9`` for ints,
+  even ``$f2..$f28`` for doubles) with no reuse across statements;
+* no strength reduction, no common-subexpression elimination, no
+  induction variables — 2-D indexing really multiplies.
+
+The point is methodological (see the package docstring): this code
+style is closer to what the paper's SimpleScalar toolchain fetched,
+so encoding results on minicc output calibrate the hand-assembly
+numbers.
+
+``opt_level=1`` adds one classic optimisation — scalar globals are
+promoted to registers for the whole kernel (arrays cannot alias
+scalars in this language, so the promotion is always sound) and
+written back on exit — giving a third code-style data point between
+-O0 and hand-written assembly.
+"""
+
+from __future__ import annotations
+
+from repro.minicc.ast_nodes import (
+    DOUBLE,
+    INT,
+    Assign,
+    Binary,
+    Block,
+    Expr,
+    FloatLit,
+    For,
+    If,
+    IntLit,
+    Kernel,
+    Stmt,
+    Unary,
+    VarRef,
+    While,
+)
+
+INT_POOL = tuple(f"$t{i}" for i in range(10))
+FP_POOL = tuple(f"$f{i}" for i in range(2, 20, 2))
+
+#: Registers used for scalar promotion at opt_level=1.
+INT_PROMO = tuple(f"$s{i}" for i in range(8))
+FP_PROMO = tuple(f"$f{i}" for i in range(20, 32, 2))
+
+_CMP_INT = {"<", "<=", ">", ">=", "==", "!="}
+_ARITH = {"+", "-", "*", "/", "%"}
+
+
+class CompileError(ValueError):
+    """Raised for semantic errors or resource exhaustion."""
+
+
+class _RegPool:
+    def __init__(self, names: tuple[str, ...], what: str):
+        self._free = list(reversed(names))
+        self._what = what
+
+    def get(self) -> str:
+        if not self._free:
+            raise CompileError(
+                f"expression too deep: out of {self._what} registers"
+            )
+        return self._free.pop()
+
+    def put(self, name: str) -> None:
+        self._free.append(name)
+
+
+class CodeGenerator:
+    """Generates the .text body and the constant pool for one kernel."""
+
+    def __init__(self, kernel: Kernel, opt_level: int = 0):
+        if opt_level not in (0, 1):
+            raise CompileError(f"unsupported opt_level {opt_level}")
+        self.kernel = kernel
+        self.opt_level = opt_level
+        self.lines: list[str] = []
+        self.float_constants: dict[float, str] = {}
+        self._label_counter = 0
+        self.ints = _RegPool(INT_POOL, "integer")
+        self.floats = _RegPool(FP_POOL, "floating-point")
+        #: opt_level=1: scalar name -> dedicated register.
+        self.promoted: dict[str, str] = {}
+        if opt_level >= 1:
+            int_regs = list(INT_PROMO)
+            fp_regs = list(FP_PROMO)
+            for decl in kernel.decls:
+                if decl.dims:
+                    continue
+                pool = int_regs if decl.base_type == INT else fp_regs
+                if pool:
+                    self.promoted[decl.name] = pool.pop(0)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"        {text}")
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def new_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"L{hint}{self._label_counter}"
+
+    def float_const_label(self, value: float) -> str:
+        label = self.float_constants.get(value)
+        if label is None:
+            label = f"FC{len(self.float_constants)}"
+            self.float_constants[value] = label
+        return label
+
+    def decl_of(self, name: str):
+        decl = self.kernel.decl_by_name.get(name)
+        if decl is None:
+            raise CompileError(f"undeclared variable {name!r}")
+        return decl
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+
+    def type_of(self, expr: Expr) -> str:
+        if isinstance(expr, IntLit):
+            return INT
+        if isinstance(expr, FloatLit):
+            return DOUBLE
+        if isinstance(expr, VarRef):
+            decl = self.decl_of(expr.name)
+            if len(expr.indices) != len(decl.dims):
+                raise CompileError(
+                    f"{expr.name}: expected {len(decl.dims)} indices, "
+                    f"got {len(expr.indices)}"
+                )
+            return decl.base_type
+        if isinstance(expr, Unary):
+            if expr.op == "!":
+                return INT
+            return self.type_of(expr.operand)
+        if isinstance(expr, Binary):
+            if expr.op in _CMP_INT or expr.op in ("&&", "||"):
+                return INT
+            left = self.type_of(expr.left)
+            right = self.type_of(expr.right)
+            if expr.op == "%":
+                if left != INT or right != INT:
+                    raise CompileError("% requires integer operands")
+                return INT
+            return DOUBLE if DOUBLE in (left, right) else INT
+        raise CompileError(f"cannot type {expr!r}")
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+
+    def gen_expr(self, expr: Expr) -> tuple[str, str]:
+        """Evaluate; returns (register, type).  Caller frees."""
+        if isinstance(expr, IntLit):
+            reg = self.ints.get()
+            self.emit(f"li {reg}, {expr.value}")
+            return reg, INT
+        if isinstance(expr, FloatLit):
+            freg = self.floats.get()
+            addr = self.ints.get()
+            self.emit(f"la {addr}, {self.float_const_label(expr.value)}")
+            self.emit(f"l.d {freg}, 0({addr})")
+            self.ints.put(addr)
+            return freg, DOUBLE
+        if isinstance(expr, VarRef):
+            return self.gen_load(expr)
+        if isinstance(expr, Unary):
+            return self.gen_unary(expr)
+        if isinstance(expr, Binary):
+            return self.gen_binary(expr)
+        raise CompileError(f"cannot generate {expr!r}")
+
+    def to_double(self, reg: str, type_: str) -> str:
+        """Promote an int register to a fresh double register."""
+        if type_ == DOUBLE:
+            return reg
+        freg = self.floats.get()
+        self.emit(f"mtc1 {reg}, {freg}")
+        self.ints.put(reg)
+        return freg
+
+    def gen_address(self, ref: VarRef) -> str:
+        """Address of a (possibly indexed) variable in an int reg."""
+        decl = self.decl_of(ref.name)
+        if len(ref.indices) != len(decl.dims):
+            raise CompileError(
+                f"{ref.name}: expected {len(decl.dims)} indices, "
+                f"got {len(ref.indices)}"
+            )
+        base = self.ints.get()
+        self.emit(f"la {base}, {ref.name}")
+        if not ref.indices:
+            return base
+        index_reg, index_type = self.gen_expr(ref.indices[0])
+        if index_type != INT:
+            raise CompileError(f"{ref.name}: indices must be integers")
+        if len(ref.indices) == 2:
+            cols = decl.dims[1]
+            col_reg, col_type = self.gen_expr(ref.indices[1])
+            if col_type != INT:
+                raise CompileError(f"{ref.name}: indices must be integers")
+            scale = self.ints.get()
+            self.emit(f"li {scale}, {cols}")
+            self.emit(f"mul {index_reg}, {index_reg}, {scale}")
+            self.emit(f"addu {index_reg}, {index_reg}, {col_reg}")
+            self.ints.put(scale)
+            self.ints.put(col_reg)
+        shift = 2 if decl.element_size == 4 else 3
+        self.emit(f"sll {index_reg}, {index_reg}, {shift}")
+        self.emit(f"addu {base}, {base}, {index_reg}")
+        self.ints.put(index_reg)
+        return base
+
+    def gen_load(self, ref: VarRef) -> tuple[str, str]:
+        decl = self.decl_of(ref.name)
+        home = self.promoted.get(ref.name)
+        if home is not None and not ref.indices:
+            if decl.base_type == INT:
+                reg = self.ints.get()
+                self.emit(f"move {reg}, {home}")
+                return reg, INT
+            freg = self.floats.get()
+            self.emit(f"mov.d {freg}, {home}")
+            return freg, DOUBLE
+        addr = self.gen_address(ref)
+        if decl.base_type == INT:
+            reg = self.ints.get()
+            self.emit(f"lw {reg}, 0({addr})")
+            self.ints.put(addr)
+            return reg, INT
+        freg = self.floats.get()
+        self.emit(f"l.d {freg}, 0({addr})")
+        self.ints.put(addr)
+        return freg, DOUBLE
+
+    def gen_unary(self, expr: Unary) -> tuple[str, str]:
+        reg, type_ = self.gen_expr(expr.operand)
+        if expr.op == "-":
+            if type_ == INT:
+                self.emit(f"subu {reg}, $zero, {reg}")
+            else:
+                self.emit(f"neg.d {reg}, {reg}")
+            return reg, type_
+        if expr.op == "!":
+            if type_ != INT:
+                raise CompileError("! requires an integer operand")
+            self.emit(f"sltiu {reg}, {reg}, 1")
+            return reg, INT
+        raise CompileError(f"unknown unary operator {expr.op!r}")
+
+    def gen_binary(self, expr: Binary) -> tuple[str, str]:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self.gen_logical(expr)
+        left_type = self.type_of(expr.left)
+        right_type = self.type_of(expr.right)
+        use_double = DOUBLE in (left_type, right_type)
+        if op == "%" and use_double:
+            raise CompileError("% requires integer operands")
+        left_reg, lt = self.gen_expr(expr.left)
+        right_reg, rt = self.gen_expr(expr.right)
+        if use_double:
+            left_reg = self.to_double(left_reg, lt)
+            right_reg = self.to_double(right_reg, rt)
+            if op in _ARITH:
+                mnemonic = {"+": "add.d", "-": "sub.d", "*": "mul.d", "/": "div.d"}[op]
+                self.emit(f"{mnemonic} {left_reg}, {left_reg}, {right_reg}")
+                self.floats.put(right_reg)
+                return left_reg, DOUBLE
+            return self.gen_double_compare(op, left_reg, right_reg)
+        # Integer path.
+        if op in _ARITH:
+            mnemonic = {
+                "+": "addu",
+                "-": "subu",
+                "*": "mul",
+                "/": "divq",
+                "%": "rem",
+            }[op]
+            self.emit(f"{mnemonic} {left_reg}, {left_reg}, {right_reg}")
+            self.ints.put(right_reg)
+            return left_reg, INT
+        return self.gen_int_compare(op, left_reg, right_reg)
+
+    def gen_int_compare(self, op: str, a: str, b: str) -> tuple[str, str]:
+        if op == "<":
+            self.emit(f"slt {a}, {a}, {b}")
+        elif op == ">":
+            self.emit(f"slt {a}, {b}, {a}")
+        elif op == "<=":
+            self.emit(f"slt {a}, {b}, {a}")
+            self.emit(f"xori {a}, {a}, 1")
+        elif op == ">=":
+            self.emit(f"slt {a}, {a}, {b}")
+            self.emit(f"xori {a}, {a}, 1")
+        elif op == "==":
+            self.emit(f"xor {a}, {a}, {b}")
+            self.emit(f"sltiu {a}, {a}, 1")
+        elif op == "!=":
+            self.emit(f"xor {a}, {a}, {b}")
+            self.emit(f"sltu {a}, $zero, {a}")
+        else:
+            raise CompileError(f"unknown comparison {op!r}")
+        self.ints.put(b)
+        return a, INT
+
+    def gen_double_compare(self, op: str, a: str, b: str) -> tuple[str, str]:
+        compare, branch_true, swap = {
+            "<": ("c.lt.d", "bc1t", False),
+            ">": ("c.lt.d", "bc1t", True),
+            "<=": ("c.le.d", "bc1t", False),
+            ">=": ("c.le.d", "bc1t", True),
+            "==": ("c.eq.d", "bc1t", False),
+            "!=": ("c.eq.d", "bc1f", False),
+        }[op]
+        if swap:
+            a, b = b, a
+        result = self.ints.get()
+        label = self.new_label("fcmp")
+        self.emit(f"{compare} {a}, {b}")
+        self.emit(f"li {result}, 1")
+        self.emit(f"{branch_true} {label}")
+        self.emit(f"li {result}, 0")
+        self.emit_label(label)
+        self.floats.put(a)
+        self.floats.put(b)
+        return result, INT
+
+    def gen_logical(self, expr: Binary) -> tuple[str, str]:
+        left_reg, lt = self.gen_expr(expr.left)
+        right_reg, rt = self.gen_expr(expr.right)
+        if lt != INT or rt != INT:
+            raise CompileError(f"{expr.op} requires integer operands")
+        # Normalise to 0/1 then combine (no short-circuit; kernel
+        # expressions are side-effect free).
+        self.emit(f"sltu {left_reg}, $zero, {left_reg}")
+        self.emit(f"sltu {right_reg}, $zero, {right_reg}")
+        mnemonic = "and" if expr.op == "&&" else "or"
+        self.emit(f"{mnemonic} {left_reg}, {left_reg}, {right_reg}")
+        self.ints.put(right_reg)
+        return left_reg, INT
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def gen_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            self.gen_assign(stmt)
+        elif isinstance(stmt, Block):
+            for inner in stmt.statements:
+                self.gen_stmt(inner)
+        elif isinstance(stmt, If):
+            self.gen_if(stmt)
+        elif isinstance(stmt, While):
+            self.gen_while(stmt)
+        elif isinstance(stmt, For):
+            self.gen_for(stmt)
+        else:
+            raise CompileError(f"cannot generate statement {stmt!r}")
+
+    def gen_assign(self, stmt: Assign) -> None:
+        decl = self.decl_of(stmt.target.name)
+        value_reg, value_type = self.gen_expr(stmt.value)
+        if decl.base_type == DOUBLE and value_type == INT:
+            value_reg = self.to_double(value_reg, INT)
+            value_type = DOUBLE
+        if decl.base_type == INT and value_type == DOUBLE:
+            # Truncating demotion, like a C cast.
+            trunc = self.floats.get()
+            self.emit(f"cvt.w.d {trunc}, {value_reg}")
+            int_reg = self.ints.get()
+            self.emit(f"mfc1 {int_reg}, {trunc}")
+            self.floats.put(trunc)
+            self.floats.put(value_reg)
+            value_reg, value_type = int_reg, INT
+        home = self.promoted.get(stmt.target.name)
+        if home is not None and not stmt.target.indices:
+            if value_type == INT:
+                self.emit(f"move {home}, {value_reg}")
+                self.ints.put(value_reg)
+            else:
+                self.emit(f"mov.d {home}, {value_reg}")
+                self.floats.put(value_reg)
+            return
+        addr = self.gen_address(stmt.target)
+        if value_type == INT:
+            self.emit(f"sw {value_reg}, 0({addr})")
+            self.ints.put(value_reg)
+        else:
+            self.emit(f"s.d {value_reg}, 0({addr})")
+            self.floats.put(value_reg)
+        self.ints.put(addr)
+
+    def _gen_condition_branch(self, condition: Expr, false_label: str) -> None:
+        reg, type_ = self.gen_expr(condition)
+        if type_ != INT:
+            raise CompileError("conditions must be integer-valued")
+        self.emit(f"beqz {reg}, {false_label}")
+        self.ints.put(reg)
+
+    def gen_if(self, stmt: If) -> None:
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif")
+        self._gen_condition_branch(stmt.condition, else_label)
+        self.gen_stmt(stmt.then_body)
+        if stmt.else_body is not None:
+            self.emit(f"b {end_label}")
+            self.emit_label(else_label)
+            self.gen_stmt(stmt.else_body)
+            self.emit_label(end_label)
+        else:
+            self.emit_label(else_label)
+
+    def gen_while(self, stmt: While) -> None:
+        top = self.new_label("while")
+        exit_label = self.new_label("endwhile")
+        self.emit_label(top)
+        self._gen_condition_branch(stmt.condition, exit_label)
+        self.gen_stmt(stmt.body)
+        self.emit(f"b {top}")
+        self.emit_label(exit_label)
+
+    def gen_for(self, stmt: For) -> None:
+        top = self.new_label("for")
+        exit_label = self.new_label("endfor")
+        self.gen_assign(stmt.init)
+        self.emit_label(top)
+        self._gen_condition_branch(stmt.condition, exit_label)
+        self.gen_stmt(stmt.body)
+        self.gen_assign(stmt.step)
+        self.emit(f"b {top}")
+        self.emit_label(exit_label)
+
+    # ------------------------------------------------------------------
+
+    def generate(self) -> None:
+        # opt_level=1 prologue: load promoted scalars into their homes
+        # (initial data may be non-zero).
+        for name, home in self.promoted.items():
+            decl = self.kernel.decl_by_name[name]
+            addr = self.ints.get()
+            self.emit(f"la {addr}, {name}")
+            if decl.base_type == INT:
+                self.emit(f"lw {home}, 0({addr})")
+            else:
+                self.emit(f"l.d {home}, 0({addr})")
+            self.ints.put(addr)
+        for stmt in self.kernel.body:
+            self.gen_stmt(stmt)
+        # Epilogue: write promoted scalars back so results are
+        # observable in memory.
+        for name, home in self.promoted.items():
+            decl = self.kernel.decl_by_name[name]
+            addr = self.ints.get()
+            self.emit(f"la {addr}, {name}")
+            if decl.base_type == INT:
+                self.emit(f"sw {home}, 0({addr})")
+            else:
+                self.emit(f"s.d {home}, 0({addr})")
+            self.ints.put(addr)
+        self.emit("li $v0, 10")
+        self.emit("syscall")

@@ -1,0 +1,123 @@
+"""The minicc driver: source + initial data -> assembled Program."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.isa.assembler import Program, assemble
+from repro.minicc.ast_nodes import DOUBLE, Kernel
+from repro.minicc.codegen import CodeGenerator, CompileError
+from repro.minicc.parser import ParseError, parse
+from repro.workloads.common import format_doubles
+
+__all__ = ["CompiledKernel", "CompileError", "ParseError", "compile_kernel"]
+
+
+def _format_ints(values: Sequence[int], per_line: int = 12) -> str:
+    lines = []
+    for i in range(0, len(values), per_line):
+        chunk = ", ".join(str(int(v)) for v in values[i : i + per_line])
+        lines.append(f"        .word {chunk}")
+    return "\n".join(lines)
+
+
+@dataclass
+class CompiledKernel:
+    """A compiled minicc kernel, ready to assemble and run."""
+
+    name: str
+    kernel: Kernel
+    assembly: str
+    _program: Program | None = field(default=None, repr=False)
+
+    def assemble(self) -> Program:
+        if self._program is None:
+            self._program = assemble(self.assembly)
+        return self._program
+
+    def run(self, max_steps: int = 500_000_000):
+        """Execute; returns (cpu, fetch trace)."""
+        from repro.sim.cpu import run_program
+
+        return run_program(self.assemble(), max_steps=max_steps)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def read(self, cpu, name: str):
+        """Read a variable back from simulated memory.
+
+        Scalars return a single value; arrays return flat lists
+        (row-major for 2-D).
+        """
+        decl = self.kernel.decl_by_name.get(name)
+        if decl is None:
+            raise KeyError(f"no variable {name!r} in kernel {self.name!r}")
+        base = self.assemble().address_of(name)
+        count = decl.element_count
+        if decl.base_type == DOUBLE:
+            values = [cpu.memory.read_f64(base + 8 * i) for i in range(count)]
+        else:
+            raw = [cpu.memory.read_u32(base + 4 * i) for i in range(count)]
+            values = [v - 0x100000000 if v & 0x80000000 else v for v in raw]
+        return values[0] if not decl.dims else values
+
+
+def compile_kernel(
+    source: str,
+    data: Mapping[str, Sequence[float] | float | int] | None = None,
+    name: str = "kernel",
+    opt_level: int = 0,
+) -> CompiledKernel:
+    """Compile minicc source to a :class:`CompiledKernel`.
+
+    ``data`` maps variable names to initial values (scalars or flat
+    sequences, row-major for 2-D arrays); everything else starts at
+    zero.  ``opt_level=1`` promotes scalar globals to registers for
+    the whole kernel (written back on exit).
+    """
+    kernel = parse(source)
+    data = dict(data or {})
+    for key in data:
+        if key not in kernel.decl_by_name:
+            raise CompileError(f"initial data for undeclared variable {key!r}")
+
+    generator = CodeGenerator(kernel, opt_level=opt_level)
+    generator.generate()
+
+    data_lines: list[str] = []
+    for decl in kernel.decls:
+        initial = data.get(decl.name)
+        data_lines.append(f"{decl.name}:")
+        if initial is None:
+            data_lines.append(f"        .space {decl.byte_size}")
+            continue
+        values = (
+            [initial] if not decl.dims else list(initial)  # type: ignore[list-item]
+        )
+        if len(values) != decl.element_count:
+            raise CompileError(
+                f"{decl.name}: expected {decl.element_count} initial "
+                f"values, got {len(values)}"
+            )
+        if decl.base_type == DOUBLE:
+            data_lines.append(format_doubles([float(v) for v in values]))
+        else:
+            data_lines.append(_format_ints([int(v) for v in values]))
+    for value, label in generator.float_constants.items():
+        data_lines.append(f"{label}:")
+        data_lines.append(format_doubles([value]))
+
+    assembly = "\n".join(
+        [
+            f"# minicc output for kernel {name!r}",
+            "        .data",
+            *data_lines,
+            "        .text",
+            "main:",
+            *generator.lines,
+        ]
+    )
+    return CompiledKernel(name=name, kernel=kernel, assembly=assembly)

@@ -1,0 +1,290 @@
+"""Compiled (minicc) versions of the paper's six benchmarks.
+
+`compiled_workload(name)` returns a ready-to-run
+:class:`~repro.minicc.compiler.CompiledKernel` for each Figure-6
+benchmark, with the same algorithms and verification references as
+the hand-written `repro.workloads` — so the full evaluation can be
+regenerated on compiled code (`benchmarks/test_ext_compiled_fig6.py`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.minicc.compiler import CompiledKernel, compile_kernel
+from repro.workloads.common import pseudo_values
+
+
+def _check(measured, expected, tolerance=1e-9, what="result"):
+    for i, (m, e) in enumerate(zip(measured, expected)):
+        if abs(m - e) > tolerance * max(1.0, abs(e)):
+            raise AssertionError(f"{what}[{i}]: {m!r} != {e!r}")
+
+
+# ---------------------------------------------------------------------------
+# mmul
+# ---------------------------------------------------------------------------
+
+
+def mmul(n: int = 12, opt_level: int = 0) -> tuple[CompiledKernel, Callable]:
+    from repro.workloads.mmul import _reference
+
+    a = pseudo_values(n * n, seed=1)
+    b = pseudo_values(n * n, seed=2)
+    expected = _reference(a, b, n)
+    source = f"""
+double A[{n}][{n}]; double B[{n}][{n}]; double C[{n}][{n}];
+int i; int j; int k; double s;
+for (i = 0; i < {n}; i = i + 1)
+    for (j = 0; j < {n}; j = j + 1) {{
+        s = 0.0;
+        for (k = 0; k < {n}; k = k + 1)
+            s = s + A[i][k] * B[k][j];
+        C[i][j] = s;
+    }}
+"""
+    kernel = compile_kernel(source, data={"A": a, "B": b}, name="mmul-cc", opt_level=opt_level)
+
+    def verify(cpu):
+        _check(kernel.read(cpu, "C"), expected, what="mmul-cc C")
+
+    return kernel, verify
+
+
+# ---------------------------------------------------------------------------
+# sor
+# ---------------------------------------------------------------------------
+
+
+def sor(n: int = 16, sweeps: int = 4, opt_level: int = 0) -> tuple[CompiledKernel, Callable]:
+    from repro.workloads.sor import OMEGA, _reference
+
+    u0 = pseudo_values(n * n, seed=3)
+    expected = _reference(u0, n, sweeps, OMEGA)
+    source = f"""
+double U[{n}][{n}];
+int i; int j; int sweep;
+for (sweep = 0; sweep < {sweeps}; sweep = sweep + 1)
+    for (i = 1; i < {n - 1}; i = i + 1)
+        for (j = 1; j < {n - 1}; j = j + 1)
+            U[i][j] = U[i][j] + {OMEGA / 4.0!r} *
+                (U[i-1][j] + U[i+1][j] + U[i][j-1] + U[i][j+1]
+                 - 4.0 * U[i][j]);
+"""
+    kernel = compile_kernel(source, data={"U": u0}, name="sor-cc", opt_level=opt_level)
+
+    def verify(cpu):
+        _check(kernel.read(cpu, "U"), expected, 1e-12, what="sor-cc U")
+
+    return kernel, verify
+
+
+# ---------------------------------------------------------------------------
+# ej
+# ---------------------------------------------------------------------------
+
+
+def ej(n: int = 16, sweeps: int = 4, opt_level: int = 0) -> tuple[CompiledKernel, Callable]:
+    from repro.workloads.ej import W, _reference
+
+    u0 = pseudo_values(n * n, seed=4)
+    expected = _reference(u0, n, sweeps, W)
+    # No pointers in minicc: copy V back into U after each sweep (a
+    # C programmer without pointer swaps would do the same).
+    source = f"""
+double U[{n}][{n}]; double V[{n}][{n}];
+int i; int j; int sweep;
+for (sweep = 0; sweep < {sweeps}; sweep = sweep + 1) {{
+    for (i = 1; i < {n - 1}; i = i + 1)
+        for (j = 1; j < {n - 1}; j = j + 1)
+            V[i][j] = {1.0 - W!r} * U[i][j] + {W / 4.0!r} *
+                (U[i-1][j] + U[i+1][j] + U[i][j-1] + U[i][j+1]);
+    for (i = 1; i < {n - 1}; i = i + 1)
+        for (j = 1; j < {n - 1}; j = j + 1)
+            U[i][j] = V[i][j];
+}}
+"""
+    kernel = compile_kernel(source, data={"U": u0, "V": u0}, name="ej-cc", opt_level=opt_level)
+
+    def verify(cpu):
+        _check(kernel.read(cpu, "U"), expected, 1e-12, what="ej-cc U")
+
+    return kernel, verify
+
+
+# ---------------------------------------------------------------------------
+# fft
+# ---------------------------------------------------------------------------
+
+
+def fft(n: int = 64, opt_level: int = 0) -> tuple[CompiledKernel, Callable]:
+    from repro.workloads.fft import _reference
+
+    if n < 4 or n & (n - 1):
+        raise ValueError("fft size must be a power of two >= 4")
+    log2n = n.bit_length() - 1
+    re0 = pseudo_values(n, seed=5)
+    im0 = pseudo_values(n, seed=6)
+    twiddle_re = [math.cos(-2.0 * math.pi * t / n) for t in range(n // 2)]
+    twiddle_im = [math.sin(-2.0 * math.pi * t / n) for t in range(n // 2)]
+    expected_re, expected_im = _reference(re0, im0)
+    source = f"""
+double RE[{n}]; double IM[{n}]; double WR[{n // 2}]; double WI[{n // 2}];
+int i; int j; int k; int m; int half; int step; int p; int q; int bits; int tw;
+double tr; double ti; double ur; double ui; double tmp;
+
+for (i = 0; i < {n}; i = i + 1) {{
+    bits = i;
+    j = 0;
+    for (k = 0; k < {log2n}; k = k + 1) {{
+        j = j * 2 + bits % 2;
+        bits = bits / 2;
+    }}
+    if (i < j) {{
+        tmp = RE[i]; RE[i] = RE[j]; RE[j] = tmp;
+        tmp = IM[i]; IM[i] = IM[j]; IM[j] = tmp;
+    }}
+}}
+m = 2;
+while (m <= {n}) {{
+    half = m / 2;
+    step = {n} / m;
+    k = 0;
+    while (k < {n}) {{
+        for (j = 0; j < half; j = j + 1) {{
+            tw = j * step;
+            p = k + j;
+            q = p + half;
+            tr = WR[tw] * RE[q] - WI[tw] * IM[q];
+            ti = WR[tw] * IM[q] + WI[tw] * RE[q];
+            ur = RE[p];
+            ui = IM[p];
+            RE[q] = ur - tr;
+            IM[q] = ui - ti;
+            RE[p] = ur + tr;
+            IM[p] = ui + ti;
+        }}
+        k = k + m;
+    }}
+    m = m * 2;
+}}
+"""
+    kernel = compile_kernel(
+        source,
+        data={"RE": re0, "IM": im0, "WR": twiddle_re, "WI": twiddle_im},
+        name="fft-cc",
+        opt_level=opt_level,
+    )
+
+    def verify(cpu):
+        _check(kernel.read(cpu, "RE"), expected_re, 1e-6, what="fft-cc RE")
+        _check(kernel.read(cpu, "IM"), expected_im, 1e-6, what="fft-cc IM")
+
+    return kernel, verify
+
+
+# ---------------------------------------------------------------------------
+# tri
+# ---------------------------------------------------------------------------
+
+
+def tri(n: int = 64, sweeps: int = 8, opt_level: int = 0) -> tuple[CompiledKernel, Callable]:
+    from repro.workloads.tri import _reference
+
+    sub = [0.0] + [1.0 + v * 0.1 for v in pseudo_values(n - 1, seed=7)]
+    main_diag = [4.0 + v * 0.2 for v in pseudo_values(n, seed=8)]
+    sup = [1.0 + v * 0.1 for v in pseudo_values(n - 1, seed=9)] + [0.0]
+    rhs = pseudo_values(n, seed=10)
+    expected = _reference(sub, main_diag, sup, rhs)
+    source = f"""
+double A[{n}]; double B[{n}]; double C[{n}]; double D[{n}];
+double CP[{n}]; double DP[{n}]; double X[{n}];
+int i; int sweep; double m;
+for (sweep = 0; sweep < {sweeps}; sweep = sweep + 1) {{
+    CP[0] = C[0] / B[0];
+    DP[0] = D[0] / B[0];
+    for (i = 1; i < {n}; i = i + 1) {{
+        m = B[i] - A[i] * CP[i-1];
+        CP[i] = C[i] / m;
+        DP[i] = (D[i] - A[i] * DP[i-1]) / m;
+    }}
+    X[{n - 1}] = DP[{n - 1}];
+    i = {n - 2};
+    while (i >= 0) {{
+        X[i] = DP[i] - CP[i] * X[i+1];
+        i = i - 1;
+    }}
+}}
+"""
+    kernel = compile_kernel(
+        source,
+        data={"A": sub, "B": main_diag, "C": sup, "D": rhs},
+        name="tri-cc",
+        opt_level=opt_level,
+    )
+
+    def verify(cpu):
+        _check(kernel.read(cpu, "X"), expected, what="tri-cc X")
+
+    return kernel, verify
+
+
+# ---------------------------------------------------------------------------
+# lu
+# ---------------------------------------------------------------------------
+
+
+def lu(n: int = 16, opt_level: int = 0) -> tuple[CompiledKernel, Callable]:
+    from repro.workloads.lu import _reference
+
+    a = pseudo_values(n * n, seed=11)
+    for i in range(n):
+        a[i * n + i] = 20.0 + i * 0.5
+    expected = _reference(a, n)
+    source = f"""
+double A[{n}][{n}];
+int i; int j; int k; double factor;
+for (k = 0; k < {n}; k = k + 1)
+    for (i = k + 1; i < {n}; i = i + 1) {{
+        A[i][k] = A[i][k] / A[k][k];
+        factor = A[i][k];
+        for (j = k + 1; j < {n}; j = j + 1)
+            A[i][j] = A[i][j] - factor * A[k][j];
+    }}
+"""
+    kernel = compile_kernel(source, data={"A": a}, name="lu-cc", opt_level=opt_level)
+
+    def verify(cpu):
+        _check(kernel.read(cpu, "A"), expected, what="lu-cc A")
+
+    return kernel, verify
+
+
+COMPILED_BUILDERS: dict[str, Callable[..., tuple[CompiledKernel, Callable]]] = {
+    "mmul": mmul,
+    "sor": sor,
+    "ej": ej,
+    "fft": fft,
+    "tri": tri,
+    "lu": lu,
+}
+
+
+def compiled_workload(
+    name: str, opt_level: int = 0, **params
+) -> tuple[CompiledKernel, Callable]:
+    """Compiled counterpart of a Figure-6 benchmark.
+
+    Returns ``(kernel, verify)`` where ``verify(cpu)`` checks the
+    simulated result against the same references the hand-written
+    workloads use.  ``opt_level`` is forwarded to the compiler.
+    """
+    try:
+        builder = COMPILED_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"no compiled kernel {name!r}; available: "
+            f"{sorted(COMPILED_BUILDERS)}"
+        ) from None
+    return builder(opt_level=opt_level, **params)

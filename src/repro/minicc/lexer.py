@@ -1,0 +1,57 @@
+"""Tokeniser for minicc."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+KEYWORDS = {"int", "double", "for", "while", "if", "else"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<float>\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)
+  | (?P<int>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|==|!=|&&|\|\||[-+*/%<>=!;,(){}\[\]])
+    """,
+    re.VERBOSE,
+)
+
+
+class LexError(ValueError):
+    """Raised on unrecognised input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'int' | 'float' | 'name' | 'kw' | 'op' | 'eof'
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn source text into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise LexError(
+                f"line {line}: unexpected character {source[pos]!r}"
+            )
+        text = match.group(0)
+        kind = match.lastgroup
+        if kind == "ws":
+            line += text.count("\n")
+        elif kind == "name" and text in KEYWORDS:
+            tokens.append(Token("kw", text, line))
+        else:
+            tokens.append(Token(kind, text, line))
+        pos = match.end()
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,238 @@
+"""Recursive-descent parser for minicc."""
+
+from __future__ import annotations
+
+from repro.minicc.ast_nodes import (
+    DOUBLE,
+    INT,
+    Assign,
+    Binary,
+    Block,
+    Expr,
+    FloatLit,
+    For,
+    If,
+    IntLit,
+    Kernel,
+    Stmt,
+    Unary,
+    VarDecl,
+    VarRef,
+    While,
+)
+from repro.minicc.lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    """Raised on malformed minicc source."""
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        if not self.check(kind, text):
+            want = text if text is not None else kind
+            raise ParseError(
+                f"line {self.current.line}: expected {want!r}, "
+                f"got {self.current.text!r}"
+            )
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+
+    def parse_kernel(self) -> Kernel:
+        decls: list[VarDecl] = []
+        while self.check("kw", "int") or self.check("kw", "double"):
+            decls.extend(self.parse_decl())
+        body: list[Stmt] = []
+        while not self.check("eof"):
+            body.append(self.parse_stmt())
+        names = [d.name for d in decls]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ParseError(f"duplicate declarations: {sorted(duplicates)}")
+        return Kernel(decls=tuple(decls), body=tuple(body))
+
+    def parse_decl(self) -> list[VarDecl]:
+        base_type = INT if self.expect("kw").text == "int" else DOUBLE
+        decls = []
+        while True:
+            name = self.expect("name").text
+            dims: list[int] = []
+            while self.accept("op", "["):
+                size_token = self.expect("int")
+                size = int(size_token.text)
+                if size <= 0:
+                    raise ParseError(
+                        f"line {size_token.line}: array dimension must be "
+                        f"positive, got {size}"
+                    )
+                dims.append(size)
+                self.expect("op", "]")
+            if len(dims) > 2:
+                raise ParseError(
+                    f"{name}: arrays are limited to two dimensions"
+                )
+            decls.append(VarDecl(name, base_type, tuple(dims)))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ";")
+        return decls
+
+    def parse_stmt(self) -> Stmt:
+        if self.accept("op", "{"):
+            statements = []
+            while not self.accept("op", "}"):
+                statements.append(self.parse_stmt())
+            return Block(tuple(statements))
+        if self.accept("kw", "if"):
+            self.expect("op", "(")
+            condition = self.parse_expr()
+            self.expect("op", ")")
+            then_body = self.parse_stmt()
+            else_body = self.parse_stmt() if self.accept("kw", "else") else None
+            return If(condition, then_body, else_body)
+        if self.accept("kw", "while"):
+            self.expect("op", "(")
+            condition = self.parse_expr()
+            self.expect("op", ")")
+            return While(condition, self.parse_stmt())
+        if self.accept("kw", "for"):
+            self.expect("op", "(")
+            init = self.parse_assign()
+            self.expect("op", ";")
+            condition = self.parse_expr()
+            self.expect("op", ";")
+            step = self.parse_assign()
+            self.expect("op", ")")
+            return For(init, condition, step, self.parse_stmt())
+        assign = self.parse_assign()
+        self.expect("op", ";")
+        return assign
+
+    def parse_assign(self) -> Assign:
+        target = self.parse_var_ref()
+        self.expect("op", "=")
+        return Assign(target, self.parse_expr())
+
+    def parse_var_ref(self) -> VarRef:
+        name = self.expect("name").text
+        indices: list[Expr] = []
+        while self.accept("op", "["):
+            indices.append(self.parse_expr())
+            self.expect("op", "]")
+        if len(indices) > 2:
+            raise ParseError(f"{name}: too many indices")
+        return VarRef(name, tuple(indices))
+
+    # Expression precedence climbing -----------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.accept("op", "||"):
+            left = Binary("||", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_equality()
+        while self.accept("op", "&&"):
+            left = Binary("&&", left, self.parse_equality())
+        return left
+
+    def parse_equality(self) -> Expr:
+        left = self.parse_relational()
+        while True:
+            if self.accept("op", "=="):
+                left = Binary("==", left, self.parse_relational())
+            elif self.accept("op", "!="):
+                left = Binary("!=", left, self.parse_relational())
+            else:
+                return left
+
+    def parse_relational(self) -> Expr:
+        left = self.parse_additive()
+        while True:
+            for op in ("<=", ">=", "<", ">"):
+                if self.accept("op", op):
+                    left = Binary(op, left, self.parse_additive())
+                    break
+            else:
+                return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while True:
+            if self.accept("op", "+"):
+                left = Binary("+", left, self.parse_multiplicative())
+            elif self.accept("op", "-"):
+                left = Binary("-", left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while True:
+            for op in ("*", "/", "%"):
+                if self.accept("op", op):
+                    left = Binary(op, left, self.parse_unary())
+                    break
+            else:
+                return left
+
+    def parse_unary(self) -> Expr:
+        if self.accept("op", "-"):
+            return Unary("-", self.parse_unary())
+        if self.accept("op", "!"):
+            return Unary("!", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        if self.accept("op", "("):
+            inner = self.parse_expr()
+            self.expect("op", ")")
+            return inner
+        if self.check("int"):
+            return IntLit(int(self.advance().text))
+        if self.check("float"):
+            return FloatLit(float(self.advance().text))
+        if self.check("name"):
+            return self.parse_var_ref()
+        raise ParseError(
+            f"line {self.current.line}: unexpected token "
+            f"{self.current.text!r} in expression"
+        )
+
+
+def parse(source: str) -> Kernel:
+    """Parse minicc source into a :class:`Kernel`."""
+    return _Parser(tokenize(source)).parse_kernel()

@@ -1,0 +1,193 @@
+"""Firmware bundles: the deployable artefact of the flow.
+
+The paper's deployment story (Section 7.1): the *encoded* program
+image goes to the instruction memory, and the transformation
+information goes to the processor "either when loading the program or
+by software prior to entering the application hot spot".  A
+:class:`EncodingBundle` captures exactly that shippable pair —
+encoded words plus TT/BBIT programming — as JSON, with integrity
+checksums, so a build machine can encode once and a loader (or the
+generated software-reload prologue) can apply it later.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.hw.bbit import BasicBlockIdentificationTable, BBITEntry
+from repro.hw.tt import TransformationTable, TTEntry
+
+FORMAT_VERSION = 1
+
+
+def _digest(words: Sequence[int]) -> str:
+    payload = b"".join(w.to_bytes(4, "little") for w in words)
+    return hashlib.sha256(payload).hexdigest()
+
+
+@dataclass
+class EncodingBundle:
+    """Everything a loader needs to deploy one encoded program."""
+
+    name: str
+    block_size: int
+    text_base: int
+    encoded_words: list[int]
+    original_digest: str  # sha256 of the pre-encoding image
+    tt_entries: list[dict] = field(default_factory=list)
+    bbit_entries: list[dict] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_flow_result(cls, program, result) -> "EncodingBundle":
+        """Build a bundle from a :class:`~repro.pipeline.flow.FlowResult`.
+
+        Re-derives the table programming from the result's selected
+        blocks (the flow's own TT/BBIT are transient).
+        """
+        from repro.cfg.graph import ControlFlowGraph
+        from repro.core.program_codec import encode_basic_block
+
+        cfg = ControlFlowGraph.build(program)
+        bundle = cls(
+            name=result.name,
+            block_size=result.block_size,
+            text_base=program.text_base,
+            encoded_words=list(result.encoded_image),
+            original_digest=_digest(program.words),
+        )
+        tt_index = 0
+        for start in result.selected_blocks:
+            block = cfg.blocks[start]
+            length = (
+                result.plan.encoded_length(start, len(block))
+                if result.plan is not None
+                else len(block)
+            )
+            encoding = encode_basic_block(
+                block.words[:length], result.block_size
+            )
+            bounds = encoding.bounds
+            base_index = tt_index
+            for row, (seg_start, seg_len) in zip(encoding.selectors(), bounds):
+                is_tail = seg_start + seg_len >= length
+                bundle.tt_entries.append(
+                    {
+                        "selectors": list(row),
+                        "end": is_tail,
+                        "count": (
+                            (seg_len if seg_start == 0 else seg_len - 1)
+                            if is_tail
+                            else 0
+                        ),
+                    }
+                )
+                tt_index += 1
+            bundle.bbit_entries.append(
+                {
+                    "pc": start,
+                    "tt_index": base_index,
+                    "num_instructions": length,
+                }
+            )
+        return bundle
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "format_version": FORMAT_VERSION,
+                "name": self.name,
+                "block_size": self.block_size,
+                "text_base": self.text_base,
+                "original_digest": self.original_digest,
+                "encoded_digest": _digest(self.encoded_words),
+                "encoded_words": [f"{w:08x}" for w in self.encoded_words],
+                "tt": self.tt_entries,
+                "bbit": self.bbit_entries,
+            },
+            indent=1,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "EncodingBundle":
+        data = json.loads(text)
+        if data.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported bundle format {data.get('format_version')!r}"
+            )
+        words = [int(w, 16) for w in data["encoded_words"]]
+        if _digest(words) != data["encoded_digest"]:
+            raise ValueError("bundle corrupt: encoded image digest mismatch")
+        return cls(
+            name=data["name"],
+            block_size=data["block_size"],
+            text_base=data["text_base"],
+            encoded_words=words,
+            original_digest=data["original_digest"],
+            tt_entries=data["tt"],
+            bbit_entries=data["bbit"],
+        )
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+
+    def build_tables(
+        self, tt_capacity: int = 16, bbit_capacity: int = 16
+    ) -> tuple[TransformationTable, BasicBlockIdentificationTable]:
+        """Materialise hardware tables from the bundle (the "load with
+        the program" alternative of Section 7.1)."""
+        tt = TransformationTable(max(tt_capacity, len(self.tt_entries)))
+        for entry in self.tt_entries:
+            tt.entries.append(
+                TTEntry(
+                    selectors=tuple(entry["selectors"]),
+                    end=bool(entry["end"]),
+                    count=int(entry["count"]),
+                )
+            )
+        bbit = BasicBlockIdentificationTable(
+            max(bbit_capacity, len(self.bbit_entries) or 1)
+        )
+        for entry in self.bbit_entries:
+            bbit.install(
+                BBITEntry(
+                    pc=int(entry["pc"]),
+                    tt_index=int(entry["tt_index"]),
+                    num_instructions=int(entry["num_instructions"]),
+                )
+            )
+        return tt, bbit
+
+    def verify_against(self, program) -> bool:
+        """Check this bundle belongs to ``program`` (pre-encoding
+        image digest match)."""
+        return _digest(program.words) == self.original_digest
+
+    def deploy_and_check(self, program, trace: Sequence[int]) -> bool:
+        """Full loader path: rebuild tables, decode the trace through
+        the hardware model, compare with the original program."""
+        from repro.hw.fetch_decoder import FetchDecoder
+
+        if not self.verify_against(program):
+            raise ValueError(
+                f"bundle {self.name!r} does not match this program image"
+            )
+        tt, bbit = self.build_tables()
+        decoder = FetchDecoder(tt, bbit, self.block_size)
+        base = self.text_base
+        decoded = decoder.decode_trace(
+            list(trace), lambda pc: self.encoded_words[(pc - base) >> 2]
+        )
+        original = [program.words[(pc - base) >> 2] for pc in trace]
+        return decoded == original

@@ -1,0 +1,124 @@
+"""Parameter-sweep experiment runner.
+
+Research-grade studies over the flow: cross any set of workloads with
+block sizes, TT capacities, transformation sets and strategies; each
+trace is simulated once and reused across every configuration.  The
+result grid exports to CSV for external analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.transformations import OPTIMAL_SET, Transformation
+from repro.pipeline.flow import EncodingFlow, FlowResult
+from repro.sim.cpu import run_program
+from repro.workloads.registry import build_workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration of the sweep grid."""
+
+    workload: str
+    block_size: int
+    tt_capacity: int
+    strategy: str
+
+    def label(self) -> str:
+        return (
+            f"{self.workload}/k{self.block_size}"
+            f"/tt{self.tt_capacity}/{self.strategy}"
+        )
+
+
+@dataclass
+class SweepResult:
+    """The full grid of flow results, keyed by sweep point."""
+
+    points: dict[SweepPoint, FlowResult] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def best_for(self, workload: str) -> tuple[SweepPoint, FlowResult]:
+        """The configuration with the highest reduction for a workload."""
+        candidates = [
+            (point, result)
+            for point, result in self.points.items()
+            if point.workload == workload
+        ]
+        if not candidates:
+            raise KeyError(f"no results for workload {workload!r}")
+        return max(candidates, key=lambda item: item[1].reduction_percent)
+
+    def filter(self, **criteria) -> list[tuple[SweepPoint, FlowResult]]:
+        """Results whose point matches every given attribute."""
+        out = []
+        for point, result in self.points.items():
+            if all(getattr(point, key) == value for key, value in criteria.items()):
+                out.append((point, result))
+        return out
+
+    def to_csv(self) -> str:
+        lines = [
+            "workload,block_size,tt_capacity,strategy,"
+            "baseline_transitions,encoded_transitions,reduction_percent,"
+            "tt_entries_used,blocks_encoded,hot_coverage,trace_length"
+        ]
+        for point in sorted(
+            self.points,
+            key=lambda p: (p.workload, p.block_size, p.tt_capacity, p.strategy),
+        ):
+            result = self.points[point]
+            lines.append(
+                f"{point.workload},{point.block_size},{point.tt_capacity},"
+                f"{point.strategy},{result.baseline_transitions},"
+                f"{result.encoded_transitions},"
+                f"{result.reduction_percent:.4f},{result.tt_entries_used},"
+                f"{len(result.selected_blocks)},{result.hot_coverage:.4f},"
+                f"{result.trace_length}"
+            )
+        return "\n".join(lines)
+
+
+def run_sweep(
+    workloads: Sequence[str] | dict[str, dict],
+    block_sizes: Sequence[int] = (4, 5, 6, 7),
+    tt_capacities: Sequence[int] = (16,),
+    strategies: Sequence[str] = ("greedy",),
+    transformations: Sequence[Transformation] = OPTIMAL_SET,
+    verify_decode: bool = True,
+    max_steps: int = 500_000_000,
+) -> SweepResult:
+    """Run the full cross product; each workload simulates once.
+
+    ``workloads`` is a sequence of names or a ``{name: params}``
+    mapping for size overrides.
+    """
+    if isinstance(workloads, dict):
+        items = list(workloads.items())
+    else:
+        items = [(name, {}) for name in workloads]
+
+    sweep = SweepResult()
+    for name, params in items:
+        workload = build_workload(name, **params)
+        program = workload.assemble()
+        cpu, trace = run_program(program, max_steps=max_steps)
+        if workload.verify is not None:
+            workload.verify(cpu)
+        for block_size in block_sizes:
+            for tt_capacity in tt_capacities:
+                for strategy in strategies:
+                    flow = EncodingFlow(
+                        block_size=block_size,
+                        tt_capacity=tt_capacity,
+                        transformations=transformations,
+                        strategy=strategy,
+                        verify_decode=verify_decode,
+                    )
+                    point = SweepPoint(name, block_size, tt_capacity, strategy)
+                    sweep.points[point] = flow.run(program, trace, point.label())
+    return sweep

@@ -1,0 +1,24 @@
+"""In-order functional processor simulator (SimpleScalar substitute).
+
+``memory`` is a paged byte-addressable store, ``cpu`` an in-order
+one-instruction-at-a-time interpreter matching the paper's baseline
+("a typical embedded processor front-end, which fetches and executes
+instructions in order and one at a time"), ``tracer`` captures the
+fetch address stream, and ``bus`` turns fetch traces plus memory
+images into bit-transition and energy numbers.
+"""
+
+from repro.sim.memory import Memory
+from repro.sim.cpu import Cpu, CpuError, run_program
+from repro.sim.tracer import FetchTrace
+from repro.sim.bus import BusModel, count_trace_transitions
+
+__all__ = [
+    "Memory",
+    "Cpu",
+    "CpuError",
+    "run_program",
+    "FetchTrace",
+    "BusModel",
+    "count_trace_transitions",
+]

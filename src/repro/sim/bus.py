@@ -1,0 +1,118 @@
+"""Instruction-bus transition and energy model.
+
+Power on a bus line is proportional to its toggle count times the line
+capacitance (the paper's premise, after [1]).  This module counts bit
+transitions over a fetch trace for an arbitrary memory image — the
+baseline image or the power-encoded one — using numpy so multi-million
+fetch traces are cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.isa.assembler import Program
+
+
+def _trace_words(
+    program: Program,
+    addresses: Sequence[int],
+    image: Sequence[int] | None = None,
+) -> np.ndarray:
+    """Vector of bus words for a fetch trace.
+
+    ``image`` overrides the program's stored words (same layout); use
+    it for the power-encoded memory image.
+    """
+    words = np.asarray(image if image is not None else program.words, dtype=np.uint32)
+    index = (np.asarray(addresses, dtype=np.int64) - program.text_base) >> 2
+    if index.size and (index.min() < 0 or index.max() >= words.size):
+        raise ValueError("trace contains addresses outside the text image")
+    return words[index]
+
+
+def count_trace_transitions(
+    program: Program,
+    addresses: Sequence[int],
+    image: Sequence[int] | None = None,
+) -> int:
+    """Total bit transitions on the instruction bus over a trace."""
+    fetched = _trace_words(program, addresses, image)
+    if fetched.size < 2:
+        return 0
+    toggles = np.bitwise_xor(fetched[1:], fetched[:-1])
+    return int(np.bitwise_count(toggles).sum())
+
+
+def per_line_trace_transitions(
+    program: Program,
+    addresses: Sequence[int],
+    image: Sequence[int] | None = None,
+    width: int = 32,
+) -> list[int]:
+    """Per-bus-line transition counts over a trace."""
+    fetched = _trace_words(program, addresses, image)
+    if fetched.size < 2:
+        return [0] * width
+    toggles = np.bitwise_xor(fetched[1:], fetched[:-1])
+    return [
+        int(((toggles >> np.uint32(bit)) & np.uint32(1)).sum())
+        for bit in range(width)
+    ]
+
+
+@dataclass(frozen=True)
+class BusModel:
+    """A simple energy model: ``E = C_line * V^2 * toggles`` per line.
+
+    Defaults model an on-chip bus; pass a larger ``line_capacitance``
+    (tens of pF) for the off-chip / external-flash case the paper
+    highlights as even more transition-sensitive.
+    """
+
+    line_capacitance: float = 0.5e-12  # farads, per line
+    supply_voltage: float = 1.8  # volts
+    width: int = 32
+
+    def energy_joules(self, transitions: int) -> float:
+        """Dynamic energy for a transition count (0.5 C V^2 per toggle)."""
+        return 0.5 * self.line_capacitance * self.supply_voltage**2 * transitions
+
+    def trace_energy(
+        self,
+        program: Program,
+        addresses: Sequence[int],
+        image: Sequence[int] | None = None,
+    ) -> float:
+        return self.energy_joules(
+            count_trace_transitions(program, addresses, image)
+        )
+
+    def savings_percent(
+        self, baseline_transitions: int, encoded_transitions: int
+    ) -> float:
+        if baseline_transitions == 0:
+            return 0.0
+        return (
+            100.0
+            * (baseline_transitions - encoded_transitions)
+            / baseline_transitions
+        )
+
+
+def image_with_patches(
+    program: Program, patches: Mapping[int, int]
+) -> list[int]:
+    """The program's word image with ``{address: word}`` overrides —
+    how the encoded program memory is materialised."""
+    image = list(program.words)
+    base = program.text_base
+    for address, word in patches.items():
+        offset = address - base
+        if offset < 0 or offset % 4 or offset // 4 >= len(image):
+            raise ValueError(f"patch address {address:#010x} not in text")
+        image[offset // 4] = word & 0xFFFFFFFF
+    return image

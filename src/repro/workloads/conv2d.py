@@ -1,0 +1,112 @@
+"""2-D convolution (``conv2d``) — extended workload.
+
+A 3x3 kernel convolved over an ``n`` x ``n`` image (valid region
+only), the inner loop of every embedded imaging pipeline.  The 3x3
+inner loops are fully unrolled, as a DSP compiler would emit them,
+giving a long straight-line hot block — a useful structural contrast
+to fft's short blocks.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import (
+    Workload,
+    assert_close,
+    format_doubles,
+    pseudo_values,
+    read_doubles,
+)
+
+DEFAULT_N = 24
+
+KERNEL = (
+    0.0625, 0.125, 0.0625,
+    0.125, 0.25, 0.125,
+    0.0625, 0.125, 0.0625,
+)  # Gaussian blur
+
+
+def _reference(image: list[float], n: int) -> list[float]:
+    out = [0.0] * (n * n)
+    for i in range(1, n - 1):
+        for j in range(1, n - 1):
+            acc = 0.0
+            for di in (-1, 0, 1):
+                for dj in (-1, 0, 1):
+                    acc += (
+                        KERNEL[(di + 1) * 3 + (dj + 1)]
+                        * image[(i + di) * n + (j + dj)]
+                    )
+            out[i * n + j] = acc
+    return out
+
+
+def build(n: int = DEFAULT_N) -> Workload:
+    """Build the conv2d workload for an ``n`` x ``n`` image."""
+    if n < 3:
+        raise ValueError(f"image must be at least 3x3, got {n}")
+    image = pseudo_values(n * n, seed=15)
+    expected = _reference(image, n)
+
+    taps = []
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            offset = 8 * (di * n + dj)
+            weight_index = 8 * ((di + 1) * 3 + (dj + 1))
+            taps.append(
+                f"""
+        l.d   $f6, {weight_index}($s4)
+        l.d   $f8, {offset}($t3)
+        mul.d $f10, $f6, $f8
+        add.d $f4, $f4, $f10"""
+            )
+    unrolled = "".join(taps)
+
+    source = f"""
+# conv2d: 3x3 Gaussian kernel over a {n}x{n} image, unrolled taps
+        .data
+IMG:
+{format_doubles(image)}
+OUT:
+        .space {8 * n * n}
+K:
+{format_doubles(list(KERNEL))}
+        .text
+main:
+        li    $s0, {n}
+        la    $s5, IMG
+        la    $s6, OUT
+        la    $s4, K
+        li    $s1, 1            # i
+iloop:
+        mul   $t5, $s1, $s0
+        addiu $t5, $t5, 1
+        sll   $t5, $t5, 3
+        addu  $t3, $s5, $t5     # &IMG[i][1]
+        addu  $t4, $s6, $t5     # &OUT[i][1]
+        li    $s2, 1            # j
+jloop:
+        mtc1  $zero, $f4        # acc{unrolled}
+        s.d   $f4, 0($t4)
+        addiu $t3, $t3, 8
+        addiu $t4, $t4, 8
+        addiu $s2, $s2, 1
+        addiu $t7, $s0, -1
+        bne   $s2, $t7, jloop
+        addiu $s1, $s1, 1
+        bne   $s1, $t7, iloop
+        li    $v0, 10
+        syscall
+"""
+
+    def verify(cpu) -> None:
+        measured = read_doubles(cpu, "OUT", n * n)
+        assert_close(measured, expected, tolerance=1e-12, what="conv2d out")
+
+    return Workload(
+        name="conv2d",
+        description=f"3x3 convolution over a {n}x{n} image, unrolled (extended workload)",
+        source=source,
+        params={"n": n},
+        verify=verify,
+    )

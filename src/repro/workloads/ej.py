@@ -1,0 +1,120 @@
+"""Extrapolated Jacobi iteration (``ej``) — reference [9] in the paper.
+
+Weighted-Jacobi sweeps on a 5-point stencil with double buffering:
+
+    v[i][j] = (1 - w) * u[i][j] + (w/4) * (u[i-1][j] + u[i+1][j]
+                                            + u[i][j-1] + u[i][j+1])
+
+then the roles of ``u`` and ``v`` swap (pointer swap, no copying).
+The paper uses a 128x128 grid; the default here is 32x32.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import (
+    Workload,
+    assert_close,
+    format_doubles,
+    pseudo_values,
+    read_doubles,
+)
+
+DEFAULT_N = 32
+DEFAULT_SWEEPS = 6
+W = 0.8
+
+
+def _reference(u0: list[float], n: int, sweeps: int, w: float) -> list[float]:
+    u = list(u0)
+    v = list(u0)  # boundary cells keep their initial values
+    for _ in range(sweeps):
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                idx = i * n + j
+                v[idx] = (1.0 - w) * u[idx] + (w / 4.0) * (
+                    u[idx - n] + u[idx + n] + u[idx - 1] + u[idx + 1]
+                )
+        u, v = v, u
+    return u
+
+
+def build(n: int = DEFAULT_N, sweeps: int = DEFAULT_SWEEPS) -> Workload:
+    """Build the ej workload on an ``n`` x ``n`` grid."""
+    if n < 3:
+        raise ValueError(f"grid must be at least 3x3, got {n}")
+    u0 = pseudo_values(n * n, seed=4)
+    expected = _reference(u0, n, sweeps, W)
+    # After an even number of sweeps the final values live in U; after
+    # an odd number, in V.  Verify whichever buffer is final.
+    final_label = "U" if sweeps % 2 == 0 else "V"
+
+    source = f"""
+# ej: extrapolated (weighted) Jacobi, {n}x{n} grid, {sweeps} sweeps
+        .data
+U:
+{format_doubles(u0)}
+V:
+{format_doubles(u0)}
+coef:   .double {1.0 - W!r}, {W / 4.0!r}
+        .text
+main:
+        li    $s0, {n}          # N
+        sll   $s4, $s0, 3       # row stride
+        la    $s5, U            # src
+        la    $s7, V            # dst
+        la    $t9, coef
+        l.d   $f2, 0($t9)       # 1-w
+        l.d   $f14, 8($t9)      # w/4
+        li    $s6, 0            # sweep counter
+sweep:
+        li    $s1, 1            # i
+iloop:
+        mul   $t5, $s1, $s0
+        addiu $t5, $t5, 1
+        sll   $t5, $t5, 3
+        addu  $t3, $s5, $t5     # &src[i][1]
+        addu  $t4, $s7, $t5     # &dst[i][1]
+        li    $s2, 1            # j
+jloop:
+        subu  $t6, $t3, $s4
+        l.d   $f6, 0($t6)       # north
+        addu  $t6, $t3, $s4
+        l.d   $f8, 0($t6)       # south
+        l.d   $f10, -8($t3)     # west
+        l.d   $f12, 8($t3)      # east
+        add.d $f6, $f6, $f8
+        add.d $f6, $f6, $f10
+        add.d $f6, $f6, $f12
+        mul.d $f6, $f6, $f14    # (w/4) * neighbours
+        l.d   $f4, 0($t3)
+        mul.d $f4, $f4, $f2     # (1-w) * u
+        add.d $f4, $f4, $f6
+        s.d   $f4, 0($t4)
+        addiu $t3, $t3, 8
+        addiu $t4, $t4, 8
+        addiu $s2, $s2, 1
+        addiu $t7, $s0, -1
+        bne   $s2, $t7, jloop
+        addiu $s1, $s1, 1
+        bne   $s1, $t7, iloop
+        move  $t5, $s5          # swap src/dst
+        move  $s5, $s7
+        move  $s7, $t5
+        addiu $s6, $s6, 1
+        li    $t8, {sweeps}
+        bne   $s6, $t8, sweep
+        li    $v0, 10
+        syscall
+"""
+
+    def verify(cpu) -> None:
+        measured = read_doubles(cpu, final_label, n * n)
+        assert_close(measured, expected, tolerance=1e-12, what="ej grid")
+
+    return Workload(
+        name="ej",
+        description=f"extrapolated Jacobi, {n}x{n} grid (paper: 128x128)",
+        source=source,
+        params={"n": n, "sweeps": sweeps, "w": W},
+        verify=verify,
+    )

@@ -1,0 +1,91 @@
+"""FIR filter (``fir``) — extended workload.
+
+Not one of the paper's six Figure-6 benchmarks, but the archetypal
+DSP kernel its introduction motivates ("hand-held and wireless
+devices").  A ``taps``-tap direct-form FIR over ``samples`` inputs:
+
+    y[n] = sum_k h[k] * x[n-k]
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import (
+    Workload,
+    assert_close,
+    format_doubles,
+    pseudo_values,
+    read_doubles,
+)
+
+DEFAULT_TAPS = 16
+DEFAULT_SAMPLES = 192
+
+
+def _reference(coeffs: list[float], signal: list[float]) -> list[float]:
+    taps = len(coeffs)
+    out = [0.0] * len(signal)
+    for n in range(taps - 1, len(signal)):
+        out[n] = sum(coeffs[k] * signal[n - k] for k in range(taps))
+    return out
+
+
+def build(taps: int = DEFAULT_TAPS, samples: int = DEFAULT_SAMPLES) -> Workload:
+    """Build the fir workload."""
+    if taps < 1 or samples < taps:
+        raise ValueError("need taps >= 1 and samples >= taps")
+    coeffs = [v / 4.0 for v in pseudo_values(taps, seed=12)]
+    signal = pseudo_values(samples, seed=13)
+    expected = _reference(coeffs, signal)
+
+    source = f"""
+# fir: {taps}-tap direct form over {samples} samples
+        .data
+H:
+{format_doubles(coeffs)}
+X:
+{format_doubles(signal)}
+Y:
+        .space {8 * samples}
+        .text
+main:
+        li    $s0, {samples}
+        li    $s1, {taps}
+        la    $s5, H
+        la    $s6, X
+        la    $s7, Y
+        li    $t0, {taps - 1}   # n
+nloop:
+        mtc1  $zero, $f4        # acc
+        move  $t1, $s5          # &H[0]
+        sll   $t2, $t0, 3
+        addu  $t2, $s6, $t2     # &X[n]
+        li    $t3, 0            # k
+kloop:
+        l.d   $f6, 0($t1)
+        l.d   $f8, 0($t2)
+        mul.d $f10, $f6, $f8
+        add.d $f4, $f4, $f10
+        addiu $t1, $t1, 8
+        addiu $t2, $t2, -8
+        addiu $t3, $t3, 1
+        bne   $t3, $s1, kloop
+        sll   $t4, $t0, 3
+        addu  $t4, $s7, $t4
+        s.d   $f4, 0($t4)
+        addiu $t0, $t0, 1
+        bne   $t0, $s0, nloop
+        li    $v0, 10
+        syscall
+"""
+
+    def verify(cpu) -> None:
+        measured = read_doubles(cpu, "Y", samples)
+        assert_close(measured, expected, tolerance=1e-9, what="fir y")
+
+    return Workload(
+        name="fir",
+        description=f"{taps}-tap FIR filter over {samples} samples (extended workload, not in the paper's Figure 6)",
+        source=source,
+        params={"taps": taps, "samples": samples},
+        verify=verify,
+    )

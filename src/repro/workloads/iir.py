@@ -1,0 +1,138 @@
+"""IIR biquad cascade (``iir``) — extended workload.
+
+A cascade of direct-form-I second-order sections, the standard
+embedded audio/control filter structure:
+
+    y = b0*x + b1*x1 + b2*x2 - a1*y1 - a2*y2      (per section)
+
+with per-section delay lines carried in memory.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import (
+    Workload,
+    assert_close,
+    format_doubles,
+    pseudo_values,
+    read_doubles,
+)
+
+DEFAULT_SECTIONS = 4
+DEFAULT_SAMPLES = 256
+
+# Mildly damped, stable coefficient template; per-section variation
+# keeps the sections distinct without risking instability.
+_B = (0.2, 0.3, 0.2)
+_A = (-0.4, 0.1)
+
+
+def _section_coeffs(sections: int) -> list[tuple[float, ...]]:
+    rows = []
+    for s in range(sections):
+        scale = 1.0 + 0.05 * s
+        rows.append(
+            (
+                _B[0] * scale,
+                _B[1] * scale,
+                _B[2] * scale,
+                _A[0] + 0.02 * s,
+                _A[1] - 0.01 * s,
+            )
+        )
+    return rows
+
+
+def _reference(signal: list[float], coeffs: list[tuple[float, ...]]) -> list[float]:
+    data = list(signal)
+    for b0, b1, b2, a1, a2 in coeffs:
+        x1 = x2 = y1 = y2 = 0.0
+        out = []
+        for x in data:
+            y = b0 * x + b1 * x1 + b2 * x2 - a1 * y1 - a2 * y2
+            x2, x1 = x1, x
+            y2, y1 = y1, y
+            out.append(y)
+        data = out
+    return data
+
+
+def build(
+    sections: int = DEFAULT_SECTIONS, samples: int = DEFAULT_SAMPLES
+) -> Workload:
+    """Build the iir workload."""
+    if sections < 1 or samples < 1:
+        raise ValueError("need sections >= 1 and samples >= 1")
+    signal = pseudo_values(samples, seed=14)
+    coeffs = _section_coeffs(sections)
+    expected = _reference(signal, coeffs)
+    flat_coeffs = [c for row in coeffs for c in row]
+
+    source = f"""
+# iir: {sections} cascaded biquad sections over {samples} samples
+        .data
+X:
+{format_doubles(signal)}
+C:
+{format_doubles(flat_coeffs)}
+STATE:
+        .space {8 * 4 * sections}   # x1 x2 y1 y2 per section
+        .text
+main:
+        li    $s0, {samples}
+        li    $s1, {sections}
+        la    $s6, X
+        li    $t0, 0            # n
+nloop:
+        sll   $t1, $t0, 3
+        addu  $t1, $s6, $t1
+        l.d   $f4, 0($t1)       # sample flows through the cascade
+        la    $t2, C
+        la    $t3, STATE
+        li    $t4, 0            # section index
+sloop:
+        l.d   $f6, 0($t2)       # b0
+        l.d   $f8, 8($t2)       # b1
+        l.d   $f10, 16($t2)     # b2
+        l.d   $f12, 24($t2)     # a1
+        l.d   $f14, 32($t2)     # a2
+        l.d   $f16, 0($t3)      # x1
+        l.d   $f18, 8($t3)      # x2
+        l.d   $f20, 16($t3)     # y1
+        l.d   $f22, 24($t3)     # y2
+        mul.d $f24, $f6, $f4    # b0*x
+        mul.d $f26, $f8, $f16   # b1*x1
+        add.d $f24, $f24, $f26
+        mul.d $f26, $f10, $f18  # b2*x2
+        add.d $f24, $f24, $f26
+        mul.d $f26, $f12, $f20  # a1*y1
+        sub.d $f24, $f24, $f26
+        mul.d $f26, $f14, $f22  # a2*y2
+        sub.d $f24, $f24, $f26  # y
+        s.d   $f16, 8($t3)      # x2 = x1
+        s.d   $f4, 0($t3)       # x1 = x
+        s.d   $f20, 24($t3)     # y2 = y1
+        s.d   $f24, 16($t3)     # y1 = y
+        mov.d $f4, $f24         # cascade: x of next section = y
+        addiu $t2, $t2, 40
+        addiu $t3, $t3, 32
+        addiu $t4, $t4, 1
+        bne   $t4, $s1, sloop
+        s.d   $f4, 0($t1)       # write back in place
+        addiu $t0, $t0, 1
+        bne   $t0, $s0, nloop
+        li    $v0, 10
+        syscall
+"""
+
+    def verify(cpu) -> None:
+        measured = read_doubles(cpu, "X", samples)
+        assert_close(measured, expected, tolerance=1e-9, what="iir y")
+
+    return Workload(
+        name="iir",
+        description=f"{sections}-section biquad IIR cascade over {samples} samples (extended workload)",
+        source=source,
+        params={"sections": sections, "samples": samples},
+        verify=verify,
+    )

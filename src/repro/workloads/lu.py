@@ -1,0 +1,108 @@
+"""LU decomposition (``lu``) — Doolittle, in place, no pivoting, on a
+diagonally dominant matrix (so pivots never vanish).
+
+    for k in 0..n-1:
+        for i in k+1..n-1:
+            A[i][k] /= A[k][k]
+            for j in k+1..n-1:
+                A[i][j] -= A[i][k] * A[k][j]
+
+The paper factorises 128x128; the default here is 32x32.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import (
+    Workload,
+    assert_close,
+    format_doubles,
+    pseudo_values,
+    read_doubles,
+)
+
+DEFAULT_N = 32
+
+
+def _reference(a: list[float], n: int) -> list[float]:
+    m = list(a)
+    for k in range(n):
+        for i in range(k + 1, n):
+            m[i * n + k] /= m[k * n + k]
+            factor = m[i * n + k]
+            for j in range(k + 1, n):
+                m[i * n + j] -= factor * m[k * n + j]
+    return m
+
+
+def build(n: int = DEFAULT_N) -> Workload:
+    """Build the lu workload for an ``n`` x ``n`` matrix."""
+    if n < 2:
+        raise ValueError(f"matrix size must be >= 2, got {n}")
+    a = pseudo_values(n * n, seed=11)
+    for i in range(n):  # diagonal dominance keeps pivots well away from 0
+        a[i * n + i] = 20.0 + i * 0.5
+    expected = _reference(a, n)
+
+    source = f"""
+# lu: in-place Doolittle decomposition, {n}x{n} doubles
+        .data
+A:
+{format_doubles(a)}
+        .text
+main:
+        li    $s0, {n}          # N
+        sll   $s4, $s0, 3       # row stride
+        la    $s5, A
+        li    $s1, 0            # k
+kloop:
+        mul   $t5, $s1, $s0
+        addu  $t5, $t5, $s1
+        sll   $t5, $t5, 3
+        addu  $t6, $s5, $t5     # &A[k][k]
+        l.d   $f2, 0($t6)       # pivot
+        addiu $s2, $s1, 1       # i = k+1
+        beq   $s2, $s0, knext
+iloop:
+        mul   $t5, $s2, $s0
+        addu  $t5, $t5, $s1
+        sll   $t5, $t5, 3
+        addu  $t7, $s5, $t5     # &A[i][k]
+        l.d   $f4, 0($t7)
+        div.d $f4, $f4, $f2     # multiplier
+        s.d   $f4, 0($t7)
+        mul   $t5, $s1, $s0
+        addu  $t5, $t5, $s1
+        sll   $t5, $t5, 3
+        addu  $t8, $s5, $t5     # &A[k][k] (walks A[k][j])
+        move  $t9, $t7          # walks A[i][j]
+        addiu $s3, $s1, 1       # j = k+1
+jloop:
+        addiu $t8, $t8, 8
+        addiu $t9, $t9, 8
+        l.d   $f6, 0($t8)       # A[k][j]
+        mul.d $f6, $f6, $f4
+        l.d   $f8, 0($t9)       # A[i][j]
+        sub.d $f8, $f8, $f6
+        s.d   $f8, 0($t9)
+        addiu $s3, $s3, 1
+        bne   $s3, $s0, jloop
+        addiu $s2, $s2, 1
+        bne   $s2, $s0, iloop
+knext:
+        addiu $s1, $s1, 1
+        bne   $s1, $s0, kloop
+        li    $v0, 10
+        syscall
+"""
+
+    def verify(cpu) -> None:
+        measured = read_doubles(cpu, "A", n * n)
+        assert_close(measured, expected, tolerance=1e-9, what="lu A")
+
+    return Workload(
+        name="lu",
+        description=f"Doolittle LU decomposition, {n}x{n} (paper: 128x128)",
+        source=source,
+        params={"n": n},
+        verify=verify,
+    )

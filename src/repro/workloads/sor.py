@@ -1,0 +1,114 @@
+"""Successive over-relaxation (``sor``) — reference [8] in the paper.
+
+Gauss-Seidel sweep with over-relaxation on a 5-point Laplace stencil,
+updating the grid in place:
+
+    u[i][j] += omega/4 * (u[i-1][j] + u[i+1][j] + u[i][j-1]
+                          + u[i][j+1] - 4*u[i][j])
+
+The paper uses a 256x256 grid; the default here is 32x32 with a few
+sweeps (the hot loop body is identical).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import (
+    Workload,
+    assert_close,
+    format_doubles,
+    pseudo_values,
+    read_doubles,
+)
+
+DEFAULT_N = 32
+DEFAULT_SWEEPS = 6
+OMEGA = 1.25
+
+
+def _reference(u: list[float], n: int, sweeps: int, omega: float) -> list[float]:
+    grid = list(u)
+    for _ in range(sweeps):
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                idx = i * n + j
+                grid[idx] += (omega / 4.0) * (
+                    grid[idx - n]
+                    + grid[idx + n]
+                    + grid[idx - 1]
+                    + grid[idx + 1]
+                    - 4.0 * grid[idx]
+                )
+    return grid
+
+
+def build(n: int = DEFAULT_N, sweeps: int = DEFAULT_SWEEPS) -> Workload:
+    """Build the sor workload on an ``n`` x ``n`` grid."""
+    if n < 3:
+        raise ValueError(f"grid must be at least 3x3, got {n}")
+    u0 = pseudo_values(n * n, seed=3)
+    expected = _reference(u0, n, sweeps, OMEGA)
+
+    source = f"""
+# sor: Gauss-Seidel over-relaxation, {n}x{n} grid, {sweeps} sweeps
+        .data
+U:
+{format_doubles(u0)}
+omega4: .double {OMEGA / 4.0!r}
+four:   .double 4.0
+        .text
+main:
+        li    $s0, {n}          # N
+        sll   $s4, $s0, 3       # row stride
+        la    $s5, U
+        la    $t9, omega4
+        l.d   $f2, 0($t9)       # omega/4
+        l.d   $f14, 8($t9)      # 4.0
+        li    $s6, 0            # sweep counter
+sweep:
+        li    $s1, 1            # i
+iloop:
+        mul   $t5, $s1, $s0
+        addiu $t5, $t5, 1
+        sll   $t5, $t5, 3
+        addu  $t3, $s5, $t5     # &U[i][1]
+        li    $s2, 1            # j
+jloop:
+        l.d   $f4, 0($t3)       # u
+        subu  $t6, $t3, $s4
+        l.d   $f6, 0($t6)       # north
+        addu  $t6, $t3, $s4
+        l.d   $f8, 0($t6)       # south
+        l.d   $f10, -8($t3)     # west
+        l.d   $f12, 8($t3)      # east
+        add.d $f6, $f6, $f8
+        add.d $f6, $f6, $f10
+        add.d $f6, $f6, $f12
+        mul.d $f8, $f4, $f14    # 4*u
+        sub.d $f6, $f6, $f8
+        mul.d $f6, $f6, $f2     # * omega/4
+        add.d $f4, $f4, $f6
+        s.d   $f4, 0($t3)
+        addiu $t3, $t3, 8
+        addiu $s2, $s2, 1
+        addiu $t7, $s0, -1
+        bne   $s2, $t7, jloop
+        addiu $s1, $s1, 1
+        bne   $s1, $t7, iloop
+        addiu $s6, $s6, 1
+        li    $t8, {sweeps}
+        bne   $s6, $t8, sweep
+        li    $v0, 10
+        syscall
+"""
+
+    def verify(cpu) -> None:
+        measured = read_doubles(cpu, "U", n * n)
+        assert_close(measured, expected, tolerance=1e-12, what="sor U")
+
+    return Workload(
+        name="sor",
+        description=f"successive over-relaxation, {n}x{n} grid (paper: 256x256)",
+        source=source,
+        params={"n": n, "sweeps": sweeps, "omega": OMEGA},
+        verify=verify,
+    )

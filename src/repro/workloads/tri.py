@@ -1,0 +1,151 @@
+"""Tridiagonal system solver (``tri``) — the Thomas algorithm.
+
+Forward elimination followed by back substitution on a diagonally
+dominant system.  The paper solves a 128x128 system; the default here
+keeps n = 128 and repeats the solve for several sweeps so the hot
+loops dominate the trace the way a 128x128 *matrix* of right-hand
+sides would.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import (
+    Workload,
+    assert_close,
+    format_doubles,
+    pseudo_values,
+    read_doubles,
+)
+
+DEFAULT_N = 128
+DEFAULT_SWEEPS = 20
+
+
+def _reference(
+    a: list[float], b: list[float], c: list[float], d: list[float]
+) -> list[float]:
+    n = len(b)
+    cp = [0.0] * n
+    dp = [0.0] * n
+    cp[0] = c[0] / b[0]
+    dp[0] = d[0] / b[0]
+    for i in range(1, n):
+        m = b[i] - a[i] * cp[i - 1]
+        cp[i] = c[i] / m
+        dp[i] = (d[i] - a[i] * dp[i - 1]) / m
+    x = [0.0] * n
+    x[n - 1] = dp[n - 1]
+    for i in range(n - 2, -1, -1):
+        x[i] = dp[i] - cp[i] * x[i + 1]
+    return x
+
+
+def build(n: int = DEFAULT_N, sweeps: int = DEFAULT_SWEEPS) -> Workload:
+    """Build the tri workload for an ``n``-unknown system."""
+    if n < 2:
+        raise ValueError(f"system size must be >= 2, got {n}")
+    sub = [0.0] + [1.0 + v * 0.1 for v in pseudo_values(n - 1, seed=7)]
+    main_diag = [4.0 + v * 0.2 for v in pseudo_values(n, seed=8)]
+    sup = [1.0 + v * 0.1 for v in pseudo_values(n - 1, seed=9)] + [0.0]
+    rhs = pseudo_values(n, seed=10)
+    expected = _reference(sub, main_diag, sup, rhs)
+
+    source = f"""
+# tri: Thomas tridiagonal solver, n={n}, {sweeps} sweeps
+        .data
+A:
+{format_doubles(sub)}
+B:
+{format_doubles(main_diag)}
+C:
+{format_doubles(sup)}
+D:
+{format_doubles(rhs)}
+CP:
+        .space {8 * n}
+DP:
+        .space {8 * n}
+X:
+        .space {8 * n}
+        .text
+main:
+        li    $s0, {n}
+        li    $s6, 0            # sweep counter
+sweep:
+        la    $t0, A
+        la    $t1, B
+        la    $t2, C
+        la    $t3, D
+        la    $t4, CP
+        la    $t5, DP
+# cp[0] = c[0]/b[0]; dp[0] = d[0]/b[0]
+        l.d   $f2, 0($t1)       # b[0]
+        l.d   $f4, 0($t2)       # c[0]
+        div.d $f4, $f4, $f2
+        s.d   $f4, 0($t4)       # cp[0], stays in $f4
+        l.d   $f6, 0($t3)       # d[0]
+        div.d $f6, $f6, $f2
+        s.d   $f6, 0($t5)       # dp[0], stays in $f6
+        li    $s1, 1            # i
+floop:
+        addiu $t0, $t0, 8
+        addiu $t1, $t1, 8
+        addiu $t2, $t2, 8
+        addiu $t3, $t3, 8
+        addiu $t4, $t4, 8
+        addiu $t5, $t5, 8
+        l.d   $f8, 0($t0)       # a[i]
+        l.d   $f2, 0($t1)       # b[i]
+        mul.d $f10, $f8, $f4    # a[i]*cp[i-1]
+        sub.d $f2, $f2, $f10    # m
+        l.d   $f4, 0($t2)       # c[i]
+        div.d $f4, $f4, $f2     # cp[i]
+        s.d   $f4, 0($t4)
+        l.d   $f10, 0($t3)      # d[i]
+        mul.d $f12, $f8, $f6    # a[i]*dp[i-1]
+        sub.d $f10, $f10, $f12
+        div.d $f6, $f10, $f2    # dp[i]
+        s.d   $f6, 0($t5)
+        addiu $s1, $s1, 1
+        bne   $s1, $s0, floop
+# back substitution
+        la    $t4, CP
+        la    $t5, DP
+        la    $t6, X
+        addiu $t7, $s0, -1
+        sll   $t8, $t7, 3
+        addu  $t4, $t4, $t8     # &cp[n-1]
+        addu  $t5, $t5, $t8     # &dp[n-1]
+        addu  $t6, $t6, $t8     # &x[n-1]
+        l.d   $f4, 0($t5)       # x[n-1] = dp[n-1]
+        s.d   $f4, 0($t6)
+        move  $s1, $t7          # i+1 counter (runs n-1 .. 1)
+bloop:
+        addiu $t4, $t4, -8
+        addiu $t5, $t5, -8
+        addiu $t6, $t6, -8
+        l.d   $f6, 0($t4)       # cp[i]
+        l.d   $f8, 0($t5)       # dp[i]
+        mul.d $f6, $f6, $f4     # cp[i]*x[i+1]
+        sub.d $f4, $f8, $f6     # x[i]
+        s.d   $f4, 0($t6)
+        addiu $s1, $s1, -1
+        bnez  $s1, bloop
+        addiu $s6, $s6, 1
+        li    $t9, {sweeps}
+        bne   $s6, $t9, sweep
+        li    $v0, 10
+        syscall
+"""
+
+    def verify(cpu) -> None:
+        measured = read_doubles(cpu, "X", n)
+        assert_close(measured, expected, tolerance=1e-9, what="tri x")
+
+    return Workload(
+        name="tri",
+        description=f"Thomas tridiagonal solver, n={n} (paper: 128)",
+        source=source,
+        params={"n": n, "sweeps": sweeps},
+        verify=verify,
+    )

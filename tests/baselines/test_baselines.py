@@ -1,0 +1,141 @@
+"""Tests for the related-work baseline encoders."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bus_invert import BusInvertCoder, bus_invert_transitions
+from repro.baselines.frequency import FrequencyRemapper
+from repro.baselines.gray import gray_decode, gray_encode, gray_transitions
+from repro.baselines.t0 import T0Coder, raw_address_transitions, t0_transitions
+
+words32 = st.lists(
+    st.integers(min_value=0, max_value=(1 << 32) - 1), min_size=0, max_size=60
+)
+
+
+class TestBusInvert:
+    def test_inversion_triggers_above_half(self):
+        coder = BusInvertCoder(width=8)
+        coder.reset(initial_word=0x00)
+        driven, invert = coder.send(0xFF)  # distance 8 > 4 -> invert
+        assert invert == 1
+        assert driven == 0x00
+        # 0 bus transitions + 1 invert-line transition
+        assert coder.transitions == 1
+
+    def test_no_inversion_below_half(self):
+        coder = BusInvertCoder(width=8)
+        coder.reset(initial_word=0x00)
+        driven, invert = coder.send(0x03)
+        assert invert == 0 and driven == 0x03
+        assert coder.transitions == 2
+
+    def test_decode_restores(self):
+        coder = BusInvertCoder(width=8)
+        rng = random.Random(1)
+        words = [rng.getrandbits(8) for _ in range(100)]
+        for word in words:
+            driven, invert = coder.send(word)
+            assert BusInvertCoder.decode(driven, invert, width=8) == word
+
+    @given(words32)
+    @settings(max_examples=100)
+    def test_worst_case_bound(self, words):
+        # Per transfer: at most width/2 line transitions + 1 invert.
+        coder = BusInvertCoder(width=32)
+        if not words:
+            return
+        coder.reset(initial_word=words[0])
+        before = 0
+        for word in words[1:]:
+            coder.send(word)
+            assert coder.transitions - before <= 17
+            before = coder.transitions
+
+    @given(words32)
+    @settings(max_examples=100)
+    def test_never_worse_than_raw_plus_signal(self, words):
+        raw = sum(
+            (a ^ b).bit_count() for a, b in zip(words, words[1:])
+        )
+        encoded = bus_invert_transitions(words)
+        # The invert line can add at most one transition per transfer.
+        assert encoded <= raw + max(0, len(words) - 1)
+
+    def test_empty(self):
+        assert bus_invert_transitions([]) == 0
+
+
+class TestT0:
+    def test_sequential_stream_freezes_bus(self):
+        addresses = [0x400000 + 4 * i for i in range(100)]
+        # Only the initial rise of the increment line toggles; the
+        # address lines never move.
+        assert t0_transitions(addresses) <= 1
+
+    def test_branch_costs_transitions(self):
+        addresses = [0x400000, 0x400004, 0x400100]
+        assert t0_transitions(addresses) > 0
+
+    def test_t0_beats_raw_on_sequential(self):
+        addresses = [0x400000 + 4 * i for i in range(64)]
+        assert t0_transitions(addresses) < raw_address_transitions(addresses)
+
+    def test_frozen_counter(self):
+        coder = T0Coder()
+        coder.reset(0x100)
+        coder.send(0x104)
+        coder.send(0x108)
+        coder.send(0x200)
+        assert coder.frozen_transfers == 2
+
+    def test_empty(self):
+        assert t0_transitions([]) == 0
+
+
+class TestGray:
+    @given(st.integers(min_value=0, max_value=(1 << 30) - 1))
+    def test_roundtrip(self, value):
+        assert gray_decode(gray_encode(value)) == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 30) - 2))
+    def test_adjacent_differ_in_one_bit(self, value):
+        a, b = gray_encode(value), gray_encode(value + 1)
+        assert (a ^ b).bit_count() == 1
+
+    def test_sequential_stream_one_transition_per_fetch(self):
+        addresses = [4 * i for i in range(100)]
+        assert gray_transitions(addresses) == 99
+
+
+class TestFrequencyRemapper:
+    def test_fit_assigns_small_codes_to_frequent_words(self):
+        words = [0xAAAAAAAA] * 100 + [0x55555555] * 50 + [0x12345678] * 10
+        remapper = FrequencyRemapper().fit(words)
+        code_a, escape_a = remapper.encode(0xAAAAAAAA)
+        assert escape_a == 0
+        assert code_a == 0  # most frequent gets the all-zero code
+
+    def test_unknown_word_escapes(self):
+        remapper = FrequencyRemapper().fit([1, 2, 3])
+        word, escape = remapper.encode(0xDEAD)
+        assert word == 0xDEAD and escape == 1
+
+    def test_transitions_reduced_on_skewed_stream(self):
+        rng = random.Random(2)
+        hot = [rng.getrandbits(32) for _ in range(4)]
+        words = [hot[rng.randrange(4)] for _ in range(2000)]
+        remapper = FrequencyRemapper().fit(words)
+        raw = sum((a ^ b).bit_count() for a, b in zip(words, words[1:]))
+        assert remapper.transitions(words) < raw
+
+    def test_dictionary_cost_reported(self):
+        remapper = FrequencyRemapper(max_entries=8).fit(list(range(20)))
+        assert remapper.dictionary_bits == 8 * 64
+
+    def test_capacity_respected(self):
+        remapper = FrequencyRemapper(max_entries=4).fit(list(range(100)))
+        assert len(remapper.mapping) == 4

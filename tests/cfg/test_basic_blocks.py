@@ -1,0 +1,135 @@
+"""Tests for leader detection and basic-block construction."""
+
+import pytest
+
+from repro.cfg.basic_blocks import build_basic_blocks, find_leaders
+from repro.isa.assembler import TEXT_BASE, assemble
+
+
+def blocks_of(source: str):
+    program = assemble(source)
+    return program, build_basic_blocks(program)
+
+
+class TestLeaders:
+    def test_straight_line_single_block(self):
+        program, blocks = blocks_of(
+            ".text\nmain: addu $t0, $t1, $t2\naddu $t3, $t4, $t5\n"
+            "li $v0, 10\nsyscall\n"
+        )
+        assert len(blocks) == 1
+        (block,) = blocks.values()
+        assert len(block) == 4
+
+    def test_branch_splits_blocks(self):
+        program, blocks = blocks_of(
+            """
+            .text
+            main: li $t0, 3
+            loop: addiu $t0, $t0, -1
+            bnez $t0, loop
+            li $v0, 10
+            syscall
+            """
+        )
+        loop = program.address_of("loop")
+        assert loop in blocks
+        assert set(blocks) == {TEXT_BASE, loop, loop + 8}
+
+    def test_jump_target_is_leader(self):
+        program, blocks = blocks_of(
+            ".text\nmain: j skip\nnop\nskip: li $v0, 10\nsyscall\n"
+        )
+        assert program.address_of("skip") in blocks
+
+    def test_leaders_within_text_only(self):
+        program = assemble(".text\nmain: nop\nli $v0, 10\nsyscall\n")
+        leaders = find_leaders(program)
+        assert all(
+            program.text_base <= a < program.text_end for a in leaders
+        )
+
+
+class TestSuccessors:
+    def test_conditional_branch_two_successors(self):
+        program, blocks = blocks_of(
+            """
+            .text
+            main: bnez $t0, out
+            addiu $t1, $t1, 1
+            out: li $v0, 10
+            syscall
+            """
+        )
+        entry = blocks[TEXT_BASE]
+        out = program.address_of("out")
+        assert set(entry.successors) == {out, TEXT_BASE + 4}
+
+    def test_unconditional_jump_one_successor(self):
+        program, blocks = blocks_of(
+            ".text\nmain: j end\nmid: nop\nend: li $v0, 10\nsyscall\n"
+        )
+        entry = blocks[TEXT_BASE]
+        assert entry.successors == [program.address_of("end")]
+
+    def test_fallthrough_successor(self):
+        program, blocks = blocks_of(
+            ".text\nmain: nop\ntarget: li $v0, 10\nsyscall\nj target\n"
+        )
+        entry = blocks[TEXT_BASE]
+        assert entry.successors == [program.address_of("target")]
+
+    def test_jr_has_indirect_flag(self):
+        program, blocks = blocks_of(".text\nmain: jr $ra\n")
+        assert blocks[TEXT_BASE].has_indirect_successor
+        assert blocks[TEXT_BASE].successors == []
+
+    def test_jal_links_call_and_return_site(self):
+        program, blocks = blocks_of(
+            """
+            .text
+            main: jal func
+            li $v0, 10
+            syscall
+            func: jr $ra
+            """
+        )
+        entry = blocks[TEXT_BASE]
+        assert set(entry.successors) == {
+            program.address_of("func"),
+            TEXT_BASE + 4,
+        }
+
+
+class TestBlockProperties:
+    def test_blocks_partition_text(self):
+        program, blocks = blocks_of(
+            """
+            .text
+            main: li $t0, 5
+            a: bnez $t0, b
+            addiu $t0, $t0, -1
+            j a
+            b: li $v0, 10
+            syscall
+            """
+        )
+        covered = []
+        for block in blocks.values():
+            covered.extend(block.addresses)
+        expected = list(range(program.text_base, program.text_end, 4))
+        assert sorted(covered) == expected
+
+    def test_words_match_program(self):
+        program, blocks = blocks_of(
+            ".text\nmain: li $t0, 1\nli $v0, 10\nsyscall\n"
+        )
+        for block in blocks.values():
+            for address, word in zip(block.addresses, block.words):
+                assert program.word_at(address) == word
+
+    def test_terminator(self):
+        program, blocks = blocks_of(
+            ".text\nmain: nop\nj main\n"
+        )
+        assert blocks[TEXT_BASE].terminator.name == "j"

@@ -1,0 +1,124 @@
+"""Tests for partial (prefix) encoding of long basic blocks.
+
+When a hot block needs more TT entries than remain, the selector can
+encode just a prefix; the hardware's E/CT tail mechanism ends decoding
+there and the rest of the block stays plain in memory.
+"""
+
+import pytest
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.hotspot import select_hot_blocks
+from repro.cfg.profile import profile_trace
+from repro.isa.assembler import assemble
+from repro.pipeline.flow import EncodingFlow
+from repro.sim.cpu import run_program
+
+
+def _long_block_program(body_instructions: int = 40):
+    body = "\n".join(
+        f"        addu $t{i % 8}, $t{(i + 1) % 8}, $t{(i + 2) % 8}"
+        for i in range(body_instructions)
+    )
+    return assemble(
+        f"""
+        .text
+main:   li $s0, 30
+loop:
+{body}
+        addiu $s0, $s0, -1
+        bnez $s0, loop
+        li $v0, 10
+        syscall
+        """
+    )
+
+
+@pytest.fixture(scope="module")
+def long_setup():
+    program = _long_block_program()
+    cpu, trace = run_program(program)
+    cfg = ControlFlowGraph.build(program)
+    profile = profile_trace(cfg, trace)
+    return program, trace, cfg, profile
+
+
+class TestSelection:
+    def test_prefix_selected_under_pressure(self, long_setup):
+        program, trace, cfg, profile = long_setup
+        # The loop block is 42 instructions; at k=5 it needs 11 TT
+        # entries.  With only 4 available, a prefix is selected.
+        plan = select_hot_blocks(profile, block_size=5, tt_capacity=4)
+        loop = program.address_of("loop")
+        assert loop in plan.selected
+        assert loop in plan.prefix_lengths
+        # 4 entries cover 5 + 3*4 = 17 instructions.
+        assert plan.prefix_lengths[loop] == 17
+        assert plan.tt_entries_used <= 4
+
+    def test_no_prefix_when_capacity_suffices(self, long_setup):
+        program, trace, cfg, profile = long_setup
+        plan = select_hot_blocks(profile, block_size=5, tt_capacity=16)
+        loop = program.address_of("loop")
+        assert loop in plan.selected
+        assert loop not in plan.prefix_lengths
+
+    def test_partial_disabled(self, long_setup):
+        program, trace, cfg, profile = long_setup
+        plan = select_hot_blocks(
+            profile, block_size=5, tt_capacity=4, allow_partial=False
+        )
+        loop = program.address_of("loop")
+        assert loop not in plan.selected
+        assert loop in plan.skipped_capacity
+
+    def test_encoded_length_helper(self, long_setup):
+        program, trace, cfg, profile = long_setup
+        plan = select_hot_blocks(profile, block_size=5, tt_capacity=4)
+        loop = program.address_of("loop")
+        assert plan.encoded_length(loop, 42) == 17
+        assert plan.encoded_length(0xDEAD, 9) == 9  # untouched block
+
+
+class TestFlowWithPrefixes:
+    def test_decode_verified_with_prefix(self, long_setup):
+        program, trace, cfg, profile = long_setup
+        result = EncodingFlow(block_size=5, tt_capacity=4).run(
+            program, trace, "long"
+        )
+        assert result.decode_verified
+        assert result.reduction_percent > 0.0
+
+    def test_prefix_beats_nothing(self, long_setup):
+        program, trace, cfg, profile = long_setup
+        with_prefix = EncodingFlow(block_size=5, tt_capacity=4).run(
+            program, trace, "long"
+        )
+        flow_without = EncodingFlow(block_size=5, tt_capacity=4)
+        flow_without_plan = select_hot_blocks(
+            profile, block_size=5, tt_capacity=4, allow_partial=False
+        )
+        # Without partial encoding nothing fits, so baseline == encoded.
+        assert flow_without_plan.selected == []
+        assert with_prefix.encoded_transitions < with_prefix.baseline_transitions
+
+    def test_capacity_ladder_monotone(self, long_setup):
+        program, trace, cfg, profile = long_setup
+        reductions = []
+        for capacity in (1, 2, 4, 8, 16):
+            result = EncodingFlow(block_size=5, tt_capacity=capacity).run(
+                program, trace, "long"
+            )
+            assert result.decode_verified or not result.selected_blocks
+            reductions.append(result.reduction_percent)
+        assert reductions == sorted(reductions)
+
+    def test_bundle_roundtrip_with_prefix(self, long_setup):
+        from repro.pipeline.bundle import EncodingBundle
+
+        program, trace, cfg, profile = long_setup
+        result = EncodingFlow(block_size=5, tt_capacity=4).run(
+            program, trace, "long"
+        )
+        bundle = EncodingBundle.from_flow_result(program, result)
+        assert bundle.deploy_and_check(program, trace)

@@ -1,0 +1,226 @@
+"""Tests for the per-block optimal code-word search (Section 5.1/6)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitstream import count_transitions, from_paper_string
+from repro.core.block_solver import (
+    BlockSolver,
+    solve_anchored_by_enumeration,
+)
+from repro.core.transformations import (
+    ALL_TRANSFORMATIONS,
+    OPTIMAL_SET,
+    by_name,
+)
+
+words = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=9)
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return BlockSolver(OPTIMAL_SET)
+
+
+@pytest.fixture(scope="module")
+def full_solver():
+    return BlockSolver(ALL_TRANSFORMATIONS)
+
+
+class TestAnchoredSolve:
+    def test_paper_walkthrough_010(self, solver):
+        # Section 5.1 walks 010 -> 000 via ~y, eliminating both
+        # transitions.
+        solution = solver.solve_anchored(from_paper_string("010"))
+        assert solution.code == tuple(from_paper_string("000"))
+        assert solution.transformation == by_name("~y")
+        assert solution.original_transitions == 2
+        assert solution.encoded_transitions == 0
+
+    def test_paper_walkthrough_011(self, solver):
+        # Section 5.1: 011 cannot reach 0 transitions (contradictory
+        # constraints); identity keeps the single transition.
+        solution = solver.solve_anchored(from_paper_string("011"))
+        assert solution.code == tuple(from_paper_string("011"))
+        assert solution.transformation == by_name("x")
+        assert solution.encoded_transitions == 1
+
+    def test_anchor_equation_enforced(self, solver):
+        for size in range(1, 7):
+            for word in itertools.product((0, 1), repeat=size):
+                solution = solver.solve_anchored(list(word))
+                assert solution.code[0] == word[0]
+
+    def test_never_worse_than_original(self, solver):
+        for size in range(1, 8):
+            for word in itertools.product((0, 1), repeat=size):
+                solution = solver.solve_anchored(list(word))
+                assert (
+                    solution.encoded_transitions
+                    <= solution.original_transitions
+                )
+
+    def test_decode_roundtrip_exhaustive(self, solver):
+        for size in range(1, 8):
+            for word in itertools.product((0, 1), repeat=size):
+                solution = solver.solve_anchored(list(word))
+                assert solver.verify(solution)
+
+    @pytest.mark.parametrize("size", range(2, 7))
+    def test_matches_paper_style_enumeration(self, solver, size):
+        # Cross-validate the DP against the paper's own search order.
+        for word in itertools.product((0, 1), repeat=size):
+            dp = solver.solve_anchored(list(word))
+            enum = solve_anchored_by_enumeration(list(word))
+            assert dp.encoded_transitions == enum.encoded_transitions, word
+
+    def test_empty_word_rejected(self, solver):
+        with pytest.raises(ValueError):
+            solver.solve_anchored([])
+
+    def test_non_bit_rejected(self, solver):
+        with pytest.raises(ValueError):
+            solver.solve_anchored([0, 2, 1])
+
+    def test_single_bit_word(self, solver):
+        solution = solver.solve_anchored([1])
+        assert solution.code == (1,)
+        assert solution.encoded_transitions == 0
+
+
+class TestConstrainedSolve:
+    def test_always_feasible(self, solver):
+        for size in range(1, 7):
+            for word in itertools.product((0, 1), repeat=size):
+                for fixed in (0, 1):
+                    solution = solver.solve_constrained(list(word), fixed)
+                    assert solution.code[0] == fixed
+
+    def test_constrained_decode_roundtrip(self, solver):
+        # Decoder knows the original overlap bit (word[0]); verify the
+        # chain restores the remaining bits.
+        for size in range(2, 7):
+            for word in itertools.product((0, 1), repeat=size):
+                for fixed in (0, 1):
+                    solution = solver.solve_constrained(list(word), fixed)
+                    decoded = [word[0]]
+                    for i in range(1, size):
+                        decoded.append(
+                            solution.transformation(
+                                solution.code[i], decoded[i - 1]
+                            )
+                        )
+                    assert decoded == list(word)
+
+    def test_matching_fixed_bit_no_worse_than_anchored(self, solver):
+        # When the inherited stored bit equals the original, the
+        # constrained problem contains the anchored one.
+        for size in range(2, 7):
+            for word in itertools.product((0, 1), repeat=size):
+                anchored = solver.solve_anchored(list(word))
+                constrained = solver.solve_constrained(list(word), word[0])
+                assert (
+                    constrained.encoded_transitions
+                    <= anchored.encoded_transitions
+                )
+
+    def test_full_set_beats_eight_set_in_twelve_cases(self, full_solver, solver):
+        # Reproduction finding: overlap-constrained blocks occasionally
+        # benefit from x|~y / x&~y (12 cases over sizes 2..7).
+        losses = 0
+        for size in range(2, 8):
+            for word in itertools.product((0, 1), repeat=size):
+                for fixed in (0, 1):
+                    a = full_solver.solve_constrained(list(word), fixed)
+                    b = solver.solve_constrained(list(word), fixed)
+                    assert a.encoded_transitions <= b.encoded_transitions
+                    if a.encoded_transitions < b.encoded_transitions:
+                        losses += 1
+                        assert (
+                            b.encoded_transitions - a.encoded_transitions == 1
+                        )
+        assert losses == 12
+
+    def test_invalid_fixed_bit(self, solver):
+        with pytest.raises(ValueError):
+            solver.solve_constrained([0, 1], 2)
+
+
+class TestBestByFinalBit:
+    def test_profile_consistency(self, solver):
+        # The per-final-bit minimum must match the overall minimum.
+        for word in itertools.product((0, 1), repeat=5):
+            for t in OPTIMAL_SET:
+                overall = solver.best_for_transformation(list(word), t)
+                by_final = solver.best_by_final_bit(list(word), t)
+                assert (overall is None) == (by_final is None)
+                if overall is None:
+                    continue
+                assert overall[0] == min(c for c, _ in by_final.values())
+
+    def test_codes_decode_correctly(self, solver):
+        word = [0, 1, 1, 0, 1]
+        for t in OPTIMAL_SET:
+            by_final = solver.best_by_final_bit(word, t)
+            if by_final is None:
+                continue
+            for final_bit, (cost, code) in by_final.items():
+                assert code[-1] == final_bit
+                assert count_transitions(code) == cost
+                decoded = [code[0]]
+                for i in range(1, len(code)):
+                    decoded.append(t(code[i], decoded[i - 1]))
+                # Anchored: decode must reproduce the word.
+                assert decoded[0] == word[0]
+
+
+class TestProperties:
+    @given(words)
+    @settings(max_examples=200)
+    def test_solution_invariants(self, word):
+        solver = BlockSolver(OPTIMAL_SET)
+        solution = solver.solve_anchored(word)
+        assert len(solution.code) == len(word)
+        assert solution.encoded_transitions == count_transitions(solution.code)
+        assert solution.original_transitions == count_transitions(word)
+        assert solution.reduction >= 0
+        assert solver.verify(solution)
+
+    @given(words, st.integers(min_value=0, max_value=1))
+    @settings(max_examples=200)
+    def test_constrained_invariants(self, word, fixed):
+        solver = BlockSolver(OPTIMAL_SET)
+        solution = solver.solve_constrained(word, fixed)
+        assert solution.code[0] == fixed
+        assert solution.encoded_transitions == count_transitions(solution.code)
+
+    @given(words)
+    @settings(max_examples=100)
+    def test_complement_symmetry(self, word):
+        # Section 5.2 symmetry: complementing the word complements the
+        # optimal transition count story exactly.
+        solver = BlockSolver(OPTIMAL_SET)
+        a = solver.solve_anchored(word)
+        b = solver.solve_anchored([1 - bit for bit in word])
+        assert a.encoded_transitions == b.encoded_transitions
+
+
+class TestSolverConfiguration:
+    def test_empty_transformation_set_rejected(self):
+        with pytest.raises(ValueError):
+            BlockSolver([])
+
+    def test_identity_only_solver_reproduces_input(self):
+        solver = BlockSolver([by_name("x")])
+        word = [0, 1, 0, 1]
+        solution = solver.solve_anchored(word)
+        assert solution.code == tuple(word)
+
+    def test_insufficient_set_raises(self):
+        # nor alone cannot express e.g. the all-ones word.
+        solver = BlockSolver([by_name("nor")])
+        with pytest.raises(RuntimeError):
+            solver.solve_anchored([1, 1, 1])

@@ -1,0 +1,140 @@
+"""Codebook tests: exact reproduction of Figures 2 and 4."""
+
+import pytest
+
+from repro.core.bitstream import from_paper_string, to_paper_string
+from repro.core.codebook import Codebook, build_codebook
+from repro.core.transformations import ALL_TRANSFORMATIONS, OPTIMAL_SET
+
+# Figure 2, verbatim: X, X~, tau, T_x, T_x~.
+FIGURE2 = [
+    ("000", "000", "x", 0, 0),
+    ("001", "111", "~x", 1, 0),
+    ("010", "000", "~y", 2, 0),
+    ("011", "011", "x", 1, 1),
+    ("100", "100", "x", 1, 1),
+    ("101", "111", "~y", 2, 0),
+    ("110", "000", "~x", 1, 0),
+    ("111", "111", "x", 0, 0),
+]
+
+# Figure 4, verbatim (the printed first half).
+FIGURE4_FIRST_HALF = [
+    ("00000", "00000", "x", 0, 0),
+    ("00001", "11111", "~x", 1, 0),
+    ("00010", "11100", "~x", 2, 1),
+    ("00011", "00011", "x", 1, 1),
+    ("00100", "00100", "x", 2, 2),
+    ("00101", "01111", "xor", 3, 1),
+    ("00110", "11000", "~x", 2, 1),
+    ("00111", "00111", "x", 1, 1),
+    ("01000", "11000", "xor", 2, 1),
+    ("01001", "00111", "nor", 3, 1),
+    ("01010", "00000", "~y", 4, 0),
+    ("01011", "00011", "xnor", 3, 1),
+    ("01100", "01100", "x", 2, 2),
+    ("01101", "10011", "~x", 3, 2),
+    ("01110", "10000", "~x", 2, 1),
+    ("01111", "01111", "x", 1, 1),
+]
+
+
+@pytest.fixture(scope="module")
+def book3():
+    return build_codebook(3, ALL_TRANSFORMATIONS)
+
+
+@pytest.fixture(scope="module")
+def book5():
+    return build_codebook(5, OPTIMAL_SET)
+
+
+class TestFigure2:
+    def test_every_row_matches_paper(self, book3):
+        for word_str, code_str, tau, tx, txt in FIGURE2:
+            solution = book3.solution_for(word_str)
+            assert to_paper_string(solution.code) == code_str, word_str
+            assert solution.transformation.name == tau, word_str
+            assert solution.original_transitions == tx, word_str
+            assert solution.encoded_transitions == txt, word_str
+
+    def test_ttn_rtn(self, book3):
+        # "the total number of transitions for the original code words
+        # is 8, while the transitions within the code words are only 2"
+        assert book3.total_transitions == 8
+        assert book3.reduced_transitions == 2
+        assert book3.improvement_percent == 75.0
+
+
+class TestFigure4:
+    def test_first_half_matches_paper(self, book5):
+        for word_str, code_str, tau, tx, txt in FIGURE4_FIRST_HALF:
+            solution = book5.solution_for(word_str)
+            assert to_paper_string(solution.code) == code_str, word_str
+            assert solution.transformation.name == tau, word_str
+            assert solution.original_transitions == tx, word_str
+            assert solution.encoded_transitions == txt, word_str
+
+    def test_second_half_by_symmetry(self, book5):
+        # The paper omits words starting with 1: complementing the word
+        # gives the same encoded transition count with the dual tau.
+        for word_str, _, _, tx, txt in FIGURE4_FIRST_HALF:
+            mirrored = "".join("1" if c == "0" else "0" for c in word_str)
+            solution = book5.solution_for(mirrored)
+            assert solution.original_transitions == tx
+            assert solution.encoded_transitions == txt
+
+    def test_restriction_to_eight_costs_nothing(self):
+        full = build_codebook(5, ALL_TRANSFORMATIONS)
+        restricted = build_codebook(5, OPTIMAL_SET)
+        assert (
+            full.reduced_transitions == restricted.reduced_transitions == 32
+        )
+
+    def test_only_paper_functions_appear(self, book5):
+        used = {s.transformation.name for s in book5.solutions}
+        # Figure 4 text: identity, inversion, XOR, XNOR, NOR (+ NAND
+        # and ~y appear via symmetry / Figure 2).
+        assert used <= {"x", "~x", "~y", "xor", "xnor", "nor", "nand"}
+
+    def test_first_half_helper(self, book5):
+        half = book5.first_half()
+        assert len(half) == 16
+        assert all(to_paper_string(s.word)[0] == "0" for s in half)
+
+
+class TestCodebookApi:
+    def test_rows_align_with_solutions(self, book3):
+        rows = book3.rows()
+        assert len(rows) == 8
+        assert rows[0][0] == "000"
+        assert rows[-1][0] == "111"
+
+    def test_solution_lookup_missing(self, book3):
+        with pytest.raises(KeyError):
+            book3.solution_for("0000")
+
+    def test_format_table_contains_all_words(self, book3):
+        text = book3.format_table()
+        for word_str, *_ in FIGURE2:
+            assert word_str in text
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            build_codebook(0)
+
+    def test_block_size_one_trivial(self):
+        book = build_codebook(1)
+        assert book.total_transitions == 0
+        assert book.improvement_percent == 0.0
+
+    def test_codebook_words_cover_space(self, book5):
+        words = {to_paper_string(s.word) for s in book5.solutions}
+        assert len(words) == 32
+
+    def test_every_solution_decodes(self, book5):
+        from repro.core.block_solver import BlockSolver
+
+        solver = BlockSolver(OPTIMAL_SET)
+        for solution in book5.solutions:
+            assert solver.verify(solution)

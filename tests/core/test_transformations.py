@@ -1,0 +1,139 @@
+"""Tests for the transformation sets and the Section 5.2 claims."""
+
+import itertools
+
+import pytest
+
+from repro.core.block_solver import BlockSolver
+from repro.core.transformations import (
+    ALL_TRANSFORMATIONS,
+    IDENTITY,
+    OPTIMAL_SET,
+    Transformation,
+    by_name,
+    by_selector,
+    find_minimal_optimal_sets,
+    is_closed_under_duality,
+    lookup,
+)
+
+
+class TestSetDefinitions:
+    def test_optimal_set_has_eight_members(self):
+        assert len(OPTIMAL_SET) == 8
+
+    def test_optimal_set_names(self):
+        names = {t.name for t in OPTIMAL_SET}
+        assert names == {"x", "~x", "y", "~y", "xor", "xnor", "nor", "nand"}
+
+    def test_selectors_are_unique_three_bit(self):
+        selectors = [t.selector for t in OPTIMAL_SET]
+        assert sorted(selectors) == list(range(8))
+
+    def test_identity_is_selector_zero(self):
+        assert IDENTITY.selector == 0
+        assert IDENTITY.is_identity
+
+    def test_all_transformations_complete(self):
+        assert len(ALL_TRANSFORMATIONS) == 16
+        tables = {t.func.truth_table for t in ALL_TRANSFORMATIONS}
+        assert tables == set(range(16))
+
+    def test_optimal_set_leads_all_transformations(self):
+        # Solver tie-breaks rely on this ordering.
+        assert ALL_TRANSFORMATIONS[:8] == OPTIMAL_SET
+
+    def test_non_optimal_members_have_no_selector(self):
+        for t in ALL_TRANSFORMATIONS[8:]:
+            assert t.selector is None
+
+    def test_lookup_by_selector(self):
+        for t in OPTIMAL_SET:
+            assert by_selector(t.selector) == t
+
+    def test_bad_selector_raises(self):
+        with pytest.raises(KeyError):
+            by_selector(8)
+
+    def test_by_name(self):
+        assert by_name("xor").name == "xor"
+        with pytest.raises(KeyError):
+            by_name("nope")
+
+    def test_lookup_by_truth_table(self):
+        for t in ALL_TRANSFORMATIONS:
+            assert lookup(t.func.truth_table) == t
+
+
+class TestDualityClosure:
+    def test_optimal_set_closed_under_duality(self):
+        assert is_closed_under_duality(OPTIMAL_SET)
+
+    def test_dual_method_swaps_paper_pairs(self):
+        assert by_name("xor").dual() == by_name("xnor")
+        assert by_name("nor").dual() == by_name("nand")
+        assert by_name("x").dual() == by_name("x")
+
+
+class TestSection52Claims:
+    """The paper's operative claim: the restricted set achieves the
+    unrestricted optimum for every block size up to seven."""
+
+    @pytest.mark.parametrize("size", range(2, 8))
+    def test_eight_set_matches_full_search(self, size):
+        full = BlockSolver(ALL_TRANSFORMATIONS)
+        restricted = BlockSolver(OPTIMAL_SET)
+        for word in itertools.product((0, 1), repeat=size):
+            a = full.solve_anchored(list(word))
+            b = restricted.solve_anchored(list(word))
+            assert a.encoded_transitions == b.encoded_transitions, word
+
+    def test_minimal_hitting_set_is_six_functions(self):
+        # Reproduction finding (sharper than the paper's 8): six
+        # functions suffice for anchored optimality on sizes <= 7.
+        sets = find_minimal_optimal_sets(7)
+        assert len(sets) == 1
+        names = {t.name for t in sets[0]}
+        assert names == {"x", "~x", "xor", "xnor", "nor", "nand"}
+
+    def test_minimal_set_contained_in_paper_set(self):
+        (minimal,) = find_minimal_optimal_sets(7)
+        optimal_names = {t.name for t in OPTIMAL_SET}
+        assert {t.name for t in minimal} <= optimal_names
+
+    def test_smaller_sets_are_insufficient(self):
+        # Dropping any one member of the minimal set must lose
+        # optimality on some word.
+        (minimal,) = find_minimal_optimal_sets(7)
+        full = BlockSolver(ALL_TRANSFORMATIONS)
+        for dropped in minimal:
+            if dropped.is_identity:
+                continue  # identity is mandatory by construction
+            subset = [t for t in minimal if t != dropped]
+            solver = BlockSolver(subset)
+            lost = False
+            for size in range(2, 8):
+                for word in itertools.product((0, 1), repeat=size):
+                    a = full.solve_anchored(list(word))
+                    b = solver.solve_anchored(list(word))
+                    if b.encoded_transitions > a.encoded_transitions:
+                        lost = True
+                        break
+                if lost:
+                    break
+            assert lost, f"dropping {dropped.name} should hurt"
+
+
+class TestTransformationObject:
+    def test_callable(self):
+        xor = by_name("xor")
+        assert xor(1, 0) == 1
+        assert xor(1, 1) == 0
+
+    def test_repr_contains_name(self):
+        assert "xor" in repr(by_name("xor"))
+
+    def test_equality_ignores_selector(self):
+        a = Transformation(by_name("xor").func, selector=4)
+        b = Transformation(by_name("xor").func, selector=None)
+        assert a == b

@@ -1,0 +1,74 @@
+"""Tests for the hardware cost model."""
+
+import pytest
+
+from repro.hw.cost import (
+    HardwareCost,
+    cost_sweep,
+    ct_field_bits,
+    estimate_cost,
+)
+
+
+class TestCtBits:
+    @pytest.mark.parametrize(
+        "block_size,expected", [(2, 2), (3, 2), (4, 3), (7, 3), (8, 4), (15, 4)]
+    )
+    def test_values(self, block_size, expected):
+        assert ct_field_bits(block_size) == expected
+
+
+class TestEstimate:
+    def test_paper_geometry(self):
+        cost = estimate_cost(block_size=7, tt_entries=16, bbit_entries=16)
+        # TT: 16 entries * (96 selectors + 1 E + 3 CT) = 1600 bits.
+        assert cost.tt_bits == 16 * 100
+        # BBIT: 16 * (30 + 4)
+        assert cost.bbit_bits == 16 * 34
+        assert cost.total_storage_bits == cost.tt_bits + cost.bbit_bits
+
+    def test_paper_112_instruction_claim(self):
+        # Section 7.2 argues a 16-entry TT at k=7 covers ~112
+        # instructions; with the overlap accounting it is 7 + 15*6 = 97.
+        cost = estimate_cost(block_size=7, tt_entries=16)
+        assert cost.max_instructions == 97
+        assert 0.8 * (7 * 16) <= cost.max_instructions <= 7 * 16
+
+    def test_longer_blocks_cover_more(self):
+        sweep = cost_sweep(block_sizes=(4, 5, 6, 7))
+        coverage = [c.max_instructions for c in sweep]
+        assert coverage == sorted(coverage)
+
+    def test_storage_nearly_flat_in_block_size(self):
+        # The paper's trade-off: block size barely moves table bits
+        # (only the CT field), while coverage grows linearly.
+        sweep = cost_sweep(block_sizes=(4, 7))
+        assert sweep[1].total_storage_bits - sweep[0].total_storage_bits <= 16
+
+    def test_gate_equivalents_positive_and_monotone_in_width(self):
+        narrow = estimate_cost(5, bus_width=16)
+        wide = estimate_cost(5, bus_width=32)
+        assert 0 < narrow.gate_equivalents < wide.gate_equivalents
+
+    def test_decode_gates_scale_with_width(self):
+        cost16 = estimate_cost(5, bus_width=16)
+        cost32 = estimate_cost(5, bus_width=32)
+        assert cost32.decode_gates == 2 * cost16.decode_gates
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            estimate_cost(1)
+
+    def test_dataclass_fields(self):
+        cost = estimate_cost(5)
+        assert isinstance(cost, HardwareCost)
+        assert cost.block_size == 5
+        assert cost.tt_entries == 16
+
+
+class TestOverheadIsSmall:
+    def test_tables_are_tiny_versus_program_memory(self):
+        # The whole decode support is a few hundred bytes of SRAM —
+        # negligible against even a 4 KiB instruction memory.
+        cost = estimate_cost(5)
+        assert cost.total_storage_bits < 4 * 1024 * 8 * 0.1

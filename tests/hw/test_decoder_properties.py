@@ -1,0 +1,105 @@
+"""Property-based tests of the full hardware decode path.
+
+Random multi-block configurations, random block sizes, random revisit
+orders — the TT/BBIT/fetch-decoder stack must restore every word,
+always.  This is the hardware-level analogue of the stream-codec
+round-trip properties.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.program_codec import encode_basic_block
+from repro.hw.bbit import BasicBlockIdentificationTable, BBITEntry
+from repro.hw.fetch_decoder import FetchDecoder
+from repro.hw.tt import TransformationTable
+
+blocks_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        min_size=1,
+        max_size=18,
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def _materialise_many(block_words, block_size):
+    tt = TransformationTable(capacity=64)
+    bbit = BasicBlockIdentificationTable(capacity=16)
+    image = {}
+    bases = []
+    for i, words in enumerate(block_words):
+        base = 0x400000 + 0x1000 * i
+        encoding = encode_basic_block(words, block_size)
+        index = tt.allocate(encoding)
+        bbit.install(
+            BBITEntry(pc=base, tt_index=index, num_instructions=len(words))
+        )
+        for offset, word in enumerate(encoding.encoded_words):
+            image[base + 4 * offset] = word
+        bases.append(base)
+    return tt, bbit, image, bases
+
+
+@given(blocks_strategy, st.integers(min_value=2, max_value=7))
+@settings(max_examples=120, deadline=None)
+def test_multi_block_roundtrip(block_words, block_size):
+    tt, bbit, image, bases = _materialise_many(block_words, block_size)
+    decoder = FetchDecoder(tt, bbit, block_size)
+    for base, words in zip(bases, block_words):
+        decoded = [
+            decoder.fetch(base + 4 * i, image[base + 4 * i])
+            for i in range(len(words))
+        ]
+        assert decoded == words
+
+
+@given(
+    blocks_strategy,
+    st.integers(min_value=2, max_value=7),
+    st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_random_revisit_order(block_words, block_size, data):
+    """Blocks executed in arbitrary repeated order (like a real CFG
+    walk) still decode exactly; every entry re-synchronises."""
+    tt, bbit, image, bases = _materialise_many(block_words, block_size)
+    decoder = FetchDecoder(tt, bbit, block_size)
+    visits = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(block_words) - 1),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    for which in visits:
+        base = bases[which]
+        words = block_words[which]
+        decoded = [
+            decoder.fetch(base + 4 * i, image[base + 4 * i])
+            for i in range(len(words))
+        ]
+        assert decoded == words
+
+
+@given(blocks_strategy, st.integers(min_value=2, max_value=7), st.data())
+@settings(max_examples=60, deadline=None)
+def test_partial_execution_then_reentry(block_words, block_size, data):
+    """Leaving a block early (taken branch) never corrupts later
+    decodes."""
+    tt, bbit, image, bases = _materialise_many(block_words, block_size)
+    decoder = FetchDecoder(tt, bbit, block_size)
+    base = bases[0]
+    words = block_words[0]
+    cut = data.draw(st.integers(min_value=1, max_value=len(words)))
+    for i in range(cut):
+        assert decoder.fetch(base + 4 * i, image[base + 4 * i]) == words[i]
+    # Branch to an unencoded address, then execute the block fully.
+    assert decoder.fetch(0x700000, 0x12345678) == 0x12345678
+    decoded = [
+        decoder.fetch(base + 4 * i, image[base + 4 * i])
+        for i in range(len(words))
+    ]
+    assert decoded == words

@@ -1,0 +1,164 @@
+"""Tests for the Section 7.1 table-programming peripheral."""
+
+import random
+
+import pytest
+
+from repro.core.program_codec import encode_basic_block
+from repro.hw.fetch_decoder import FetchDecoder
+from repro.hw.peripheral import (
+    DEFAULT_BASE,
+    REG_BBIT_COMMIT,
+    REG_BBIT_META,
+    REG_BBIT_PC,
+    REG_CONTROL,
+    REG_TT_COMMIT,
+    REG_TT_FLAGS,
+    REG_TT_INDEX,
+    REG_TT_SEL0,
+    WINDOW_SIZE,
+    EncodingLoaderPeripheral,
+    _pack_selectors,
+    _unpack_selectors,
+    programming_words,
+)
+from repro.sim.memory import Memory, MmioRegion
+
+
+class TestSelectorPacking:
+    def test_roundtrip_random(self):
+        rng = random.Random(7)
+        for _ in range(200):
+            selectors = [rng.randrange(8) for _ in range(32)]
+            packed = _pack_selectors(selectors)
+            assert _unpack_selectors(*packed) == selectors
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            _pack_selectors([0] * 16)
+
+
+class TestPeripheralRegisters:
+    def test_direct_register_writes_program_tt(self):
+        peripheral = EncodingLoaderPeripheral()
+        write = peripheral._write
+        write(REG_TT_INDEX, 0)
+        write(REG_TT_SEL0, 0o1111111111)  # ten ~x selectors... octal!
+        write(REG_TT_FLAGS, 1 | (5 << 8))
+        write(REG_TT_COMMIT, 1)
+        assert len(peripheral.tt) == 1
+        entry = peripheral.tt.entry(0)
+        assert entry.end and entry.count == 5
+        assert entry.selectors[:10] == (1,) * 10
+        assert entry.selectors[10:] == (0,) * 22
+
+    def test_bbit_staging(self):
+        peripheral = EncodingLoaderPeripheral()
+        peripheral._write(REG_BBIT_PC, 0x400100)
+        peripheral._write(REG_BBIT_META, 3 | (12 << 8))
+        peripheral._write(REG_BBIT_COMMIT, 1)
+        entry = peripheral.bbit.peek(0x400100)
+        assert entry is not None
+        assert entry.tt_index == 3 and entry.num_instructions == 12
+
+    def test_control_clear(self):
+        peripheral = EncodingLoaderPeripheral()
+        peripheral._write(REG_TT_COMMIT, 1)
+        peripheral._write(REG_BBIT_PC, 4)
+        peripheral._write(REG_BBIT_META, 1 << 8)
+        peripheral._write(REG_BBIT_COMMIT, 1)
+        peripheral._write(REG_CONTROL, 1)
+        assert len(peripheral.tt) == 0
+        assert len(peripheral.bbit) == 0
+
+    def test_status_readback(self):
+        peripheral = EncodingLoaderPeripheral()
+        peripheral._write(REG_TT_COMMIT, 1)
+        assert peripheral._read(REG_CONTROL) == 1
+
+    def test_tt_capacity_enforced(self):
+        peripheral = EncodingLoaderPeripheral()
+        peripheral._write(REG_TT_INDEX, 99)
+        with pytest.raises(ValueError, match="capacity"):
+            peripheral._write(REG_TT_COMMIT, 1)
+
+
+class TestProgrammingSequence:
+    def _block(self, count=12, seed=5):
+        rng = random.Random(seed)
+        return [rng.getrandbits(32) for _ in range(count)]
+
+    def test_sequence_reproduces_direct_allocation(self):
+        words = self._block()
+        encoding = encode_basic_block(words, 5)
+        # Reference: direct allocation.
+        from repro.hw.tt import TransformationTable
+
+        reference = TransformationTable(16)
+        reference.allocate(encoding)
+
+        # Via the programming sequence.
+        peripheral = EncodingLoaderPeripheral()
+        for offset, value in programming_words([(0x400000, encoding)]):
+            peripheral._write(offset, value)
+        assert len(peripheral.tt) == len(reference)
+        for mine, ref in zip(peripheral.tt.entries, reference.entries):
+            assert mine.selectors == ref.selectors
+            assert mine.end == ref.end
+            assert mine.count == ref.count
+        entry = peripheral.bbit.peek(0x400000)
+        assert entry.tt_index == 0
+        assert entry.num_instructions == len(words)
+
+    def test_software_loaded_tables_decode(self):
+        words = self._block(count=17, seed=8)
+        encoding = encode_basic_block(words, 5)
+        peripheral = EncodingLoaderPeripheral()
+        for offset, value in programming_words([(0x400000, encoding)]):
+            peripheral._write(offset, value)
+        decoder = FetchDecoder(peripheral.tt, peripheral.bbit, 5)
+        decoded = [
+            decoder.fetch(0x400000 + 4 * i, encoding.encoded_words[i])
+            for i in range(len(words))
+        ]
+        assert decoded == words
+
+    def test_multiple_blocks(self):
+        enc_a = encode_basic_block(self._block(6, 1), 5)
+        enc_b = encode_basic_block(self._block(9, 2), 5)
+        stores = programming_words([(0x100, enc_a), (0x200, enc_b)])
+        peripheral = EncodingLoaderPeripheral()
+        for offset, value in stores:
+            peripheral._write(offset, value)
+        assert peripheral.bbit.peek(0x100).tt_index == 0
+        assert peripheral.bbit.peek(0x200).tt_index == enc_a.num_segments
+
+
+class TestMmioIntegration:
+    def test_stores_through_memory_reach_peripheral(self):
+        peripheral = EncodingLoaderPeripheral()
+        memory = Memory()
+        memory.add_mmio(peripheral.region())
+        memory.write_u32(DEFAULT_BASE + REG_TT_COMMIT, 1)
+        assert len(peripheral.tt) == 1
+
+    def test_reads_through_memory(self):
+        peripheral = EncodingLoaderPeripheral()
+        memory = Memory()
+        memory.add_mmio(peripheral.region())
+        memory.write_u32(DEFAULT_BASE + REG_TT_COMMIT, 1)
+        assert memory.read_u32(DEFAULT_BASE + REG_CONTROL) == 1
+
+    def test_ram_unaffected_outside_window(self):
+        peripheral = EncodingLoaderPeripheral()
+        memory = Memory()
+        memory.add_mmio(peripheral.region())
+        memory.write_u32(DEFAULT_BASE + WINDOW_SIZE, 0x1234)
+        assert memory.read_u32(DEFAULT_BASE + WINDOW_SIZE) == 0x1234
+        assert len(peripheral.tt) == 0
+
+    def test_overlapping_regions_rejected(self):
+        memory = Memory()
+        memory.add_mmio(MmioRegion(0x1000, 0x100))
+        with pytest.raises(ValueError, match="overlaps"):
+            memory.add_mmio(MmioRegion(0x10F0, 0x100))

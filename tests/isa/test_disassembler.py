@@ -1,0 +1,94 @@
+"""Dedicated disassembler tests."""
+
+import pytest
+
+from repro.isa.assembler import TEXT_BASE, assemble
+from repro.isa.disassembler import (
+    disassemble,
+    disassemble_word,
+    format_instruction,
+)
+from repro.isa.instruction import DecodeError, decode_word
+
+
+class TestFormatting:
+    def test_r_type(self):
+        assert disassemble_word(0x012A4021) == "addu $t0, $t1, $t2"
+
+    def test_i_type_negative_imm(self):
+        program = assemble(".text\naddiu $t0, $t0, -1\n")
+        assert disassemble_word(program.words[0]) == "addiu $t0, $t0, -1"
+
+    def test_memory_operand(self):
+        program = assemble(".text\nlw $t4, -8($sp)\n")
+        assert disassemble_word(program.words[0]) == "lw $t4, -8($sp)"
+
+    def test_fp_memory_operand(self):
+        program = assemble(".text\nl.d $f4, 16($t0)\n")
+        assert disassemble_word(program.words[0]) == "ldc1 $f4, 16($t0)"
+
+    def test_fp_arith(self):
+        program = assemble(".text\nmul.d $f2, $f4, $f6\n")
+        assert disassemble_word(program.words[0]) == "mul.d $f2, $f4, $f6"
+
+    def test_branch_with_address(self):
+        program = assemble(".text\nmain: beq $t0, $t1, main\n")
+        text = disassemble_word(program.words[0], TEXT_BASE)
+        assert text == f"beq $t0, $t1, {TEXT_BASE:#010x}"
+
+    def test_branch_without_address_relative(self):
+        program = assemble(".text\nmain: beq $t0, $t1, main\n")
+        text = disassemble_word(program.words[0])
+        assert text == "beq $t0, $t1, .+0"
+
+    def test_jump_target(self):
+        program = assemble(".text\nmain: j main\n")
+        assert disassemble_word(program.words[0]) == f"j {TEXT_BASE:#010x}"
+
+    def test_shift_amount(self):
+        program = assemble(".text\nsll $t0, $t1, 7\n")
+        assert disassemble_word(program.words[0]) == "sll $t0, $t1, 7"
+
+    def test_syscall_bare(self):
+        program = assemble(".text\nsyscall\n")
+        assert disassemble_word(program.words[0]) == "syscall"
+
+
+class TestListing:
+    def test_with_addresses(self):
+        program = assemble(".text\nnop\nnop\n")
+        listing = disassemble(program.words, program.text_base)
+        lines = listing.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith(f"{TEXT_BASE:#010x}:")
+        assert "00000000" in lines[0]
+
+    def test_without_addresses(self):
+        program = assemble(".text\naddu $t0, $t1, $t2\n")
+        listing = disassemble(program.words, with_addresses=False)
+        assert listing == "addu $t0, $t1, $t2"
+
+    def test_empty(self):
+        assert disassemble([]) == ""
+
+
+class TestRoundTrips:
+    def test_format_instruction_consistent_with_decode(self):
+        program = assemble(
+            """
+            .text
+            main: li $t0, 42
+            sw $t0, -4($sp)
+            mul.d $f2, $f4, $f6
+            bc1t main
+            jr $ra
+            """
+        )
+        for i, word in enumerate(program.words):
+            inst = decode_word(word)
+            text = format_instruction(inst, program.text_base + 4 * i)
+            assert text.split()[0] == inst.name
+
+    def test_undecodable_word_raises(self):
+        with pytest.raises(DecodeError):
+            disassemble_word(0xFFFFFFFF)

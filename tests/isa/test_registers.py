@@ -1,0 +1,68 @@
+"""Tests for register naming."""
+
+import pytest
+
+from repro.isa.registers import (
+    NUM_FREGS,
+    NUM_REGS,
+    REG_NAMES,
+    freg_name,
+    freg_num,
+    is_freg,
+    reg_name,
+    reg_num,
+)
+
+
+class TestIntegerRegisters:
+    def test_thirty_two_names(self):
+        assert len(REG_NAMES) == NUM_REGS == 32
+
+    def test_abi_names(self):
+        assert reg_num("$zero") == 0
+        assert reg_num("$at") == 1
+        assert reg_num("$v0") == 2
+        assert reg_num("$a0") == 4
+        assert reg_num("$t0") == 8
+        assert reg_num("$s0") == 16
+        assert reg_num("$sp") == 29
+        assert reg_num("$ra") == 31
+
+    def test_numeric_names(self):
+        for i in range(32):
+            assert reg_num(f"${i}") == i
+
+    def test_roundtrip(self):
+        for i in range(32):
+            assert reg_num(reg_name(i)) == i
+
+    def test_case_insensitive(self):
+        assert reg_num("$T0") == 8
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            reg_num("$t99")
+        with pytest.raises(ValueError):
+            reg_name(32)
+
+
+class TestFpRegisters:
+    def test_parse(self):
+        assert freg_num("$f0") == 0
+        assert freg_num("$f31") == 31
+
+    def test_roundtrip(self):
+        for i in range(NUM_FREGS):
+            assert freg_num(freg_name(i)) == i
+
+    def test_is_freg(self):
+        assert is_freg("$f4")
+        assert not is_freg("$t4")
+        assert not is_freg("$f32")
+        assert not is_freg("$f")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            freg_num("$f32")
+        with pytest.raises(ValueError):
+            freg_name(-1)

@@ -1,0 +1,203 @@
+"""Differential tests: compiled kernels vs the reference interpreter."""
+
+import pytest
+
+from repro.minicc import CompileError, compile_kernel
+from tests.minicc.test_interp_reference import interpret
+
+# Each corpus entry: (name, source, data, variables to compare).
+CORPUS = [
+    (
+        "arith",
+        """
+        int a; int b; int c; int d; int e;
+        a = 7; b = 3;
+        c = a * b - a / b + a % b;
+        d = (a + b) * (a - b);
+        e = -a + b * -1;
+        """,
+        None,
+        ["c", "d", "e"],
+    ),
+    (
+        "comparisons",
+        """
+        int r[10]; int a; int b;
+        a = 3; b = 5;
+        r[0] = a < b;  r[1] = a > b;  r[2] = a <= b; r[3] = a >= b;
+        r[4] = a == b; r[5] = a != b; r[6] = a == 3; r[7] = !a;
+        r[8] = a < b && b < 10;  r[9] = a > b || b == 5;
+        """,
+        None,
+        ["r"],
+    ),
+    (
+        "double_compare",
+        """
+        double x; double y; int r[6];
+        x = 1.5; y = 2.5;
+        r[0] = x < y;  r[1] = x > y;  r[2] = x <= y;
+        r[3] = x >= y; r[4] = x == y; r[5] = x != y;
+        """,
+        None,
+        ["r"],
+    ),
+    (
+        "control_flow",
+        """
+        int i; int evens; int odds;
+        for (i = 0; i < 20; i = i + 1) {
+            if (i % 2 == 0) evens = evens + i;
+            else odds = odds + i;
+        }
+        """,
+        None,
+        ["evens", "odds"],
+    ),
+    (
+        "while_loop",
+        """
+        int n; int steps;
+        n = 27;
+        while (n != 1) {
+            if (n % 2 == 0) n = n / 2;
+            else n = 3 * n + 1;
+            steps = steps + 1;
+        }
+        """,
+        None,
+        ["steps"],
+    ),
+    (
+        "dot_product",
+        """
+        double a[16]; double b[16]; double s;
+        int i;
+        s = 0.0;
+        for (i = 0; i < 16; i = i + 1) s = s + a[i] * b[i];
+        """,
+        {
+            "a": [0.5 * i - 3 for i in range(16)],
+            "b": [0.25 * i + 1 for i in range(16)],
+        },
+        ["s"],
+    ),
+    (
+        "matrix_multiply",
+        """
+        double A[5][5]; double B[5][5]; double C[5][5];
+        int i; int j; int k; double s;
+        for (i = 0; i < 5; i = i + 1)
+            for (j = 0; j < 5; j = j + 1) {
+                s = 0.0;
+                for (k = 0; k < 5; k = k + 1)
+                    s = s + A[i][k] * B[k][j];
+                C[i][j] = s;
+            }
+        """,
+        {
+            "A": [((i * 3 + 1) % 7) - 3 + 0.5 for i in range(25)],
+            "B": [((i * 5 + 2) % 9) - 4 - 0.25 for i in range(25)],
+        },
+        ["C"],
+    ),
+    (
+        "mixed_promotion",
+        """
+        int i; double acc; int trunc;
+        acc = 0.0;
+        for (i = 1; i <= 10; i = i + 1) acc = acc + 1 / (i * 1.0);
+        trunc = acc * 100;
+        """,
+        None,
+        ["acc", "trunc"],
+    ),
+    (
+        "stencil",
+        """
+        double u[8][8]; double v[8][8];
+        int i; int j;
+        for (i = 1; i < 7; i = i + 1)
+            for (j = 1; j < 7; j = j + 1)
+                v[i][j] = 0.25 * (u[i-1][j] + u[i+1][j] + u[i][j-1] + u[i][j+1]);
+        """,
+        {"u": [((i * 11 + 3) % 13) - 6.0 for i in range(64)]},
+        ["v"],
+    ),
+]
+
+
+@pytest.mark.parametrize("name,source,data,outputs", CORPUS, ids=[c[0] for c in CORPUS])
+def test_compiled_matches_reference(name, source, data, outputs):
+    compiled = compile_kernel(source, data=data, name=name)
+    cpu, trace = compiled.run()
+    expected_env = interpret(source, data)
+    for var in outputs:
+        measured = compiled.read(cpu, var)
+        expected = expected_env[var]
+        if not isinstance(measured, list):
+            measured = [measured]
+        assert len(measured) == len(expected), var
+        for i, (m, e) in enumerate(zip(measured, expected)):
+            if isinstance(e, float):
+                assert m == pytest.approx(e, rel=1e-12, abs=1e-12), (var, i)
+            else:
+                assert m == e, (var, i)
+
+
+class TestCompilerErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(CompileError, match="undeclared"):
+            compile_kernel("int x; x = y;")
+
+    def test_wrong_index_count(self):
+        with pytest.raises(CompileError, match="indices"):
+            compile_kernel("int A[4]; int x; x = A;")
+
+    def test_modulo_on_doubles(self):
+        with pytest.raises(CompileError, match="integer operands"):
+            compile_kernel("double a; a = 1.0 % 2.0;")
+
+    def test_double_condition_rejected(self):
+        with pytest.raises(CompileError, match="integer"):
+            compile_kernel("double d; int x; if (d) x = 1;")
+
+    def test_data_for_unknown_variable(self):
+        with pytest.raises(CompileError, match="undeclared"):
+            compile_kernel("int x; x = 1;", data={"bogus": [1]})
+
+    def test_wrong_data_length(self):
+        with pytest.raises(CompileError, match="initial values"):
+            compile_kernel("double A[4]; A[0] = 1.0;", data={"A": [1.0]})
+
+    def test_float_index_rejected(self):
+        with pytest.raises(CompileError, match="integers"):
+            compile_kernel("double A[4]; double d; A[d] = 1.0;")
+
+
+class TestGeneratedCode:
+    def test_assembly_is_reassemblable(self):
+        compiled = compile_kernel("int x; x = 1 + 2;")
+        program = compiled.assemble()
+        assert len(program.words) > 3
+
+    def test_float_constants_pooled(self):
+        compiled = compile_kernel("double a; double b; a = 2.5; b = 2.5;")
+        assert compiled.assembly.count("2.5") == 1  # single pool entry
+
+    def test_register_pools_balanced(self):
+        # After a deep-but-legal expression the pools must be back to
+        # full (checked implicitly by compiling many statements).
+        source = "int x;\n" + "\n".join(
+            f"x = ((1 + 2) * (3 + 4)) - ((5 + 6) * (7 + {i}));"
+            for i in range(20)
+        )
+        compiled = compile_kernel(source)
+        cpu, _ = compiled.run()
+
+    def test_expression_too_deep(self):
+        expr = "1"
+        for i in range(12):
+            expr = f"({expr} + (1 + ({expr} * 2)))"
+        with pytest.raises(CompileError, match="too deep"):
+            compile_kernel(f"int x; x = {expr};")

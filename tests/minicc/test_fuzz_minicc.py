@@ -1,0 +1,173 @@
+"""Differential fuzzing of minicc: random kernels, compiled execution
+vs the reference interpreter.
+
+The generator emits guaranteed-terminating programs (only counted
+``for`` loops with literal bounds; divisions guarded by making the
+divisor ``expr*expr + 1``), with scalars, 1-D arrays, nested loops,
+``if``/``else`` and mixed int/double arithmetic.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.minicc import compile_kernel
+from tests.minicc.test_interp_reference import interpret
+
+INT_VARS = ("a", "b", "c")
+DOUBLE_VARS = ("p", "q")
+INT_ARR = "v"  # int v[8]
+DOUBLE_ARR = "w"  # double w[8]
+LOOP_VARS = ("i", "j")
+
+HEADER = (
+    "int a; int b; int c; int i; int j;\n"
+    "double p; double q;\n"
+    "int v[8]; double w[8];\n"
+)
+
+
+class _Generator:
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def int_expr(self, depth: int = 0, loops: tuple[str, ...] = ()) -> str:
+        rng = self.rng
+        if depth >= 3 or rng.random() < 0.35:
+            choices = [str(rng.randint(-9, 9))]
+            choices.extend(INT_VARS)
+            choices.extend(loops)
+            choices.append(f"{INT_ARR}[{self.index_expr(loops)}]")
+            return rng.choice(choices)
+        kind = rng.random()
+        if kind < 0.55:
+            op = rng.choice(("+", "-", "*"))
+            return (
+                f"({self.int_expr(depth + 1, loops)} {op} "
+                f"{self.int_expr(depth + 1, loops)})"
+            )
+        if kind < 0.70:
+            # Safe division/modulo: divisor = x*x + 1 > 0.
+            inner = self.int_expr(depth + 2, loops)
+            op = rng.choice(("/", "%"))
+            return (
+                f"({self.int_expr(depth + 1, loops)} {op} "
+                f"({inner} * {inner} + 1))"
+            )
+        if kind < 0.85:
+            op = rng.choice(("<", "<=", ">", ">=", "==", "!="))
+            return (
+                f"({self.int_expr(depth + 1, loops)} {op} "
+                f"{self.int_expr(depth + 1, loops)})"
+            )
+        if kind < 0.95:
+            op = rng.choice(("&&", "||"))
+            return (
+                f"({self.int_expr(depth + 1, loops)} {op} "
+                f"{self.int_expr(depth + 1, loops)})"
+            )
+        return f"(-{self.int_expr(depth + 1, loops)})"
+
+    def index_expr(self, loops: tuple[str, ...]) -> str:
+        rng = self.rng
+        if loops and rng.random() < 0.6:
+            return rng.choice(loops)  # loop vars range 0..7 by design
+        return str(rng.randint(0, 7))
+
+    def double_expr(self, depth: int = 0, loops: tuple[str, ...] = ()) -> str:
+        rng = self.rng
+        if depth >= 3 or rng.random() < 0.4:
+            choices = [f"{rng.randint(-40, 40) / 8.0!r}"]
+            choices.extend(DOUBLE_VARS)
+            choices.append(f"{DOUBLE_ARR}[{self.index_expr(loops)}]")
+            choices.append(self.int_expr(depth + 1, loops))  # promotion
+            return rng.choice(choices)
+        op = rng.choice(("+", "-", "*"))
+        return (
+            f"({self.double_expr(depth + 1, loops)} {op} "
+            f"{self.double_expr(depth + 1, loops)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def stmt(self, depth: int, loops: tuple[str, ...]) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.5 or depth >= 2:
+            return self.assign(loops)
+        if roll < 0.75 and len(loops) < len(LOOP_VARS):
+            var = LOOP_VARS[len(loops)]
+            bound = rng.randint(2, 8)
+            body = self.block(depth + 1, loops + (var,))
+            return (
+                f"for ({var} = 0; {var} < {bound}; {var} = {var} + 1) {body}"
+            )
+        condition = self.int_expr(1, loops)
+        then = self.block(depth + 1, loops)
+        if rng.random() < 0.5:
+            return f"if ({condition}) {then}"
+        return f"if ({condition}) {then} else {self.block(depth + 1, loops)}"
+
+    def assign(self, loops: tuple[str, ...]) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.35:
+            return f"{rng.choice(INT_VARS)} = {self.int_expr(0, loops)};"
+        if roll < 0.55:
+            return f"{rng.choice(DOUBLE_VARS)} = {self.double_expr(0, loops)};"
+        if roll < 0.8:
+            return (
+                f"{INT_ARR}[{self.index_expr(loops)}] = "
+                f"{self.int_expr(0, loops)};"
+            )
+        return (
+            f"{DOUBLE_ARR}[{self.index_expr(loops)}] = "
+            f"{self.double_expr(0, loops)};"
+        )
+
+    def block(self, depth: int, loops: tuple[str, ...]) -> str:
+        count = self.rng.randint(1, 3)
+        inner = " ".join(self.stmt(depth, loops) for _ in range(count))
+        return "{ " + inner + " }"
+
+    def program(self) -> str:
+        count = self.rng.randint(3, 7)
+        body = "\n".join(self.stmt(0, ()) for _ in range(count))
+        return HEADER + body
+
+
+@pytest.mark.parametrize("opt_level", (0, 1))
+@pytest.mark.parametrize("seed", range(25))
+def test_fuzz_compiled_matches_reference(seed, opt_level):
+    source = _Generator(seed).program()
+    try:
+        compiled = compile_kernel(
+            source, name=f"fuzz{seed}", opt_level=opt_level
+        )
+    except Exception as error:  # pragma: no cover - generator bug guard
+        pytest.fail(f"seed {seed}: failed to compile\n{source}\n{error}")
+    cpu, _trace = compiled.run(max_steps=5_000_000)
+    expected = interpret(source)
+    for name in (*INT_VARS, *DOUBLE_VARS, INT_ARR, DOUBLE_ARR):
+        measured = compiled.read(cpu, name)
+        want = expected[name]
+        if not isinstance(measured, list):
+            measured = [measured]
+        for index, (m, e) in enumerate(zip(measured, want)):
+            if isinstance(e, float):
+                assert m == pytest.approx(e, rel=1e-9, abs=1e-9), (
+                    seed,
+                    name,
+                    index,
+                    source,
+                )
+            else:
+                assert m == e, (seed, name, index, source)

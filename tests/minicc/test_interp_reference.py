@@ -1,0 +1,172 @@
+"""Reference AST interpreter for differential testing of minicc.
+
+`interpret` executes a parsed kernel with Python semantics matching
+the language definition (32-bit wrap-around ints, C-style truncating
+division, doubles as floats).  The codegen tests compare simulated
+results against it on a corpus of kernels.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.minicc.ast_nodes import (
+    DOUBLE,
+    INT,
+    Assign,
+    Binary,
+    Block,
+    FloatLit,
+    For,
+    If,
+    IntLit,
+    Kernel,
+    Unary,
+    VarRef,
+    While,
+)
+from repro.minicc.parser import parse
+
+MASK32 = 0xFFFFFFFF
+
+
+def _wrap(value: int) -> int:
+    value &= MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+class ReferenceInterpreter:
+    def __init__(self, kernel: Kernel, data=None):
+        self.kernel = kernel
+        self.env: dict[str, list] = {}
+        data = dict(data or {})
+        for decl in kernel.decls:
+            initial = data.get(decl.name)
+            zero = 0.0 if decl.base_type == DOUBLE else 0
+            values = [zero] * decl.element_count
+            if initial is not None:
+                seq = [initial] if not decl.dims else list(initial)
+                cast = float if decl.base_type == DOUBLE else int
+                values = [cast(v) for v in seq]
+            self.env[decl.name] = values
+
+    # ------------------------------------------------------------------
+
+    def _flat_index(self, ref: VarRef) -> int:
+        decl = self.kernel.decl_by_name[ref.name]
+        if not ref.indices:
+            return 0
+        indices = [self.eval(e) for e in ref.indices]
+        if len(indices) == 1:
+            return indices[0]
+        return indices[0] * decl.dims[1] + indices[1]
+
+    def eval(self, expr):
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, FloatLit):
+            return expr.value
+        if isinstance(expr, VarRef):
+            return self.env[expr.name][self._flat_index(expr)]
+        if isinstance(expr, Unary):
+            value = self.eval(expr.operand)
+            if expr.op == "-":
+                return _wrap(-value) if isinstance(value, int) else -value
+            return 1 if value == 0 else 0
+        if isinstance(expr, Binary):
+            if expr.op == "&&":
+                return 1 if self.eval(expr.left) and self.eval(expr.right) else 0
+            if expr.op == "||":
+                return 1 if self.eval(expr.left) or self.eval(expr.right) else 0
+            a = self.eval(expr.left)
+            b = self.eval(expr.right)
+            if expr.op in ("<", "<=", ">", ">=", "==", "!="):
+                result = {
+                    "<": a < b,
+                    "<=": a <= b,
+                    ">": a > b,
+                    ">=": a >= b,
+                    "==": a == b,
+                    "!=": a != b,
+                }[expr.op]
+                return 1 if result else 0
+            both_int = isinstance(a, int) and isinstance(b, int)
+            if expr.op == "+":
+                return _wrap(a + b) if both_int else float(a) + float(b)
+            if expr.op == "-":
+                return _wrap(a - b) if both_int else float(a) - float(b)
+            if expr.op == "*":
+                return _wrap(a * b) if both_int else float(a) * float(b)
+            if expr.op == "/":
+                if both_int:
+                    return _wrap(math.trunc(a / b)) if b else 0
+                return float(a) / float(b)
+            if expr.op == "%":
+                if b == 0:
+                    return 0
+                return _wrap(a - math.trunc(a / b) * b)
+        raise AssertionError(f"cannot eval {expr!r}")
+
+    def execute(self, stmt) -> None:
+        if isinstance(stmt, Assign):
+            decl = self.kernel.decl_by_name[stmt.target.name]
+            value = self.eval(stmt.value)
+            if decl.base_type == DOUBLE:
+                value = float(value)
+            else:
+                value = _wrap(math.trunc(value))
+            self.env[stmt.target.name][self._flat_index(stmt.target)] = value
+        elif isinstance(stmt, Block):
+            for inner in stmt.statements:
+                self.execute(inner)
+        elif isinstance(stmt, If):
+            if self.eval(stmt.condition):
+                self.execute(stmt.then_body)
+            elif stmt.else_body is not None:
+                self.execute(stmt.else_body)
+        elif isinstance(stmt, While):
+            while self.eval(stmt.condition):
+                self.execute(stmt.body)
+        elif isinstance(stmt, For):
+            self.execute(stmt.init)
+            while self.eval(stmt.condition):
+                self.execute(stmt.body)
+                self.execute(stmt.step)
+        else:
+            raise AssertionError(f"cannot execute {stmt!r}")
+
+    def run(self) -> dict[str, list]:
+        for stmt in self.kernel.body:
+            self.execute(stmt)
+        return self.env
+
+
+def interpret(source: str, data=None) -> dict[str, list]:
+    """Parse and interpret; returns the final variable environment."""
+    interpreter = ReferenceInterpreter(parse(source), data)
+    return interpreter.run()
+
+
+class TestReferenceInterpreter:
+    """Sanity tests for the reference itself."""
+
+    def test_arithmetic(self):
+        env = interpret("int x; x = 2 + 3 * 4;")
+        assert env["x"] == [14]
+
+    def test_loop(self):
+        env = interpret("int i; int s; for (i = 1; i <= 5; i = i + 1) s = s + i;")
+        assert env["s"] == [15]
+
+    def test_truncating_division(self):
+        env = interpret("int a; int b; a = -7 / 2; b = -7 % 2;")
+        assert env["a"] == [-3]
+        assert env["b"] == [-1]
+
+    def test_double_promotion(self):
+        env = interpret("double d; d = 1 / 2 + 1.0 / 2;")
+        assert env["d"] == [0.5]
+
+    def test_wrap_around(self):
+        env = interpret("int x; x = 2000000000 + 2000000000;")
+        assert env["x"] == [_wrap(4000000000)]

@@ -1,0 +1,48 @@
+"""Tests for the compiled benchmark kernels."""
+
+import pytest
+
+from repro.minicc.kernels import COMPILED_BUILDERS, compiled_workload
+from repro.pipeline.flow import EncodingFlow
+from repro.workloads.registry import BENCHMARK_ORDER
+
+SMALL = {
+    "mmul": {"n": 6},
+    "sor": {"n": 8, "sweeps": 2},
+    "ej": {"n": 8, "sweeps": 2},
+    "fft": {"n": 16},
+    "tri": {"n": 16, "sweeps": 2},
+    "lu": {"n": 8},
+}
+
+
+class TestRegistry:
+    def test_covers_all_six_benchmarks(self):
+        assert set(COMPILED_BUILDERS) == set(BENCHMARK_ORDER)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError, match="no compiled kernel"):
+            compiled_workload("quicksort")
+
+
+@pytest.mark.parametrize("name", sorted(COMPILED_BUILDERS))
+class TestCompiledKernels:
+    def test_runs_and_verifies(self, name):
+        kernel, verify = compiled_workload(name, **SMALL[name])
+        cpu, trace = kernel.run()
+        verify(cpu)
+        assert cpu.steps == len(trace)
+
+    def test_encoding_flow(self, name):
+        kernel, verify = compiled_workload(name, **SMALL[name])
+        program = kernel.assemble()
+        cpu, trace = kernel.run()
+        result = EncodingFlow(block_size=5).run(program, trace, name)
+        assert result.decode_verified or not result.selected_blocks
+        assert result.reduction_percent > 0.0
+
+
+class TestFftValidation:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            compiled_workload("fft", n=12)

@@ -1,0 +1,153 @@
+"""Tests for the minicc lexer and parser."""
+
+import pytest
+
+from repro.minicc.ast_nodes import (
+    Assign,
+    Binary,
+    Block,
+    FloatLit,
+    For,
+    If,
+    IntLit,
+    Unary,
+    VarRef,
+    While,
+)
+from repro.minicc.lexer import LexError, Token, tokenize
+from repro.minicc.parser import ParseError, parse
+
+
+class TestLexer:
+    def test_keywords_vs_names(self):
+        tokens = tokenize("int foo")
+        assert tokens[0] == Token("kw", "int", 1)
+        assert tokens[1] == Token("name", "foo", 1)
+        assert tokens[2].kind == "eof"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.5 .25 1e3 2.5e-2")
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == ["int", "float", "float", "float", "float"]
+
+    def test_two_char_operators(self):
+        tokens = tokenize("<= >= == != && ||")
+        texts = [t.text for t in tokens[:-1]]
+        assert texts == ["<=", ">=", "==", "!=", "&&", "||"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("x // comment\ny")
+        assert [t.text for t in tokens[:-1]] == ["x", "y"]
+        assert tokens[1].line == 2
+
+    def test_line_tracking(self):
+        tokens = tokenize("a\n\nb")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 3
+
+    def test_bad_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a @ b")
+
+
+class TestParserDeclarations:
+    def test_scalars(self):
+        kernel = parse("int a; double b; a = 1;")
+        assert kernel.decl_by_name["a"].base_type == "int"
+        assert kernel.decl_by_name["b"].base_type == "double"
+        assert kernel.decl_by_name["a"].dims == ()
+
+    def test_arrays(self):
+        kernel = parse("double A[8]; int M[3][4]; A[0] = 1.0;")
+        assert kernel.decl_by_name["A"].dims == (8,)
+        assert kernel.decl_by_name["M"].dims == (3, 4)
+        assert kernel.decl_by_name["M"].byte_size == 48
+
+    def test_comma_declarations(self):
+        kernel = parse("int i, j, k; i = 0;")
+        assert set(kernel.decl_by_name) == {"i", "j", "k"}
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse("int a; double a; a = 1;")
+
+    def test_three_dims_rejected(self):
+        with pytest.raises(ParseError, match="two dimensions"):
+            parse("int A[2][2][2]; A[0][0][0] = 1;")
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(ParseError, match="positive"):
+            parse("int A[0]; A[0] = 1;")
+
+
+class TestParserStatements:
+    def test_assignment(self):
+        kernel = parse("int x; x = 1 + 2;")
+        (stmt,) = kernel.body
+        assert isinstance(stmt, Assign)
+        assert isinstance(stmt.value, Binary)
+
+    def test_for_loop(self):
+        kernel = parse("int i; int s; for (i = 0; i < 10; i = i + 1) s = s + i;")
+        (loop,) = kernel.body
+        assert isinstance(loop, For)
+        assert isinstance(loop.body, Assign)
+
+    def test_while_and_block(self):
+        kernel = parse("int x; while (x < 5) { x = x + 1; }")
+        (loop,) = kernel.body
+        assert isinstance(loop, While)
+        assert isinstance(loop.body, Block)
+
+    def test_if_else(self):
+        kernel = parse("int x; if (x == 0) x = 1; else x = 2;")
+        (branch,) = kernel.body
+        assert isinstance(branch, If)
+        assert branch.else_body is not None
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError, match="expected"):
+            parse("int x; x = 1")
+
+
+class TestParserExpressions:
+    def _expr(self, text):
+        kernel = parse(f"int x; double d; int v[4]; x = {text};")
+        return kernel.body[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_comparison_precedence(self):
+        expr = self._expr("1 + 2 < 3 * 4")
+        assert expr.op == "<"
+
+    def test_logical_precedence(self):
+        expr = self._expr("1 < 2 && 3 < 4 || 0")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_unary(self):
+        expr = self._expr("-x + !x")
+        assert isinstance(expr.left, Unary)
+        assert isinstance(expr.right, Unary)
+
+    def test_indexing(self):
+        expr = self._expr("v[x + 1]")
+        assert isinstance(expr, VarRef)
+        assert expr.indices[0].op == "+"
+
+    def test_literals(self):
+        assert isinstance(self._expr("7"), IntLit)
+        assert isinstance(self._expr("7.5"), FloatLit)
+
+    def test_junk_in_expression(self):
+        with pytest.raises(ParseError, match="unexpected"):
+            parse("int x; x = ;")

@@ -1,0 +1,77 @@
+"""Tests for the opt_level=1 scalar-promotion backend."""
+
+import pytest
+
+from repro.minicc import CompileError, compile_kernel
+from tests.minicc.test_interp_reference import interpret
+
+KERNEL = """
+int i; int total; double acc;
+double w[8];
+acc = 0.0;
+total = 0;
+for (i = 0; i < 8; i = i + 1) {
+    w[i] = i * 0.5;
+    acc = acc + w[i];
+    total = total + i;
+}
+"""
+
+
+class TestPromotion:
+    def test_results_identical_across_levels(self):
+        expected = interpret(KERNEL)
+        for opt_level in (0, 1):
+            kernel = compile_kernel(KERNEL, opt_level=opt_level)
+            cpu, _ = kernel.run()
+            assert kernel.read(cpu, "total") == expected["total"][0]
+            assert kernel.read(cpu, "acc") == pytest.approx(
+                expected["acc"][0]
+            )
+            assert kernel.read(cpu, "w") == pytest.approx(expected["w"])
+
+    def test_o1_executes_fewer_instructions(self):
+        o0 = compile_kernel(KERNEL, opt_level=0)
+        o1 = compile_kernel(KERNEL, opt_level=1)
+        cpu0, _ = o0.run()
+        cpu1, _ = o1.run()
+        assert cpu1.steps < cpu0.steps
+
+    def test_scalars_written_back_to_memory(self):
+        # read() goes through memory; the epilogue must store homes.
+        kernel = compile_kernel("int x; double d; x = 41 + 1; d = 2.5;", opt_level=1)
+        cpu, _ = kernel.run()
+        assert kernel.read(cpu, "x") == 42
+        assert kernel.read(cpu, "d") == 2.5
+
+    def test_initial_data_preloaded(self):
+        kernel = compile_kernel(
+            "double d; double out[1]; out[0] = d * 2.0;",
+            data={"d": 1.25},
+            opt_level=1,
+        )
+        cpu, _ = kernel.run()
+        assert kernel.read(cpu, "out") == [2.5]
+
+    def test_arrays_never_promoted(self):
+        kernel = compile_kernel("int v[4]; v[0] = 1;", opt_level=1)
+        # Generated code must still address the array through memory.
+        assert "la" in kernel.assembly
+        cpu, _ = kernel.run()
+        assert kernel.read(cpu, "v")[0] == 1
+
+    def test_excess_scalars_fall_back_to_memory(self):
+        decls = "".join(f"int s{i}; " for i in range(12))
+        body = " ".join(f"s{i} = {i};" for i in range(12))
+        kernel = compile_kernel(decls + body, opt_level=1)
+        cpu, _ = kernel.run()
+        for i in range(12):
+            assert kernel.read(cpu, f"s{i}") == i
+
+    def test_promoted_int_register_set(self):
+        kernel = compile_kernel("int x; x = 5;", opt_level=1)
+        assert "$s0" in kernel.assembly  # promoted home register
+
+    def test_bad_opt_level_rejected(self):
+        with pytest.raises(CompileError, match="opt_level"):
+            compile_kernel("int x; x = 1;", opt_level=3)

@@ -1,0 +1,98 @@
+"""Function calls inside hot loops (Section 7.2).
+
+The paper offers two treatments: leave the callee unencoded ("handled
+in the traditional way"), or include it "if the total number of
+application basic blocks can be accommodated in the BBIT".  Both fall
+out of our flow: the callee is a separate basic block, selectable by
+weight when ``loops_only=False`` (calls leave the natural loop body),
+and always decodable because every encoded region re-synchronises at
+its BBIT entry.
+"""
+
+import pytest
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.loops import find_natural_loops
+from repro.isa.assembler import assemble
+from repro.pipeline.flow import EncodingFlow
+from repro.sim.cpu import run_program
+
+SOURCE = """
+        .text
+main:   li $s0, 40
+        li $s1, 0
+loop:   move $a0, $s0
+        jal triple
+        addu $s1, $s1, $v1
+        addiu $s0, $s0, -1
+        bnez $s0, loop
+        move $a0, $s1
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+triple: sll $v1, $a0, 1
+        addu $v1, $v1, $a0
+        xor $t8, $v1, $a0
+        and $t9, $v1, $a0
+        jr $ra
+"""
+
+
+@pytest.fixture(scope="module")
+def call_setup():
+    program = assemble(SOURCE)
+    cpu, trace = run_program(program)
+    assert cpu.output == [str(3 * sum(range(1, 41)))]
+    return program, trace
+
+
+class TestCalleeHandling:
+    def test_callee_is_separate_block(self, call_setup):
+        program, trace = call_setup
+        cfg = ControlFlowGraph.build(program)
+        triple = program.address_of("triple")
+        assert triple in cfg.blocks
+        assert cfg.blocks[triple].has_indirect_successor
+
+    def test_traditional_treatment_excludes_callee(self, call_setup):
+        # loops_only: only blocks in the natural loop body qualify;
+        # the callee (reached via call/return, not a loop back edge)
+        # stays plain — the paper's first alternative.
+        program, trace = call_setup
+        result = EncodingFlow(block_size=5, loops_only=True).run(
+            program, trace, "calls"
+        )
+        triple = program.address_of("triple")
+        assert triple not in result.selected_blocks
+        assert result.decode_verified or not result.selected_blocks
+
+    def test_inclusive_treatment_encodes_callee(self, call_setup):
+        # The second alternative: with capacity to spare and
+        # loops_only off, the hot callee is encoded too.
+        program, trace = call_setup
+        result = EncodingFlow(block_size=5, loops_only=False).run(
+            program, trace, "calls"
+        )
+        triple = program.address_of("triple")
+        assert triple in result.selected_blocks
+        assert result.decode_verified
+
+    def test_inclusive_beats_or_ties_traditional(self, call_setup):
+        program, trace = call_setup
+        traditional = EncodingFlow(block_size=5, loops_only=True).run(
+            program, trace, "calls"
+        )
+        inclusive = EncodingFlow(block_size=5, loops_only=False).run(
+            program, trace, "calls"
+        )
+        assert (
+            inclusive.encoded_transitions <= traditional.encoded_transitions
+        )
+
+    def test_loop_detected_despite_call(self, call_setup):
+        program, trace = call_setup
+        cfg = ControlFlowGraph.build(program)
+        loops = find_natural_loops(cfg)
+        headers = {loop.header for loop in loops}
+        assert program.address_of("loop") in headers

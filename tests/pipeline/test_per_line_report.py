@@ -1,0 +1,44 @@
+"""Tests for the per-line report table."""
+
+import pytest
+
+from repro.pipeline.flow import EncodingFlow
+from repro.pipeline.report import format_per_line_table
+from repro.sim.cpu import run_program
+from repro.workloads.registry import build_workload
+
+
+class TestPerLineTable:
+    def test_shape_and_content(self):
+        workload = build_workload("lu", n=8)
+        program = workload.assemble()
+        cpu, trace = run_program(program)
+        flow = EncodingFlow(block_size=5)
+        result = flow.run(program, trace, "lu")
+        baseline, encoded = flow.per_line_breakdown(program, trace, result)
+        text = format_per_line_table(baseline, encoded)
+        assert "before" in text and "after" in text and "saved" in text
+        # 32 lines at 8 columns -> 4 groups of 4 content rows.
+        assert text.count("before") == 4
+        assert str(max(baseline)) in text
+
+    def test_zero_baseline_renders_dash(self):
+        text = format_per_line_table([0, 10], [0, 5], columns=2)
+        assert "-" in text
+        assert "50.0%" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            format_per_line_table([1, 2], [1])
+
+    def test_savings_never_negative_on_real_flow(self):
+        workload = build_workload("mmul", n=6)
+        program = workload.assemble()
+        cpu, trace = run_program(program)
+        flow = EncodingFlow(block_size=4)
+        result = flow.run(program, trace, "mmul")
+        baseline, encoded = flow.per_line_breakdown(program, trace, result)
+        # Per line, a few boundary effects may cost transitions, but
+        # the vast majority of lines improve or stay equal.
+        worse = sum(1 for b, e in zip(baseline, encoded) if e > b)
+        assert worse <= 4

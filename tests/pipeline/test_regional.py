@@ -1,0 +1,139 @@
+"""Tests for the regional-reprogramming flow."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.pipeline.flow import EncodingFlow
+from repro.pipeline.regional import RegionalEncodingFlow
+from repro.sim.cpu import run_program
+
+# Two sequential phases, each with a big hot loop body: together they
+# exceed a small TT, separately each fits.
+TWO_PHASE = """
+        .text
+main:   li $s0, 60
+phase1:
+        addu $t0, $t1, $t2
+        xor  $t3, $t0, $t1
+        sll  $t4, $t3, 2
+        or   $t5, $t4, $t0
+        subu $t6, $t5, $t2
+        and  $t7, $t6, $t3
+        addu $t1, $t7, $t0
+        addiu $s0, $s0, -1
+        bnez $s0, phase1
+        li $s1, 60
+phase2:
+        lui  $t0, 0x1234
+        ori  $t1, $t0, 0x5678
+        srl  $t2, $t1, 3
+        nor  $t3, $t2, $t0
+        sra  $t4, $t3, 1
+        slt  $t5, $t4, $t1
+        xor  $t6, $t5, $t2
+        addiu $s1, $s1, -1
+        bnez $s1, phase2
+        li $v0, 10
+        syscall
+"""
+
+
+@pytest.fixture(scope="module")
+def two_phase():
+    program = assemble(TWO_PHASE)
+    cpu, trace = run_program(program)
+    return program, trace
+
+
+class TestRegionalFlow:
+    def test_decode_verified(self, two_phase):
+        program, trace = two_phase
+        result = RegionalEncodingFlow(block_size=5).run(
+            program, trace, "two-phase"
+        )
+        assert result.decode_verified
+        assert len(result.regions) == 2
+
+    def test_reload_counting(self, two_phase):
+        program, trace = two_phase
+        result = RegionalEncodingFlow(block_size=5).run(
+            program, trace, "two-phase"
+        )
+        # Phase 1 then phase 2: exactly two region entries.
+        assert result.reloads == 2
+        assert result.reload_words > 0
+
+    def test_beats_static_under_tt_pressure(self, two_phase):
+        program, trace = two_phase
+        # A tiny TT cannot hold both phases at once; regional
+        # reprogramming gives each phase the whole table.
+        capacity = 3
+        static = EncodingFlow(block_size=5, tt_capacity=capacity).run(
+            program, trace, "static"
+        )
+        regional = RegionalEncodingFlow(block_size=5, tt_capacity=capacity).run(
+            program, trace, "regional"
+        )
+        assert regional.decode_verified
+        assert regional.encoded_transitions < static.encoded_transitions
+
+    def test_matches_static_when_capacity_ample(self, two_phase):
+        program, trace = two_phase
+        static = EncodingFlow(block_size=5, tt_capacity=32).run(
+            program, trace, "static"
+        )
+        regional = RegionalEncodingFlow(block_size=5, tt_capacity=32).run(
+            program, trace, "regional"
+        )
+        # With room for everything, both approaches encode the same
+        # blocks; transitions agree.
+        assert regional.encoded_transitions == static.encoded_transitions
+
+    def test_reload_traffic_is_small(self, two_phase):
+        program, trace = two_phase
+        result = RegionalEncodingFlow(block_size=5).run(
+            program, trace, "two-phase"
+        )
+        # The paper: "the amount of information needed is insignificant
+        # in volume".  Reload words must be tiny next to the fetch
+        # traffic.
+        assert result.reload_words * 32 < 0.05 * 32 * len(trace)
+
+    def test_no_loops_program(self):
+        program = assemble(
+            ".text\nmain: addu $t0, $t1, $t2\nli $v0, 10\nsyscall\n"
+        )
+        cpu, trace = run_program(program)
+        result = RegionalEncodingFlow(block_size=5).run(program, trace, "flat")
+        assert result.regions == []
+        assert result.reloads == 0
+        assert result.reduction_percent == 0.0
+
+    def test_revisiting_region_reloads_once_per_switch(self):
+        # Alternate between two loop phases several times.
+        program = assemble(
+            """
+            .text
+main:       li $s7, 3
+outer:      li $s0, 10
+loopA:      addu $t0, $t1, $t2
+            xor  $t3, $t0, $t1
+            addiu $s0, $s0, -1
+            bnez $s0, loopA
+            li $s1, 10
+loopB:      lui  $t4, 0x4321
+            ori  $t5, $t4, 9
+            addiu $s1, $s1, -1
+            bnez $s1, loopB
+            addiu $s7, $s7, -1
+            bnez $s7, outer
+            li $v0, 10
+            syscall
+            """
+        )
+        cpu, trace = run_program(program)
+        result = RegionalEncodingFlow(block_size=4).run(program, trace, "alt")
+        assert result.decode_verified
+        # The outer loop contains both inner loops, so the whole nest
+        # is one top-level region: a single reload.
+        assert result.reloads == 1

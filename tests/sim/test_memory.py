@@ -1,0 +1,103 @@
+"""Tests for the paged memory."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.memory import PAGE_SIZE, Memory
+
+
+class TestScalarAccess:
+    def test_u8(self):
+        mem = Memory()
+        mem.write_u8(100, 0xAB)
+        assert mem.read_u8(100) == 0xAB
+
+    def test_u32_little_endian(self):
+        mem = Memory()
+        mem.write_u32(0, 0x12345678)
+        assert mem.read_u8(0) == 0x78
+        assert mem.read_u8(3) == 0x12
+        assert mem.read_u32(0) == 0x12345678
+
+    def test_u16(self):
+        mem = Memory()
+        mem.write_u16(10, 0xBEEF)
+        assert mem.read_u16(10) == 0xBEEF
+
+    def test_signed_reads(self):
+        mem = Memory()
+        mem.write_u8(0, 0xFF)
+        assert mem.read_s8(0) == -1
+        mem.write_u16(2, 0x8000)
+        assert mem.read_s16(2) == -0x8000
+
+    def test_f64(self):
+        mem = Memory()
+        mem.write_f64(8, 3.141592653589793)
+        assert mem.read_f64(8) == 3.141592653589793
+
+    def test_f32(self):
+        mem = Memory()
+        mem.write_f32(4, 1.5)
+        assert mem.read_f32(4) == 1.5
+
+    def test_default_zero(self):
+        mem = Memory()
+        assert mem.read_u32(0xDEAD0000) == 0
+
+
+class TestPageBoundaries:
+    def test_u32_across_page(self):
+        mem = Memory()
+        address = PAGE_SIZE - 2
+        mem.write_u32(address, 0xCAFEBABE)
+        assert mem.read_u32(address) == 0xCAFEBABE
+
+    def test_bytes_across_pages(self):
+        mem = Memory()
+        data = bytes(range(256)) * 20  # > one page
+        mem.write_bytes(PAGE_SIZE - 100, data)
+        assert mem.read_bytes(PAGE_SIZE - 100, len(data)) == data
+
+    def test_f64_across_page(self):
+        mem = Memory()
+        address = PAGE_SIZE - 4
+        mem.write_f64(address, -2.5)
+        assert mem.read_f64(address) == -2.5
+
+    def test_page_allocation_is_lazy(self):
+        mem = Memory()
+        assert mem.allocated_pages == 0
+        mem.write_u8(0, 1)
+        mem.write_u8(10 * PAGE_SIZE, 1)
+        assert mem.allocated_pages == 2
+
+
+class TestCString:
+    def test_read(self):
+        mem = Memory()
+        mem.write_bytes(50, b"hello\x00world")
+        assert mem.read_cstring(50) == "hello"
+
+    def test_limit(self):
+        mem = Memory()
+        mem.write_bytes(0, b"x" * 100)
+        assert len(mem.read_cstring(0, limit=10)) == 10
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=0, max_value=(1 << 24)),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+    )
+    def test_u32_roundtrip(self, address, value):
+        mem = Memory()
+        mem.write_u32(address, value)
+        assert mem.read_u32(address) == value
+
+    @given(st.floats(allow_nan=False), st.integers(min_value=0, max_value=1 << 20))
+    def test_f64_roundtrip(self, value, address):
+        mem = Memory()
+        mem.write_f64(address, value)
+        assert mem.read_f64(address) == value

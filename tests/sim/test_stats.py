@@ -1,0 +1,100 @@
+"""Tests for trace statistics."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.sim.cpu import run_program
+from repro.sim.stats import (
+    branch_statistics,
+    instruction_mix,
+    static_dynamic_ratio,
+    word_entropy_bits,
+)
+
+
+@pytest.fixture(scope="module")
+def loop_run():
+    program = assemble(
+        """
+        .data
+        v: .word 0
+        .text
+        main: li $t0, 8
+        la $t1, v
+        loop: lw $t2, 0($t1)
+        addu $t2, $t2, $t0
+        sw $t2, 0($t1)
+        addiu $t0, $t0, -1
+        bnez $t0, loop
+        li $v0, 10
+        syscall
+        """
+    )
+    cpu, trace = run_program(program)
+    return program, trace
+
+
+class TestInstructionMix:
+    def test_total(self, loop_run):
+        program, trace = loop_run
+        mix = instruction_mix(program, trace)
+        assert mix.total == len(trace)
+        assert sum(mix.by_category.values()) == mix.total
+
+    def test_loads_stores_counted(self, loop_run):
+        program, trace = loop_run
+        mix = instruction_mix(program, trace)
+        assert mix.by_category["load"] == 8
+        assert mix.by_category["store"] == 8
+
+    def test_branch_category(self, loop_run):
+        program, trace = loop_run
+        mix = instruction_mix(program, trace)
+        assert mix.by_category["branch"] == 8
+        assert mix.fraction("branch") == pytest.approx(8 / mix.total)
+
+    def test_by_mnemonic(self, loop_run):
+        program, trace = loop_run
+        mix = instruction_mix(program, trace)
+        assert mix.by_mnemonic["lw"] == 8
+        assert mix.by_mnemonic["bne"] == 8
+
+    def test_empty_trace(self, loop_run):
+        program, _ = loop_run
+        mix = instruction_mix(program, [])
+        assert mix.total == 0
+        assert mix.fraction("load") == 0.0
+
+
+class TestBranchStatistics:
+    def test_taken_rate(self, loop_run):
+        program, trace = loop_run
+        stats = branch_statistics(program, trace)
+        # 8 executions of bnez; 7 taken (back edge), 1 fall-through.
+        assert stats["branches"] == 8
+        assert stats["taken"] == 7
+        assert stats["taken_rate"] == pytest.approx(7 / 8)
+
+    def test_no_branches(self):
+        program = assemble(".text\nmain: nop\nli $v0, 10\nsyscall\n")
+        cpu, trace = run_program(program)
+        stats = branch_statistics(program, trace)
+        assert stats["branches"] == 0
+        assert stats["taken_rate"] == 0.0
+
+
+class TestEntropyAndRatio:
+    def test_entropy_constant_stream(self):
+        assert word_entropy_bits([7, 7, 7, 7]) == 0.0
+
+    def test_entropy_uniform_pair(self):
+        assert word_entropy_bits([1, 2, 1, 2]) == pytest.approx(1.0)
+
+    def test_entropy_empty(self):
+        assert word_entropy_bits([]) == 0.0
+
+    def test_static_dynamic_ratio(self, loop_run):
+        program, trace = loop_run
+        ratio = static_dynamic_ratio(program, trace)
+        assert ratio == len(trace) / len(program.words)
+        assert ratio > 1.0  # loop dominance

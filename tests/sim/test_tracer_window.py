@@ -1,0 +1,32 @@
+"""Remaining tracer coverage: the window helper and edge cases."""
+
+from repro.isa.assembler import assemble
+from repro.sim.tracer import FetchTrace, window
+
+
+class TestWindow:
+    def test_slice_semantics(self):
+        addresses = list(range(0, 100, 4))
+        assert list(window(addresses, 2, 3)) == [8, 12, 16]
+
+    def test_clamped_at_end(self):
+        assert list(window([4, 8], 1, 10)) == [8]
+
+    def test_empty(self):
+        assert list(window([], 0, 5)) == []
+
+
+class TestEmptyTrace:
+    def test_empty_statistics(self):
+        program = assemble(".text\nmain: li $v0, 10\nsyscall\n")
+        trace = FetchTrace(program=program, addresses=[])
+        assert len(trace) == 0
+        assert trace.words() == []
+        assert trace.coverage() == 0.0
+        assert not trace.fetch_counts()
+        assert not trace.edge_counts()
+
+    def test_empty_program_coverage(self):
+        program = assemble("")
+        trace = FetchTrace(program=program, addresses=[])
+        assert trace.coverage() == 0.0

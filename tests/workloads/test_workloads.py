@@ -1,0 +1,108 @@
+"""Tests for the six benchmarks: each runs (at reduced size) and is
+checked against an independent Python reference by its own verify
+callback; these tests also pin structural expectations (loops exist,
+traces are loop-dominated)."""
+
+import pytest
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.loops import find_natural_loops
+from repro.cfg.profile import profile_trace
+from repro.sim.cpu import run_program
+from repro.workloads.registry import (
+    BENCHMARK_ORDER,
+    WORKLOAD_BUILDERS,
+    build_workload,
+)
+
+#: Reduced sizes so the whole file runs in a few seconds.
+SMALL = {
+    "mmul": {"n": 8},
+    "sor": {"n": 10, "sweeps": 3},
+    "ej": {"n": 10, "sweeps": 3},
+    "fft": {"n": 32},
+    "tri": {"n": 24, "sweeps": 3},
+    "lu": {"n": 10},
+}
+
+
+@pytest.mark.parametrize("name", BENCHMARK_ORDER)
+class TestCorrectness:
+    def test_runs_and_verifies(self, name):
+        workload = build_workload(name, **SMALL[name])
+        cpu, trace = workload.run()
+        assert cpu.steps == len(trace) > 0
+
+    def test_has_natural_loops(self, name):
+        workload = build_workload(name, **SMALL[name])
+        cfg = ControlFlowGraph.build(workload.assemble())
+        assert find_natural_loops(cfg), f"{name} must contain loops"
+
+    def test_trace_is_loop_dominated(self, name):
+        workload = build_workload(name, **SMALL[name])
+        program = workload.assemble()
+        cpu, trace = run_program(program)
+        cfg = ControlFlowGraph.build(program)
+        profile = profile_trace(cfg, trace)
+        loops = find_natural_loops(cfg)
+        loop_blocks = set()
+        for loop in loops:
+            loop_blocks |= loop.body
+        # Section 6: hot loops carry most of the fetch traffic.
+        assert profile.coverage_of(sorted(loop_blocks)) > 0.8
+
+
+class TestRegistry:
+    def test_all_six_benchmarks_present(self):
+        assert tuple(BENCHMARK_ORDER) == ("mmul", "sor", "ej", "fft", "tri", "lu")
+        for name in BENCHMARK_ORDER:
+            assert callable(WORKLOAD_BUILDERS[name])
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            build_workload("quicksort")
+
+    def test_descriptions_mention_paper_scale(self):
+        for name in BENCHMARK_ORDER:
+            workload = build_workload(name, **SMALL[name])
+            assert "paper" in workload.description
+
+
+class TestParameterValidation:
+    def test_mmul_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            build_workload("mmul", n=0)
+
+    def test_fft_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            build_workload("fft", n=24)
+
+    def test_sor_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            build_workload("sor", n=2)
+
+    def test_lu_rejects_tiny_matrix(self):
+        with pytest.raises(ValueError):
+            build_workload("lu", n=1)
+
+    def test_tri_rejects_tiny_system(self):
+        with pytest.raises(ValueError):
+            build_workload("tri", n=1)
+
+
+class TestScaling:
+    def test_mmul_work_grows_cubically(self):
+        small = build_workload("mmul", n=4)
+        large = build_workload("mmul", n=8)
+        _, trace_small = small.run()
+        _, trace_large = large.run()
+        ratio = len(trace_large) / len(trace_small)
+        assert 4.0 < ratio < 10.0  # ~8x for 2x size
+
+    def test_fft_work_grows_n_log_n(self):
+        small = build_workload("fft", n=16)
+        large = build_workload("fft", n=64)
+        _, trace_small = small.run()
+        _, trace_large = large.run()
+        ratio = len(trace_large) / len(trace_small)
+        assert 4.0 < ratio < 8.0  # 64*6 / 16*4 = 6x

@@ -1,0 +1,53 @@
+"""Throughput acceptance harness for the compiled codebook fast path.
+
+Runs :func:`repro.pipeline.benchmark.run_codec_benchmarks` on the same
+workloads as ``test_perf_components.py`` (5000-bit stream, 64-word
+block, seed 1234), writes ``BENCH_codec.json`` at the repo root, and
+asserts the headline speedups.  The harness itself cross-checks fast
+and reference outputs for bit-identity before timing, so a passing run
+certifies both correctness and throughput.
+
+The acceptance floor is 5x on the encode paths; measured speedups on
+the development machine are 20-45x, so the margin absorbs noisy CI
+runners.
+"""
+
+from pathlib import Path
+
+from repro.pipeline.benchmark import run_codec_benchmarks
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SPEEDUP_FLOOR = 5.0
+
+
+def test_codec_throughput_report():
+    report = run_codec_benchmarks(repeats=3)
+    print()
+    print(report.format_table())
+
+    path = report.write(REPO_ROOT / "BENCH_codec.json")
+    assert path.exists()
+
+    expected = {
+        "stream_encode_greedy",
+        "stream_encode_optimal",
+        "stream_encode_disjoint",
+        "block_encode_greedy",
+        "stream_decode_plan",
+        "block_decode",
+    }
+    assert {case.name for case in report.cases} == expected
+
+    for name in (
+        "stream_encode_greedy",
+        "stream_encode_optimal",
+        "block_encode_greedy",
+    ):
+        case = report.case(name)
+        assert case.speedup >= SPEEDUP_FLOOR, (
+            f"{name}: {case.speedup:.1f}x < required {SPEEDUP_FLOOR}x"
+        )
+    # Decode tables help too, but hold them to a softer floor: the
+    # reference decode loop is already cheap.
+    assert report.case("stream_decode_plan").speedup >= 1.0
+    assert report.geomean_speedup >= SPEEDUP_FLOOR

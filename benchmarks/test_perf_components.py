@@ -39,14 +39,31 @@ def test_perf_stream_encoder_greedy(benchmark):
     assert result.encoded_transitions < result.original_transitions
 
 
+def test_perf_stream_encoder_greedy_reference(benchmark):
+    encoder = StreamEncoder(5, strategy="greedy", use_codebook=False)
+    result = benchmark(encoder.encode, STREAM)
+    assert result.encoded_transitions < result.original_transitions
+
+
 def test_perf_stream_encoder_optimal(benchmark):
     encoder = StreamEncoder(5, strategy="optimal")
     result = benchmark(encoder.encode, STREAM)
     assert result.encoded_transitions < result.original_transitions
 
 
+def test_perf_stream_encoder_optimal_reference(benchmark):
+    encoder = StreamEncoder(5, strategy="optimal", use_codebook=False)
+    result = benchmark(encoder.encode, STREAM)
+    assert result.encoded_transitions < result.original_transitions
+
+
 def test_perf_encode_basic_block(benchmark):
     encoding = benchmark(encode_basic_block, WORDS, 5)
+    assert encoding.num_segments == len(encoding.bounds)
+
+
+def test_perf_encode_basic_block_reference(benchmark):
+    encoding = benchmark(encode_basic_block, WORDS, 5, use_codebook=False)
     assert encoding.num_segments == len(encoding.bounds)
 
 

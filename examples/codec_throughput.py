@@ -1,0 +1,69 @@
+"""Measure codec throughput: compiled fast path vs. reference solver.
+
+Runs the same fast-vs-reference suite as ``repro bench`` /
+``benchmarks/test_codec_throughput.py``: stream encoding under all
+three strategies, vertical basic-block encoding, and both table-driven
+decoders, each cross-checked for bit-identity before timing.  Writes
+the machine-readable report to ``BENCH_codec.json``.
+
+Run:  python examples/codec_throughput.py [--repeats N] [--parallel N]
+
+``--parallel N`` additionally times a whole-program encode (the mmul
+workload) serially and across N worker processes.
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.pipeline.benchmark import (
+    run_codec_benchmarks,
+    workload_encode_benchmark,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--stream-length", type=int, default=5000)
+    parser.add_argument("--words", type=int, default=64)
+    parser.add_argument("-k", "--block-size", type=int, default=5)
+    parser.add_argument(
+        "--json",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_codec.json"),
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also time a whole-program encode with N worker processes",
+    )
+    args = parser.parse_args()
+
+    report = run_codec_benchmarks(
+        stream_length=args.stream_length,
+        num_words=args.words,
+        block_size=args.block_size,
+        repeats=args.repeats,
+    )
+    print(report.format_table())
+    path = report.write(args.json)
+    print(f"\nwrote {path}")
+
+    if args.parallel:
+        print("\nwhole-program encode (mmul workload):")
+        timing = workload_encode_benchmark(
+            block_size=args.block_size, parallel=args.parallel
+        )
+        print(f"  serial:              {timing['serial_seconds']:.3f} s")
+        if "parallel_seconds" in timing:
+            ratio = timing["serial_seconds"] / timing["parallel_seconds"]
+            print(
+                f"  {timing['parallel_workers']} workers:           "
+                f"{timing['parallel_seconds']:.3f} s ({ratio:.2f}x)"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,8 @@ command        what it prints
 ``suite``      the whole Figure-6 table + Figure-7 chart
 ``compile``    compile a minicc kernel, run it, encode its hot loops
 ``cost``       the Section-7.2 hardware cost table
+``bench``      codec throughput (fast path vs reference solver),
+               written to BENCH_codec.json
 =============  =====================================================
 """
 
@@ -69,10 +71,18 @@ def _cmd_encode(args: argparse.Namespace) -> int:
 
     workload = build_workload(args.workload)
     flow = EncodingFlow(
-        block_size=args.block_size, tt_capacity=args.tt_entries
+        block_size=args.block_size,
+        tt_capacity=args.tt_entries,
+        use_codebook=not args.reference,
+        parallel=args.parallel,
     )
     result = flow.run_workload(workload)
     print(f"workload:      {workload.description}")
+    print(
+        f"encoder:       "
+        f"{'reference BlockSolver' if args.reference else 'compiled codebook fast path'}"
+        + (f", {args.parallel} workers" if args.parallel else "")
+    )
     print(f"trace:         {result.trace_length} fetches")
     print(
         f"blocks:        {len(result.selected_blocks)} encoded, "
@@ -162,6 +172,21 @@ def _cmd_cost(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.pipeline.benchmark import run_codec_benchmarks
+
+    report = run_codec_benchmarks(
+        stream_length=args.stream_length,
+        num_words=args.words,
+        block_size=args.block_size,
+        repeats=args.repeats,
+    )
+    print(report.format_table())
+    path = report.write(args.json)
+    print(f"\nwrote {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -197,6 +222,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload", choices=BENCHMARK_ORDER)
     p.add_argument("-k", "--block-size", type=int, default=5)
     p.add_argument("--tt-entries", type=int, default=16)
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--fast",
+        dest="reference",
+        action="store_false",
+        help="compiled codebook fast path (default)",
+    )
+    mode.add_argument(
+        "--reference",
+        dest="reference",
+        action="store_true",
+        help="seed per-block BlockSolver (bit-identical, slower)",
+    )
+    p.set_defaults(reference=False)
+    p.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="encode basic blocks across N worker processes",
+    )
     p.set_defaults(func=_cmd_encode)
 
     p = sub.add_parser("suite", help="Figure 6 (+7) over all benchmarks")
@@ -217,6 +263,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", type=int, nargs="+", default=[4, 5, 6, 7])
     p.add_argument("--tt-entries", type=int, default=16)
     p.set_defaults(func=_cmd_cost)
+
+    p = sub.add_parser(
+        "bench", help="codec throughput: fast path vs reference solver"
+    )
+    p.add_argument("--json", default="BENCH_codec.json", metavar="PATH")
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--stream-length", type=int, default=5000)
+    p.add_argument("--words", type=int, default=64)
+    p.add_argument("-k", "--block-size", type=int, default=5)
+    p.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -25,6 +25,10 @@ Submodules:
 ``program_codec``
     Vertical per-bus-line encoding of a basic block's instruction words
     (Section 4, Figure 1).
+``fastpath``
+    The compiled codebook fast path: memoized block solutions and
+    integer bit-parallel stream/program encoding, cross-validated
+    bit-for-bit against ``block_solver``.
 ``analysis``
     Reduction summaries and stream statistics.
 """
@@ -37,10 +41,18 @@ from repro.core.transformations import (
 )
 from repro.core.bitstream import count_transitions, word_column
 from repro.core.block_solver import BlockSolver, BlockSolution
+from repro.core.fastpath import CompiledCodebook, get_codebook
 from repro.core.stream_codec import StreamEncoder, encode_stream, decode_stream
-from repro.core.program_codec import BlockEncoding, encode_basic_block
+from repro.core.program_codec import (
+    BlockEncoding,
+    encode_basic_block,
+    encode_basic_blocks,
+)
 
 __all__ = [
+    "CompiledCodebook",
+    "get_codebook",
+    "encode_basic_blocks",
     "BoolFunc",
     "all_functions",
     "dual",

@@ -73,6 +73,34 @@ def stream_to_int(stream: Sequence[int]) -> int:
     return value
 
 
+def pack_bits(stream: Sequence[int]) -> int:
+    """Pack a time-ordered 0/1 stream into an int (bit ``i`` =
+    ``stream[i]``).  The integer form is what the compiled fast path
+    operates on: block extraction is shift/mask, transition counting a
+    single popcount."""
+    if not stream:
+        return 0
+    # str join + int(..., 2) runs the loop at C speed.
+    return int("".join("1" if bit else "0" for bit in reversed(stream)), 2)
+
+
+def unpack_bits(value: int, length: int) -> tuple[int, ...]:
+    """Inverse of :func:`pack_bits`: the low ``length`` bits of
+    ``value`` as a time-ordered tuple."""
+    if length == 0:
+        return ()
+    text = format(value & ((1 << length) - 1), f"0{length}b")
+    return tuple(map(int, reversed(text)))
+
+
+def count_transitions_int(value: int, length: int) -> int:
+    """Transitions of a ``length``-bit stream held in an int —
+    bit-parallel equivalent of :func:`count_transitions`."""
+    if length < 2:
+        return 0
+    return ((value ^ (value >> 1)) & ((1 << (length - 1)) - 1)).bit_count()
+
+
 def word_column(words: Sequence[int], bit: int) -> list[int]:
     """Extract the vertical stream of bus line ``bit`` from a sequence
     of instruction words (Figure 1b).

@@ -43,6 +43,16 @@ from repro.core.transformations import (
 _INF = 1 << 30
 
 
+def infeasible_block_error(word: Sequence[int]) -> RuntimeError:
+    """The error raised when no candidate transformation can express a
+    block word.  Shared with the compiled fast path so both report
+    infeasible words identically."""
+    return RuntimeError(
+        f"no transformation in the candidate set can express block "
+        f"{list(word)} (set too small — include identity and ~x)"
+    )
+
+
 @dataclass(frozen=True)
 class BlockSolution:
     """Result of encoding one block word.
@@ -273,10 +283,7 @@ class BlockSolver:
                     encoded_transitions=transitions,
                 )
         if best is None:
-            raise RuntimeError(
-                f"no transformation in the candidate set can express block "
-                f"{word} (set too small — include identity and ~x)"
-            )
+            raise infeasible_block_error(word)
         return best
 
     def optimal_achievers(self, word: Sequence[int]) -> list[Transformation]:

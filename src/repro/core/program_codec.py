@@ -7,6 +7,14 @@ segment: the 3-bit selectors for *all* bus lines plus the E/CT tail
 bookkeeping (Figure 5a).  This module produces the encoded instruction
 words (what is stored in program memory) and the per-segment selector
 plans (what is loaded into the TT).
+
+Encoding defaults to the compiled codebook fast path: columns are
+extracted from the word list with shift/mask loops into Python ints
+and each block is one table lookup (:mod:`repro.core.fastpath`).
+``use_codebook=False`` selects the seed per-block solver; the two are
+bit-identical.  :func:`encode_basic_blocks` batches independent basic
+blocks and can fan them across a ``ProcessPoolExecutor`` for
+whole-program encoding (``parallel=N``).
 """
 
 from __future__ import annotations
@@ -19,8 +27,16 @@ from repro.core.bitstream import (
     total_word_transitions,
     word_column,
 )
+from repro.core.fastpath import (
+    encode_disjoint_int,
+    encode_greedy_int,
+    encode_optimal_int,
+    get_codebook,
+)
 from repro.core.stream_codec import (
+    STRATEGIES,
     StreamEncoder,
+    _segment_bounds_cached,
     decode_with_plan,
     segment_bounds,
 )
@@ -107,12 +123,60 @@ def tt_entries_required(num_instructions: int, block_size: int) -> int:
     return max(1, len(segment_bounds(num_instructions, block_size)))
 
 
+def _encode_basic_block_fast(
+    words: list[int],
+    block_size: int,
+    width: int,
+    transformations: tuple[Transformation, ...],
+    strategy: str,
+) -> BlockEncoding:
+    """Integer bit-parallel vertical encoding through the codebook."""
+    book = get_codebook(block_size, transformations)
+    length = len(words)
+    overlapped = strategy != "disjoint"
+    bounds = _segment_bounds_cached(length, block_size, overlapped)
+    encoded_columns: list[int] = []
+    per_line_taus: list[list[Transformation]] = []
+    for line in range(width):
+        column = 0
+        for t, word in enumerate(words):
+            column |= ((word >> line) & 1) << t
+        if strategy == "greedy":
+            encoded, taus = encode_greedy_int(book, column, bounds)
+        elif strategy == "optimal":
+            encoded, taus, _cost = encode_optimal_int(book, column, bounds)
+        else:
+            encoded, taus = encode_disjoint_int(book, column, bounds)
+        encoded_columns.append(encoded)
+        per_line_taus.append(taus)
+
+    encoded_words = []
+    for t in range(length):
+        word = 0
+        for line in range(width):
+            word |= ((encoded_columns[line] >> t) & 1) << line
+        encoded_words.append(word)
+
+    segment_plans = tuple(
+        tuple(per_line_taus[line][segment] for line in range(width))
+        for segment in range(len(bounds))
+    )
+    return BlockEncoding(
+        original_words=tuple(words),
+        encoded_words=tuple(encoded_words),
+        block_size=block_size,
+        width=width,
+        segment_plans=segment_plans,
+    )
+
+
 def encode_basic_block(
     words: Sequence[int],
     block_size: int,
     width: int = 32,
     transformations: Sequence[Transformation] = OPTIMAL_SET,
     strategy: str = "greedy",
+    use_codebook: bool = True,
 ) -> BlockEncoding:
     """Encode a basic block's instruction words vertically.
 
@@ -127,8 +191,18 @@ def encode_basic_block(
             raise ValueError(f"word {w:#x} does not fit in {width} bits")
     if not words:
         return BlockEncoding((), (), block_size, width, ())
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+    if use_codebook and len(words) >= 2:
+        return _encode_basic_block_fast(
+            words, block_size, width, tuple(transformations), strategy
+        )
 
-    encoder = StreamEncoder(block_size, transformations, strategy)
+    encoder = StreamEncoder(
+        block_size, transformations, strategy, use_codebook=use_codebook
+    )
     encoded_columns: list[list[int]] = []
     per_line_segments: list[list[Transformation]] = []
     for line in range(width):
@@ -151,7 +225,74 @@ def encode_basic_block(
     )
 
 
-def decode_basic_block(encoding: BlockEncoding) -> list[int]:
+def _encode_block_worker(
+    args: tuple,
+) -> BlockEncoding:
+    """Top-level (picklable) worker for the process-pool path."""
+    words, block_size, width, transformations, strategy, use_codebook = args
+    return encode_basic_block(
+        words,
+        block_size,
+        width=width,
+        transformations=transformations,
+        strategy=strategy,
+        use_codebook=use_codebook,
+    )
+
+
+def encode_basic_blocks(
+    word_lists: Sequence[Sequence[int]],
+    block_size: int,
+    width: int = 32,
+    transformations: Sequence[Transformation] = OPTIMAL_SET,
+    strategy: str = "greedy",
+    use_codebook: bool = True,
+    parallel: int | None = None,
+) -> list[BlockEncoding]:
+    """Encode many independent basic blocks, preserving order.
+
+    ``parallel=N`` (N > 1) fans the blocks across a
+    ``ProcessPoolExecutor`` with N workers — basic blocks are encoded
+    independently (the paper's encoding never spans block boundaries),
+    so whole-program encoding parallelises trivially.  ``None``/``1``
+    encodes serially in-process.
+    """
+    transformations = tuple(transformations)
+    if parallel is not None and parallel > 1 and len(word_lists) > 1:
+        # Compile the codebook before forking so workers inherit it.
+        if use_codebook:
+            get_codebook(block_size, transformations)
+        from concurrent.futures import ProcessPoolExecutor
+
+        jobs = [
+            (
+                [int(w) for w in words],
+                block_size,
+                width,
+                transformations,
+                strategy,
+                use_codebook,
+            )
+            for words in word_lists
+        ]
+        with ProcessPoolExecutor(max_workers=parallel) as pool:
+            return list(pool.map(_encode_block_worker, jobs))
+    return [
+        encode_basic_block(
+            words,
+            block_size,
+            width=width,
+            transformations=transformations,
+            strategy=strategy,
+            use_codebook=use_codebook,
+        )
+        for words in word_lists
+    ]
+
+
+def decode_basic_block(
+    encoding: BlockEncoding, use_tables: bool = True
+) -> list[int]:
     """Restore the original instruction words from a
     :class:`BlockEncoding` (software mirror of the fetch hardware)."""
     if not encoding.encoded_words:
@@ -161,6 +302,8 @@ def decode_basic_block(encoding: BlockEncoding) -> list[int]:
         stored = word_column(encoding.encoded_words, line)
         plan = [plan[line] for plan in encoding.segment_plans]
         decoded_columns.append(
-            decode_with_plan(stored, encoding.block_size, plan)
+            decode_with_plan(
+                stored, encoding.block_size, plan, use_tables=use_tables
+            )
         )
     return columns_to_words(decoded_columns)

@@ -21,15 +21,38 @@ Three strategies are provided:
     Blocks without overlap, each independently anchored — the strawman
     the paper dismisses ("Were blocks to be disjoint, no improvement
     can be effected" across boundaries); kept for the overlap ablation.
+
+Two implementations back every strategy.  The default routes through
+the **compiled codebook fast path** (:mod:`repro.core.fastpath`):
+streams are packed into Python ints and each block resolves to one
+table lookup.  ``use_codebook=False`` selects the seed reference
+implementation that calls :class:`BlockSolver` per block; the two are
+cross-validated bit-for-bit in ``tests/core/test_fastpath.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
-from repro.core.bitstream import count_transitions, validate_bits
+from repro.core.bitstream import (
+    count_transitions,
+    count_transitions_int,
+    pack_bits,
+    unpack_bits,
+    validate_bits,
+)
 from repro.core.block_solver import BlockSolver
+from repro.core.fastpath import (
+    CompiledCodebook,
+    decode_plan_int,
+    encode_disjoint_int,
+    encode_greedy_int,
+    encode_optimal_int,
+    get_codebook,
+    optimal_dp_empty_error,
+)
 from repro.core.transformations import (
     IDENTITY,
     OPTIMAL_SET,
@@ -101,10 +124,17 @@ def segment_bounds(length: int, block_size: int, overlapped: bool = True) -> lis
     """
     if block_size < 2:
         raise ValueError(f"block size must be >= 2, got {block_size}")
+    return list(_segment_bounds_cached(length, block_size, overlapped))
+
+
+@lru_cache(maxsize=4096)
+def _segment_bounds_cached(
+    length: int, block_size: int, overlapped: bool
+) -> tuple[tuple[int, int], ...]:
     if length <= 0:
-        return []
+        return ()
     if length == 1:
-        return [(0, 1)]
+        return ((0, 1),)
     bounds = []
     if overlapped:
         start = 0
@@ -116,7 +146,7 @@ def segment_bounds(length: int, block_size: int, overlapped: bool = True) -> lis
         while start < length:
             bounds.append((start, min(block_size, length - start)))
             start += block_size
-    return bounds
+    return tuple(bounds)
 
 
 class StreamEncoder:
@@ -131,6 +161,10 @@ class StreamEncoder:
     strategy:
         ``"greedy"`` (the paper's), ``"optimal"`` (interface DP) or
         ``"disjoint"`` (no overlap, ablation only).
+    use_codebook:
+        ``True`` (default) encodes through the compiled codebook fast
+        path; ``False`` runs the reference per-block solver.  Outputs
+        are bit-identical either way.
     """
 
     def __init__(
@@ -138,6 +172,7 @@ class StreamEncoder:
         block_size: int,
         transformations: Sequence[Transformation] = OPTIMAL_SET,
         strategy: str = "greedy",
+        use_codebook: bool = True,
     ) -> None:
         if block_size < 2:
             raise ValueError(f"block size must be >= 2, got {block_size}")
@@ -149,6 +184,15 @@ class StreamEncoder:
         self.transformations = tuple(transformations)
         self.strategy = strategy
         self._solver = BlockSolver(self.transformations)
+        self._codebook: CompiledCodebook | None = (
+            get_codebook(block_size, self.transformations)
+            if use_codebook
+            else None
+        )
+
+    @property
+    def use_codebook(self) -> bool:
+        return self._codebook is not None
 
     # ------------------------------------------------------------------
 
@@ -172,8 +216,38 @@ class StreamEncoder:
         return self._encode_disjoint(stream)
 
     # ------------------------------------------------------------------
+    # Compiled fast path (default)
+    # ------------------------------------------------------------------
+
+    def _fast_result(
+        self,
+        stream: list[int],
+        encoded_int: int,
+        taus: list[Transformation],
+        bounds: Sequence[tuple[int, int]],
+        overlapped: bool,
+    ) -> StreamEncoding:
+        segments = tuple(
+            SegmentEncoding(start, seg_len, tau)
+            for (start, seg_len), tau in zip(bounds, taus)
+        )
+        return StreamEncoding(
+            tuple(stream),
+            unpack_bits(encoded_int, len(stream)),
+            self.block_size,
+            segments,
+            overlapped,
+        )
+
+    # ------------------------------------------------------------------
 
     def _encode_greedy(self, stream: list[int]) -> StreamEncoding:
+        if self._codebook is not None:
+            bounds = _segment_bounds_cached(len(stream), self.block_size, True)
+            encoded_int, taus = encode_greedy_int(
+                self._codebook, pack_bits(stream), bounds
+            )
+            return self._fast_result(stream, encoded_int, taus, bounds, True)
         bounds = segment_bounds(len(stream), self.block_size, overlapped=True)
         encoded: list[int] = [0] * len(stream)
         segments: list[SegmentEncoding] = []
@@ -193,6 +267,12 @@ class StreamEncoder:
         )
 
     def _encode_disjoint(self, stream: list[int]) -> StreamEncoding:
+        if self._codebook is not None:
+            bounds = _segment_bounds_cached(len(stream), self.block_size, False)
+            encoded_int, taus = encode_disjoint_int(
+                self._codebook, pack_bits(stream), bounds
+            )
+            return self._fast_result(stream, encoded_int, taus, bounds, False)
         bounds = segment_bounds(len(stream), self.block_size, overlapped=False)
         encoded: list[int] = [0] * len(stream)
         segments: list[SegmentEncoding] = []
@@ -216,6 +296,19 @@ class StreamEncoder:
         transitions; a forward pass then chains blocks through the
         shared overlap bit.
         """
+        if self._codebook is not None:
+            bounds = _segment_bounds_cached(len(stream), self.block_size, True)
+            encoded_int, taus, best_cost = encode_optimal_int(
+                self._codebook, pack_bits(stream), bounds
+            )
+            result = self._fast_result(stream, encoded_int, taus, bounds, True)
+            realised = count_transitions_int(encoded_int, len(stream))
+            if realised != best_cost:
+                raise RuntimeError(
+                    f"optimal encoder self-check failed: DP cost {best_cost}"
+                    f" != realised transitions {realised}"
+                )
+            return result
         bounds = segment_bounds(len(stream), self.block_size, overlapped=True)
         # profiles[j][(in_bit, out_bit)] = (cost, transformation, code)
         profiles: list[dict[tuple[int, int], tuple[int, Transformation, tuple[int, ...]]]] = []
@@ -243,7 +336,11 @@ class StreamEncoder:
         for (in_bit, out_bit), (cost, transformation, code) in first_profile.items():
             if out_bit not in state or cost < state[out_bit][0]:
                 state[out_bit] = (cost, [(transformation, code)])
-        for profile in profiles[1:]:
+        for block_index, profile in enumerate(profiles[1:], start=1):
+            if not state:
+                raise optimal_dp_empty_error(
+                    block_index - 1, bounds[block_index - 1][0]
+                )
             new_state: dict[int, tuple[int, list[tuple[Transformation, tuple[int, ...]]]]] = {}
             for (in_bit, out_bit), (cost, transformation, code) in profile.items():
                 if in_bit not in state:
@@ -253,6 +350,9 @@ class StreamEncoder:
                 if out_bit not in new_state or total < new_state[out_bit][0]:
                     new_state[out_bit] = (total, prev_plan + [(transformation, code)])
             state = new_state
+        if not state:
+            last = len(bounds) - 1
+            raise optimal_dp_empty_error(last, bounds[last][0])
 
         best_cost, plan = min(state.values(), key=lambda item: item[0])
         encoded: list[int] = [0] * len(stream)
@@ -264,7 +364,13 @@ class StreamEncoder:
         result = StreamEncoding(
             tuple(stream), tuple(encoded), self.block_size, tuple(segments), True
         )
-        assert result.encoded_transitions == best_cost
+        # Explicit check (not a bare assert: `python -O` must not strip
+        # the verification from the production path).
+        if result.encoded_transitions != best_cost:
+            raise RuntimeError(
+                f"optimal encoder self-check failed: DP cost {best_cost}"
+                f" != realised transitions {result.encoded_transitions}"
+            )
         return result
 
 
@@ -273,22 +379,37 @@ def encode_stream(
     block_size: int,
     transformations: Sequence[Transformation] = OPTIMAL_SET,
     strategy: str = "greedy",
+    use_codebook: bool = True,
 ) -> StreamEncoding:
     """Convenience wrapper around :class:`StreamEncoder`."""
-    encoder = StreamEncoder(block_size, transformations, strategy)
+    encoder = StreamEncoder(block_size, transformations, strategy, use_codebook)
     return encoder.encode(stream)
 
 
-def decode_stream(encoding: StreamEncoding) -> list[int]:
+def decode_stream(
+    encoding: StreamEncoding, use_tables: bool = True
+) -> list[int]:
     """Bit-serial decode of a :class:`StreamEncoding`.
 
     Mirrors the hardware: the stream's first bit passes through
     unchanged; every later bit is ``tau(stored, previous_decoded)``
     with ``tau`` selected by the segment covering that position.
+    ``use_tables`` selects the compiled suffix-table decode (default)
+    or the reference bit-serial loop.
     """
     encoded = list(encoding.encoded)
     if not encoded:
         return []
+    if use_tables:
+        bounds = tuple((s.start, s.length) for s in encoding.segments)
+        decoded_int = decode_plan_int(
+            pack_bits(encoded),
+            len(encoded),
+            bounds,
+            [s.transformation for s in encoding.segments],
+            encoding.overlapped,
+        )
+        return list(unpack_bits(decoded_int, len(encoded)))
     decoded: list[int] = [encoded[0]]
     if encoding.overlapped:
         for segment in encoding.segments:
@@ -313,6 +434,7 @@ def decode_with_plan(
     encoded: Sequence[int],
     block_size: int,
     transformations: Sequence[Transformation],
+    use_tables: bool = True,
 ) -> list[int]:
     """Decode from raw materials (stored bits + per-block tau plan) —
     exactly the information a Transformation Table holds."""
@@ -325,6 +447,11 @@ def decode_with_plan(
         )
     if not encoded:
         return []
+    if use_tables:
+        decoded_int = decode_plan_int(
+            pack_bits(encoded), len(encoded), bounds, transformations, True
+        )
+        return list(unpack_bits(decoded_int, len(encoded)))
     decoded = [encoded[0]]
     for (start, seg_len), transformation in zip(bounds, transformations):
         for pos in range(start + 1, start + seg_len):

@@ -103,7 +103,8 @@ class FetchDecoder:
             decoded = stored_word  # block's first instruction passes through
         else:
             segment = (active.index - 1) // (self.block_size - 1)
-            tt_entry = self.tt.entry(active.base_tt_index + segment)
+            # Direct list indexing: entry() resolves per-fetch otherwise.
+            tt_entry = self.tt.entries[active.base_tt_index + segment]
             self.tt_reads += 1
             decoded = tt_entry.decode(stored_word, self._history_word)
         self._history_word = decoded

@@ -53,6 +53,8 @@ class TTEntry:
     end: bool = False  # E field
     count: int = 0  # CT field (instructions under a final segment)
     _masks: list[int] = field(default_factory=list, repr=False)
+    _ops: list[tuple[int, int]] = field(default_factory=list, repr=False)
+    _word_mask: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         for selector in self.selectors:
@@ -62,6 +64,12 @@ class TTEntry:
         for line, selector in enumerate(self.selectors):
             masks[selector] |= 1 << line
         self._masks = masks
+        # Hot-path lookups: only the selectors actually used by some
+        # line (typically far fewer than eight per entry).
+        self._ops = [
+            (selector, mask) for selector, mask in enumerate(masks) if mask
+        ]
+        self._word_mask = (1 << len(self.selectors)) - 1
 
     @property
     def width(self) -> int:
@@ -70,14 +78,12 @@ class TTEntry:
     def decode(self, stored_word: int, previous_decoded: int) -> int:
         """Restore an original word from the stored word and the
         previously decoded word (the per-line one-bit history)."""
-        word_mask = (1 << self.width) - 1
         out = 0
-        for selector, mask in enumerate(self._masks):
-            if mask:
-                out |= _decode_masked(
-                    selector, stored_word, previous_decoded, mask
-                )
-        return out & word_mask
+        for selector, mask in self._ops:
+            out |= _decode_masked(
+                selector, stored_word, previous_decoded, mask
+            )
+        return out & self._word_mask
 
     @classmethod
     def identity(cls, width: int = 32) -> "TTEntry":

@@ -1,0 +1,293 @@
+"""Codec throughput harness: compiled fast path vs. reference solver.
+
+Measures the hot encode/decode paths on the same workloads
+``benchmarks/test_perf_components.py`` uses (a 5000-bit random stream,
+a 64-word basic block; seed 1234) and reports streams/s, words/s,
+bits/s and the speedup of the compiled codebook fast path over the
+seed :class:`~repro.core.block_solver.BlockSolver` reference.  Results
+are written to ``BENCH_codec.json`` so the performance trajectory is
+tracked across PRs (CI uploads the file as an artifact; ``repro
+bench`` produces it locally).
+
+Every case cross-checks fast and reference outputs for bit-identity
+before timing — a benchmark of a wrong result is meaningless.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.core.program_codec import (
+    decode_basic_block,
+    encode_basic_block,
+)
+from repro.core.stream_codec import StreamEncoder, decode_with_plan
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One fast-vs-reference measurement."""
+
+    name: str
+    unit: str  # what one "unit" is: stream, word, bit
+    units_per_run: float
+    reference_seconds: float
+    fast_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.fast_seconds == 0:
+            return float("inf")
+        return self.reference_seconds / self.fast_seconds
+
+    @property
+    def fast_per_second(self) -> float:
+        if self.fast_seconds == 0:
+            return float("inf")
+        return self.units_per_run / self.fast_seconds
+
+    @property
+    def reference_per_second(self) -> float:
+        if self.reference_seconds == 0:
+            return float("inf")
+        return self.units_per_run / self.reference_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "unit": self.unit,
+            "units_per_run": self.units_per_run,
+            "reference_seconds": self.reference_seconds,
+            "fast_seconds": self.fast_seconds,
+            "reference_per_second": self.reference_per_second,
+            "fast_per_second": self.fast_per_second,
+            "speedup": self.speedup,
+        }
+
+
+@dataclass
+class BenchReport:
+    """All cases of one harness run plus the run configuration."""
+
+    config: dict
+    cases: list[BenchCase]
+
+    @property
+    def geomean_speedup(self) -> float:
+        if not self.cases:
+            return 1.0
+        return math.exp(
+            sum(math.log(case.speedup) for case in self.cases)
+            / len(self.cases)
+        )
+
+    def case(self, name: str) -> BenchCase:
+        for case in self.cases:
+            if case.name == name:
+                return case
+        raise KeyError(f"no benchmark case named {name!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "generated_by": "repro.pipeline.benchmark",
+            "config": self.config,
+            "cases": [case.to_dict() for case in self.cases],
+            "geomean_speedup": self.geomean_speedup,
+        }
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    def format_table(self) -> str:
+        header = (
+            f"{'case':<24} {'ref s':>10} {'fast s':>10} "
+            f"{'fast rate':>16} {'speedup':>8}"
+        )
+        lines = [header, "-" * len(header)]
+        for case in self.cases:
+            rate = f"{case.fast_per_second:,.0f} {case.unit}/s"
+            lines.append(
+                f"{case.name:<24} {case.reference_seconds:>10.5f} "
+                f"{case.fast_seconds:>10.5f} {rate:>16} "
+                f"{case.speedup:>7.1f}x"
+            )
+        lines.append(f"geomean speedup: {self.geomean_speedup:.1f}x")
+        return "\n".join(lines)
+
+
+def _best_time(fn: Callable[[], object], repeats: int) -> float:
+    """Minimum wall time over ``repeats`` runs (the standard noise
+    filter for throughput benchmarks)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_codec_benchmarks(
+    stream_length: int = 5000,
+    num_words: int = 64,
+    block_size: int = 5,
+    repeats: int = 3,
+    seed: int = 1234,
+) -> BenchReport:
+    """Run the full fast-vs-reference suite and return the report."""
+    rng = random.Random(seed)
+    stream = [rng.randint(0, 1) for _ in range(stream_length)]
+    words = [rng.getrandbits(32) for _ in range(num_words)]
+    cases: list[BenchCase] = []
+
+    def _stream_case(name: str, strategy: str) -> None:
+        fast = StreamEncoder(block_size, strategy=strategy)
+        reference = StreamEncoder(
+            block_size, strategy=strategy, use_codebook=False
+        )
+        fast_result = fast.encode(stream)  # also warms the codebook
+        if fast_result != reference.encode(stream):
+            raise RuntimeError(
+                f"{name}: fast path diverged from the reference encoder"
+            )
+        cases.append(
+            BenchCase(
+                name=name,
+                unit="streams",
+                units_per_run=1,
+                reference_seconds=_best_time(
+                    lambda: reference.encode(stream), repeats
+                ),
+                fast_seconds=_best_time(
+                    lambda: fast.encode(stream), repeats
+                ),
+            )
+        )
+
+    _stream_case("stream_encode_greedy", "greedy")
+    _stream_case("stream_encode_optimal", "optimal")
+    _stream_case("stream_encode_disjoint", "disjoint")
+
+    encoding = encode_basic_block(words, block_size)
+    if encoding != encode_basic_block(words, block_size, use_codebook=False):
+        raise RuntimeError(
+            "block_encode: fast path diverged from the reference encoder"
+        )
+    cases.append(
+        BenchCase(
+            name="block_encode_greedy",
+            unit="words",
+            units_per_run=num_words,
+            reference_seconds=_best_time(
+                lambda: encode_basic_block(
+                    words, block_size, use_codebook=False
+                ),
+                repeats,
+            ),
+            fast_seconds=_best_time(
+                lambda: encode_basic_block(words, block_size), repeats
+            ),
+        )
+    )
+
+    stream_encoding = StreamEncoder(block_size).encode(stream)
+    plan = stream_encoding.transformations()
+    stored = list(stream_encoding.encoded)
+    if decode_with_plan(stored, block_size, plan) != decode_with_plan(
+        stored, block_size, plan, use_tables=False
+    ):
+        raise RuntimeError(
+            "decode_with_plan: table decode diverged from the reference"
+        )
+    cases.append(
+        BenchCase(
+            name="stream_decode_plan",
+            unit="bits",
+            units_per_run=stream_length,
+            reference_seconds=_best_time(
+                lambda: decode_with_plan(
+                    stored, block_size, plan, use_tables=False
+                ),
+                repeats,
+            ),
+            fast_seconds=_best_time(
+                lambda: decode_with_plan(stored, block_size, plan), repeats
+            ),
+        )
+    )
+
+    if decode_basic_block(encoding) != decode_basic_block(
+        encoding, use_tables=False
+    ):
+        raise RuntimeError(
+            "block_decode: table decode diverged from the reference"
+        )
+    cases.append(
+        BenchCase(
+            name="block_decode",
+            unit="words",
+            units_per_run=num_words,
+            reference_seconds=_best_time(
+                lambda: decode_basic_block(encoding, use_tables=False),
+                repeats,
+            ),
+            fast_seconds=_best_time(
+                lambda: decode_basic_block(encoding), repeats
+            ),
+        )
+    )
+
+    config = {
+        "stream_length": stream_length,
+        "num_words": num_words,
+        "block_size": block_size,
+        "repeats": repeats,
+        "seed": seed,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    return BenchReport(config=config, cases=cases)
+
+
+def workload_encode_benchmark(
+    workload_name: str = "mmul",
+    block_size: int = 5,
+    parallel: int | None = None,
+    repeats: int = 1,
+) -> dict:
+    """Whole-program encode timing on a real workload (serial vs
+    ``parallel=N`` process fan-out).  Heavier than the codec cases;
+    not part of the default report."""
+    from repro.pipeline.flow import EncodingFlow
+    from repro.sim.cpu import run_program
+    from repro.workloads.registry import build_workload
+
+    workload = build_workload(workload_name)
+    program = workload.assemble()
+    _cpu, trace = run_program(program)
+    serial = _best_time(
+        lambda: EncodingFlow(block_size=block_size, verify_decode=False).run(
+            program, trace, workload_name
+        ),
+        repeats,
+    )
+    result = {"workload": workload_name, "serial_seconds": serial}
+    if parallel and parallel > 1:
+        result["parallel_workers"] = parallel
+        result["parallel_seconds"] = _best_time(
+            lambda: EncodingFlow(
+                block_size=block_size,
+                verify_decode=False,
+                parallel=parallel,
+            ).run(program, trace, workload_name),
+            repeats,
+        )
+    return result

@@ -33,7 +33,7 @@ from repro.cfg.hotspot import (
 )
 from repro.cfg.loops import find_natural_loops
 from repro.cfg.profile import profile_trace
-from repro.core.program_codec import encode_basic_block
+from repro.core.program_codec import encode_basic_blocks
 from repro.core.transformations import OPTIMAL_SET, Transformation
 from repro.hw.bbit import BasicBlockIdentificationTable, BBITEntry
 from repro.hw.fetch_decoder import FetchDecoder
@@ -92,6 +92,8 @@ class EncodingFlow:
         strategy: str = "greedy",
         loops_only: bool = True,
         verify_decode: bool = True,
+        use_codebook: bool = True,
+        parallel: int | None = None,
     ):
         self.block_size = block_size
         self.tt_capacity = tt_capacity
@@ -100,6 +102,12 @@ class EncodingFlow:
         self.strategy = strategy
         self.loops_only = loops_only
         self.verify_decode = verify_decode
+        #: ``True`` routes block encoding through the compiled codebook
+        #: fast path; ``False`` runs the reference per-block solver.
+        self.use_codebook = use_codebook
+        #: Fan basic-block encoding across N worker processes (the
+        #: blocks are independent); ``None`` encodes serially.
+        self.parallel = parallel
 
     # ------------------------------------------------------------------
 
@@ -123,18 +131,23 @@ class EncodingFlow:
         bbit = BasicBlockIdentificationTable(self.bbit_capacity)
         image = list(program.words)
         encoded_region: set[int] = set()
-        for start in plan.selected:
-            block = cfg.blocks[start]
-            # Long blocks against a nearly-full TT encode a prefix
-            # only; the E/CT tail ends decoding there and the rest of
-            # the block stays plain in memory.
-            length = plan.encoded_length(start, len(block))
-            encoding = encode_basic_block(
-                block.words[:length],
-                self.block_size,
-                transformations=self.transformations,
-                strategy=self.strategy,
-            )
+        # Long blocks against a nearly-full TT encode a prefix only;
+        # the E/CT tail ends decoding there and the rest of the block
+        # stays plain in memory.
+        lengths = {
+            start: plan.encoded_length(start, len(cfg.blocks[start]))
+            for start in plan.selected
+        }
+        encodings = encode_basic_blocks(
+            [cfg.blocks[start].words[: lengths[start]] for start in plan.selected],
+            self.block_size,
+            transformations=self.transformations,
+            strategy=self.strategy,
+            use_codebook=self.use_codebook,
+            parallel=self.parallel,
+        )
+        for start, encoding in zip(plan.selected, encodings):
+            length = lengths[start]
             base_index = tt.allocate(encoding)
             bbit.install(
                 BBITEntry(

@@ -223,3 +223,23 @@ class TestEncoderConfiguration:
         encoding = encode_stream([0, 1, 0, 1, 0, 1], 4)
         with pytest.raises(ValueError):
             decode_with_plan(list(encoding.encoded), 4, [])
+
+    def test_optimal_empty_dp_state_has_clear_error(self):
+        # A history-only candidate set leaves the optimal DP with no
+        # feasible state; the failure must name the problem rather
+        # than surface as min() on an empty sequence.
+        from repro.core.boolfunc import TT_Y, BoolFunc
+        from repro.core.transformations import Transformation
+
+        history_only = (Transformation(BoolFunc(TT_Y)),)
+        for use_codebook in (True, False):
+            with pytest.raises(
+                RuntimeError, match="optimal DP state is empty"
+            ):
+                encode_stream(
+                    [0, 1, 1, 0, 1],
+                    3,
+                    history_only,
+                    strategy="optimal",
+                    use_codebook=use_codebook,
+                )

@@ -48,6 +48,10 @@ _LAZY_EXPORTS = {
     "run_sweep": ("repro.pipeline.experiment", "run_sweep"),
     "compile_kernel": ("repro.minicc", "compile_kernel"),
     "build_workload": ("repro.workloads.registry", "build_workload"),
+    "ReproError": ("repro.errors", "ReproError"),
+    "CampaignConfig": ("repro.faults", "CampaignConfig"),
+    "run_campaign": ("repro.faults", "run_campaign"),
+    "FaultCampaignReport": ("repro.faults", "FaultCampaignReport"),
 }
 
 
@@ -79,5 +83,9 @@ __all__ = [
     "run_sweep",
     "compile_kernel",
     "build_workload",
+    "ReproError",
+    "CampaignConfig",
+    "run_campaign",
+    "FaultCampaignReport",
     "__version__",
 ]

@@ -14,6 +14,8 @@ command        what it prints
 ``cost``       the Section-7.2 hardware cost table
 ``bench``      codec throughput (fast path vs reference solver),
                written to BENCH_codec.json
+``faults``     the fault-injection campaign: per-model detection and
+               recovery rates, written to FAULTS_report.json
 =============  =====================================================
 """
 
@@ -187,6 +189,53 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import DEFAULT_MODELS, MODELS_BY_NAME, CampaignConfig, run_campaign
+
+    if args.models:
+        unknown = [name for name in args.models if name not in MODELS_BY_NAME]
+        if unknown:
+            print(
+                f"unknown fault model(s): {', '.join(unknown)}; "
+                f"available: {', '.join(MODELS_BY_NAME)}",
+                file=sys.stderr,
+            )
+            return 2
+        models = tuple(MODELS_BY_NAME[name] for name in args.models)
+    else:
+        models = DEFAULT_MODELS
+    config = CampaignConfig(
+        workloads=tuple(args.workload or ["fir"]),
+        block_size=args.block_size,
+        seed=args.seed,
+        trials=args.trials,
+        models=models,
+        parity=not args.no_parity,
+        workers=args.workers,
+        case_timeout=args.timeout,
+    )
+    for workload in config.workloads:
+        print(f"preparing {workload} deployment ...", file=sys.stderr)
+    report = run_campaign(config)
+    print(report.format_table())
+    silent = len(report.silent_cases())
+    print(
+        f"\n{len(report.cases)} cases, {silent} silently corrupted, "
+        f"protected models "
+        f"{'all detected or recovered' if report.protected_ok() else 'NOT fully covered'}"
+    )
+    path = report.write(args.json)
+    print(f"wrote {path}")
+    if args.check and not report.protected_ok():
+        print(
+            "FAIL: a parity-protected or protocol fault model shows "
+            "silent corruption or an escaped exception",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -273,6 +322,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--words", type=int, default=64)
     p.add_argument("-k", "--block-size", type=int, default=5)
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "faults",
+        help="fault-injection campaign over the decode/deploy path",
+    )
+    p.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="workload(s) to deploy and corrupt (repeatable; default fir)",
+    )
+    p.add_argument("-k", "--block-size", type=int, default=5)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--trials", type=int, default=25, help="trials per model")
+    p.add_argument(
+        "--models",
+        nargs="+",
+        default=None,
+        metavar="MODEL",
+        help="restrict the sweep to these fault models",
+    )
+    p.add_argument(
+        "--no-parity",
+        action="store_true",
+        help="disable TT/BBIT parity words (measure the unhardened path)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan cases out across N worker processes",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="per-case worker timeout in seconds",
+    )
+    p.add_argument("--json", default="FAULTS_report.json", metavar="PATH")
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless every protected model is fully detected/recovered",
+    )
+    p.set_defaults(func=_cmd_faults)
 
     return parser
 

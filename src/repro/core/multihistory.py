@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.bitstream import count_transitions, validate_bits
+from repro.errors import EncodingError
 
 _INF = 1 << 30
 
@@ -159,7 +160,11 @@ class MultiHistorySolver:
                 best = (transitions, code, func)
                 if transitions == 0:
                     break
-        assert best is not None  # identity is always feasible
+        if best is None:  # identity is always feasible
+            raise EncodingError(
+                f"no feasible code word for block word {list(word)} although "
+                "the identity transformation is always applicable"
+            )
         return best
 
     def decode(

@@ -1,0 +1,64 @@
+"""Structured exception hierarchy for the whole reproduction.
+
+Every error the decode/deploy path can raise derives from
+:class:`ReproError`, so callers (the flow, the loader, the
+fault-injection campaign) can distinguish *detected* faults from
+genuine programming bugs with one ``except`` clause.  Each concrete
+class additionally subclasses the builtin its call sites historically
+raised (``RuntimeError`` / ``ValueError``), so pre-existing handlers
+keep working.
+
+The hierarchy:
+
+``ReproError``
+    ``DecodeFault``             fetch stream violates the decode protocol
+    ``TableIntegrityError``     TT/BBIT read fails a parity or bounds check
+    ``BundleFormatError``       firmware bundle fails load-time validation
+    ``DecodeVerificationError`` replayed decode did not restore the image
+    ``EncodingError``           encoder-internal invariant violated
+    ``CampaignError``           fault-injection campaign misconfigured
+    ``TableCapacityError``      table programming exceeds physical entries
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every structured error in :mod:`repro`."""
+
+
+class DecodeFault(ReproError, RuntimeError):
+    """The fetch stream violates the decode protocol, e.g. jumping
+    into the middle of an encoded basic block, or a trace ending while
+    a block is still being decoded."""
+
+
+class TableIntegrityError(ReproError, RuntimeError):
+    """A TT or BBIT read failed an integrity check: the entry's parity
+    word does not match its contents, or an index walked outside the
+    table's populated range."""
+
+
+class BundleFormatError(ReproError, ValueError):
+    """A firmware bundle failed load-time validation (bad JSON,
+    unsupported version, digest mismatch, dangling BBIT->TT reference,
+    out-of-range words, ...)."""
+
+
+class DecodeVerificationError(ReproError, RuntimeError):
+    """The post-encode hardware replay failed to restore the original
+    instruction stream bit-exactly."""
+
+
+class EncodingError(ReproError, RuntimeError):
+    """An encoder-internal invariant was violated (e.g. no feasible
+    code word although identity is always feasible)."""
+
+
+class CampaignError(ReproError, RuntimeError):
+    """The fault-injection campaign was misconfigured or could not
+    prepare its deployment target."""
+
+
+class TableCapacityError(ReproError, ValueError):
+    """Raised when a load exceeds the table's physical entry count."""

@@ -1,0 +1,350 @@
+"""The fault-injection campaign runner.
+
+Sweeps fault models x workloads x trials x decoder modes over a
+deployment prepared by the real pipeline (flow -> bundle -> tables),
+classifies every run (see :mod:`repro.faults.report`), and emits
+``FAULTS_report.json``.
+
+Determinism: each case's corruption is drawn from
+``random.Random(f"{seed}:{workload}:{model}:{trial}")`` — the *same*
+fault is injected for the strict and recover runs of a trial, so the
+per-model tables compare both hardening strategies on an identical
+fault population.
+
+Workers: with ``workers > 1`` cases fan out across processes, each
+future bounded by ``case_timeout``.  A timed-out or crashed worker
+pool *downgrades the campaign to serial with a warning* instead of
+failing it — a robustness harness that dies of its own infrastructure
+would be an irony too far.
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+
+from repro.errors import CampaignError, ReproError
+from repro.faults.models import (
+    DEFAULT_MODELS,
+    FaultModel,
+    InjectionRecord,
+    RunState,
+)
+from repro.faults.report import (
+    CRASHED,
+    DETECTED,
+    MASKED,
+    NOT_APPLICABLE,
+    RECOVERED,
+    SILENT,
+    CaseResult,
+    FaultCampaignReport,
+)
+from repro.hw.fetch_decoder import FetchDecoder
+
+
+@dataclass
+class DeploymentTarget:
+    """A picklable snapshot of one deployed workload: everything a
+    trial needs to materialise fresh tables, image and trace."""
+
+    name: str
+    block_size: int
+    text_base: int
+    original_words: list[int]
+    encoded_words: list[int]
+    tt_entries: list[dict]
+    bbit_entries: list[dict]
+    trace: list[int]
+    parity: bool = True
+
+    @classmethod
+    def prepare(
+        cls,
+        workload: str,
+        block_size: int = 5,
+        parity: bool = True,
+        workload_params: dict | None = None,
+    ) -> "DeploymentTarget":
+        """Run the full pipeline on a named workload and snapshot the
+        deployable state (the campaign's pipeline integration)."""
+        from repro.pipeline.bundle import EncodingBundle
+        from repro.pipeline.flow import EncodingFlow
+        from repro.sim.cpu import run_program
+        from repro.workloads.registry import build_workload
+
+        wl = build_workload(workload, **(workload_params or {}))
+        program = wl.assemble()
+        cpu, trace = run_program(program)
+        if wl.verify is not None:
+            wl.verify(cpu)
+        result = EncodingFlow(block_size=block_size).run(
+            program, trace, workload
+        )
+        if not result.selected_blocks:
+            raise CampaignError(
+                f"workload {workload!r} produced no encoded blocks; "
+                "nothing to inject faults into"
+            )
+        bundle = EncodingBundle.from_flow_result(program, result)
+        bundle.validate()
+        return cls(
+            name=workload,
+            block_size=block_size,
+            text_base=program.text_base,
+            original_words=list(program.words),
+            encoded_words=list(bundle.encoded_words),
+            tt_entries=list(bundle.tt_entries),
+            bbit_entries=list(bundle.bbit_entries),
+            trace=list(trace),
+            parity=parity,
+        )
+
+    def materialise(self) -> RunState:
+        """Fresh tables + private image/trace copies for one trial."""
+        from repro.pipeline.bundle import EncodingBundle
+
+        bundle = EncodingBundle(
+            name=self.name,
+            block_size=self.block_size,
+            text_base=self.text_base,
+            encoded_words=self.encoded_words,
+            original_digest="0" * 64,  # not re-derived for trials
+            tt_entries=self.tt_entries,
+            bbit_entries=self.bbit_entries,
+        )
+        tt, bbit = bundle.build_tables(parity=self.parity)
+        return RunState(
+            tt=tt,
+            bbit=bbit,
+            image=list(self.encoded_words),
+            trace=list(self.trace),
+            encoded_region=bundle.encoded_pc_region(),
+            text_base=self.text_base,
+        )
+
+
+# ----------------------------------------------------------------------
+# One case
+# ----------------------------------------------------------------------
+
+
+def run_case(
+    target: DeploymentTarget, model: FaultModel, seed: str, mode: str
+) -> CaseResult:
+    """Inject one fault, replay the trace, classify the outcome."""
+    state = target.materialise()
+    record: InjectionRecord = model.inject(state, random.Random(seed))
+    if not record.applicable:
+        return CaseResult(
+            target.name, model.name, seed, mode, NOT_APPLICABLE, record.detail
+        )
+    decoder = FetchDecoder(
+        state.tt,
+        state.bbit,
+        target.block_size,
+        encoded_region=state.encoded_region,
+        mode=mode,
+    )
+    base = target.text_base
+    image = state.image
+    num_words = len(image)
+
+    def lookup(pc: int) -> int:
+        index = (pc - base) >> 2
+        if not 0 <= index < num_words:
+            raise ReproError(f"fetch outside the image: {pc:#010x}")
+        return image[index]
+
+    try:
+        decoded = decoder.decode_trace(state.trace, lookup, finalize=True)
+    except ReproError as err:
+        if mode == "recover":
+            # Recover mode promises never to raise on a corrupted
+            # block; an escape is a harness bug, not a detection.
+            return CaseResult(
+                target.name,
+                model.name,
+                seed,
+                mode,
+                CRASHED,
+                record.detail,
+                error=f"recover mode raised: {err!r}",
+            )
+        return CaseResult(
+            target.name,
+            model.name,
+            seed,
+            mode,
+            DETECTED,
+            record.detail,
+            error=str(err),
+        )
+    except Exception as err:  # noqa: BLE001 — campaign must classify, not die
+        return CaseResult(
+            target.name,
+            model.name,
+            seed,
+            mode,
+            CRASHED,
+            record.detail,
+            error=repr(err),
+        )
+    expected = [target.original_words[(pc - base) >> 2] for pc in state.trace]
+    if decoder.recovery_events:
+        detail = dict(record.detail)
+        detail["recovery_events"] = decoder.recovery_events[:8]
+        return CaseResult(
+            target.name, model.name, seed, mode, RECOVERED, detail
+        )
+    if decoded != expected:
+        return CaseResult(
+            target.name, model.name, seed, mode, SILENT, record.detail
+        )
+    return CaseResult(target.name, model.name, seed, mode, MASKED, record.detail)
+
+
+# ----------------------------------------------------------------------
+# The sweep
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CampaignConfig:
+    workloads: tuple[str, ...] = ("fir",)
+    block_size: int = 5
+    seed: int = 1
+    trials: int = 25
+    modes: tuple[str, ...] = ("strict", "recover")
+    models: tuple[FaultModel, ...] = DEFAULT_MODELS
+    parity: bool = True
+    workers: int | None = None
+    case_timeout: float = 120.0
+    workload_params: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "workloads": list(self.workloads),
+            "block_size": self.block_size,
+            "seed": self.seed,
+            "trials": self.trials,
+            "modes": list(self.modes),
+            "models": [model.name for model in self.models],
+            "protected_models": [
+                model.name for model in self.models if model.protected
+            ],
+            "parity": self.parity,
+            "workers": self.workers,
+            "case_timeout": self.case_timeout,
+        }
+
+
+_WORKER_TARGETS: dict[str, DeploymentTarget] = {}
+
+
+def _worker_init(targets: list[DeploymentTarget]) -> None:
+    global _WORKER_TARGETS
+    _WORKER_TARGETS = {target.name: target for target in targets}
+
+
+def _worker_run_case(
+    target_name: str, model: FaultModel, seed: str, mode: str
+) -> CaseResult:
+    return run_case(_WORKER_TARGETS[target_name], model, seed, mode)
+
+
+def _run_parallel(
+    targets: dict[str, DeploymentTarget],
+    tasks: list[tuple[str, FaultModel, str, str]],
+    workers: int,
+    case_timeout: float,
+) -> list[CaseResult]:
+    results: dict[int, CaseResult] = {}
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_worker_init,
+        initargs=(list(targets.values()),),
+    )
+    downgrade: str | None = None
+    try:
+        futures = {
+            index: pool.submit(_worker_run_case, *task)
+            for index, task in enumerate(tasks)
+        }
+        for index, future in futures.items():
+            try:
+                results[index] = future.result(timeout=case_timeout)
+            except FutureTimeoutError:
+                target_name, model, seed, mode = tasks[index]
+                results[index] = CaseResult(
+                    target_name,
+                    model.name,
+                    seed,
+                    mode,
+                    CRASHED,
+                    {},
+                    error=f"worker exceeded {case_timeout}s timeout",
+                )
+                downgrade = f"a case exceeded the {case_timeout}s timeout"
+                break
+            except BrokenExecutor as err:
+                downgrade = f"worker pool broke: {err!r}"
+                break
+    finally:
+        # Never block the campaign on a wedged worker.
+        pool.shutdown(wait=downgrade is None, cancel_futures=True)
+    if downgrade is not None:
+        warnings.warn(
+            f"fault campaign: {downgrade}; finishing the remaining "
+            f"{len(tasks) - len(results)} case(s) serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        for index, task in enumerate(tasks):
+            if index not in results:
+                target_name, model, seed, mode = task
+                results[index] = run_case(
+                    targets[target_name], model, seed, mode
+                )
+    return [results[index] for index in range(len(tasks))]
+
+
+def run_campaign(
+    config: CampaignConfig,
+    targets: list[DeploymentTarget] | None = None,
+) -> FaultCampaignReport:
+    """Run the full sweep; ``targets`` overrides workload preparation
+    (used by tests to inject synthetic deployments)."""
+    if targets is None:
+        targets = [
+            DeploymentTarget.prepare(
+                workload,
+                block_size=config.block_size,
+                parity=config.parity,
+                workload_params=config.workload_params.get(workload),
+            )
+            for workload in config.workloads
+        ]
+    by_name = {target.name: target for target in targets}
+    if len(by_name) != len(targets):
+        raise CampaignError("duplicate target names in campaign")
+    tasks: list[tuple[str, FaultModel, str, str]] = []
+    for target in targets:
+        for model in config.models:
+            for trial in range(config.trials):
+                seed = f"{config.seed}:{target.name}:{model.name}:{trial}"
+                for mode in config.modes:
+                    tasks.append((target.name, model, seed, mode))
+    if config.workers and config.workers > 1:
+        cases = _run_parallel(
+            by_name, tasks, config.workers, config.case_timeout
+        )
+    else:
+        cases = [
+            run_case(by_name[name], model, seed, mode)
+            for name, model, seed, mode in tasks
+        ]
+    return FaultCampaignReport(config=config.to_dict(), cases=cases)

@@ -1,0 +1,171 @@
+"""Campaign results: per-case records, per-model tables, JSON report.
+
+Outcome vocabulary (one per injected case):
+
+``detected``
+    Strict-mode decode raised a structured :class:`~repro.errors.ReproError`
+    (parity mismatch, protocol violation, truncation at finalize).
+``recovered``
+    Recover-mode decode completed, with the fault logged in the
+    decoder's ``recovery_events`` (degraded to pass-through, never
+    silently wrong without a trace).
+``silently-corrupted``
+    Decode completed with no error and no recovery event, but the
+    output differs from the original instruction stream — the failure
+    mode the whole subsystem exists to measure.
+``crashed``
+    An unstructured exception escaped (or recover mode raised, which
+    it never may), or a campaign worker timed out.
+``masked``
+    The corruption never manifested on this trace: output correct, no
+    event (e.g. the corrupted TT row was never read).
+``not-applicable``
+    The injector could not construct the fault on this target (e.g.
+    no block long enough for a mid-block entry).
+
+Detection-or-recovery rates are computed over *manifested* cases only
+(``masked`` and ``not-applicable`` are excluded): a fault that never
+fires says nothing about whether it would have been caught.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+DETECTED = "detected"
+RECOVERED = "recovered"
+SILENT = "silently-corrupted"
+CRASHED = "crashed"
+MASKED = "masked"
+NOT_APPLICABLE = "not-applicable"
+
+OUTCOMES = (DETECTED, RECOVERED, SILENT, CRASHED, MASKED, NOT_APPLICABLE)
+
+
+@dataclass
+class CaseResult:
+    """One (workload, model, trial, mode) fault-injection run."""
+
+    workload: str
+    model: str
+    seed: str
+    mode: str
+    outcome: str
+    detail: dict = field(default_factory=dict)
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "model": self.model,
+            "seed": self.seed,
+            "mode": self.mode,
+            "outcome": self.outcome,
+            "detail": self.detail,
+            "error": self.error,
+        }
+
+
+@dataclass
+class FaultCampaignReport:
+    """Every case of one campaign plus the configuration that ran it."""
+
+    config: dict
+    cases: list[CaseResult]
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def model_table(self) -> list[dict]:
+        """One row per (model, mode): outcome counts and the
+        detection-or-recovery rate over manifested cases."""
+        keys: list[tuple[str, str]] = []
+        rows: dict[tuple[str, str], dict] = {}
+        for case in self.cases:
+            key = (case.model, case.mode)
+            if key not in rows:
+                keys.append(key)
+                rows[key] = {
+                    "model": case.model,
+                    "mode": case.mode,
+                    **{outcome: 0 for outcome in OUTCOMES},
+                }
+            rows[key][case.outcome] += 1
+        table = []
+        for key in keys:
+            row = rows[key]
+            manifested = (
+                row[DETECTED] + row[RECOVERED] + row[SILENT] + row[CRASHED]
+            )
+            row["manifested"] = manifested
+            row["detection_or_recovery_rate"] = (
+                (row[DETECTED] + row[RECOVERED]) / manifested
+                if manifested
+                else None
+            )
+            table.append(row)
+        return table
+
+    def silent_cases(self) -> list[CaseResult]:
+        return [case for case in self.cases if case.outcome == SILENT]
+
+    def protected_models(self) -> list[str]:
+        return list(self.config.get("protected_models", []))
+
+    def protected_ok(self) -> bool:
+        """The acceptance gate: every *protected* model (parity-covered
+        table corruption, protocol violation) shows zero silent
+        corruptions and a 100% detection-or-recovery rate wherever the
+        fault manifested."""
+        protected = set(self.protected_models())
+        for row in self.model_table():
+            if row["model"] not in protected:
+                continue
+            if row[SILENT] or row[CRASHED]:
+                return False
+            rate = row["detection_or_recovery_rate"]
+            if rate is not None and rate < 1.0:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def format_table(self) -> str:
+        header = (
+            f"{'model':<22s} {'mode':<8s} {'det':>4s} {'rec':>4s} "
+            f"{'sil':>4s} {'crash':>5s} {'mask':>4s} {'n/a':>4s} "
+            f"{'det-or-rec':>10s}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.model_table():
+            rate = row["detection_or_recovery_rate"]
+            lines.append(
+                f"{row['model']:<22s} {row['mode']:<8s} "
+                f"{row[DETECTED]:>4d} {row[RECOVERED]:>4d} "
+                f"{row[SILENT]:>4d} {row[CRASHED]:>5d} "
+                f"{row[MASKED]:>4d} {row[NOT_APPLICABLE]:>4d} "
+                f"{'  --' if rate is None else f'{100 * rate:9.1f}%':>10s}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config,
+            "summary": self.model_table(),
+            "protected_ok": self.protected_ok(),
+            "silent_corruptions": len(self.silent_cases()),
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1)
+
+    def write(self, path: str = "FAULTS_report.json") -> Path:
+        target = Path(path)
+        target.write_text(self.to_json())
+        return target

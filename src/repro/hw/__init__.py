@@ -8,6 +8,7 @@ one two-input boolean function per bus line.  ``cost`` reproduces the
 paper's storage/gate arithmetic.
 """
 
+from repro.errors import TableCapacityError, TableIntegrityError
 from repro.hw.tt import TTEntry, TransformationTable
 from repro.hw.bbit import BBITEntry, BasicBlockIdentificationTable
 from repro.hw.fetch_decoder import FetchDecoder, DecodeFault
@@ -20,6 +21,8 @@ __all__ = [
     "BasicBlockIdentificationTable",
     "FetchDecoder",
     "DecodeFault",
+    "TableCapacityError",
+    "TableIntegrityError",
     "HardwareCost",
     "estimate_cost",
 ]

@@ -14,6 +14,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import TableIntegrityError
+from repro.hw.integrity import bbit_entry_parity
+
 
 @dataclass(frozen=True)
 class BBITEntry:
@@ -25,13 +28,23 @@ class BBITEntry:
 
 
 class BasicBlockIdentificationTable:
-    """A fixed-capacity PC-indexed table."""
+    """A fixed-capacity PC-indexed table.
 
-    def __init__(self, capacity: int = 16):
+    With ``parity=True`` each installed row carries a parity word over
+    all its fields (including the CAM tag); a matching :meth:`lookup`
+    recomputes and compares it before handing the row to the decoder,
+    raising :class:`~repro.errors.TableIntegrityError` on mismatch.
+    """
+
+    def __init__(self, capacity: int = 16, parity: bool = False):
         if capacity < 1:
             raise ValueError("BBIT needs at least one entry")
         self.capacity = capacity
+        self.parity_enabled = parity
         self._by_pc: dict[int, BBITEntry] = {}
+        #: Parity word per row, keyed like the row itself; corrupting
+        #: a row in place leaves this stale — which is the point.
+        self._parity: dict[int, int] = {}
         self.lookups = 0
         self.hits = 0
 
@@ -40,6 +53,7 @@ class BasicBlockIdentificationTable:
 
     def clear(self) -> None:
         self._by_pc.clear()
+        self._parity.clear()
         self.lookups = 0
         self.hits = 0
 
@@ -52,13 +66,37 @@ class BasicBlockIdentificationTable:
                 f"{entry.pc:#010x}"
             )
         self._by_pc[entry.pc] = entry
+        self._parity[entry.pc] = bbit_entry_parity(
+            entry.pc, entry.tt_index, entry.num_instructions
+        )
+
+    def seal(self) -> None:
+        """Recompute every parity word from the current rows (for
+        callers that populated ``_by_pc`` directly)."""
+        self._parity = {
+            pc: bbit_entry_parity(e.pc, e.tt_index, e.num_instructions)
+            for pc, e in self._by_pc.items()
+        }
 
     def lookup(self, pc: int) -> BBITEntry | None:
-        """CAM match on a fetch PC; counts every probe."""
+        """CAM match on a fetch PC; counts every probe.  Checks the
+        matched row's parity when enabled."""
         self.lookups += 1
         entry = self._by_pc.get(pc)
-        if entry is not None:
-            self.hits += 1
+        if entry is None:
+            return None
+        if self.parity_enabled:
+            stored = self._parity.get(pc)
+            actual = bbit_entry_parity(
+                entry.pc, entry.tt_index, entry.num_instructions
+            )
+            if stored != actual:
+                raise TableIntegrityError(
+                    f"BBIT entry for {pc:#010x} parity mismatch "
+                    f"(stored {'none' if stored is None else f'{stored:#010x}'}, "
+                    f"computed {actual:#010x})"
+                )
+        self.hits += 1
         return entry
 
     def peek(self, pc: int) -> BBITEntry | None:

@@ -17,19 +17,39 @@ Walks a fetch stream exactly as the hardware would:
 
 Fetches that miss the BBIT pass through unchanged — the identity
 treatment for unencoded code.
+
+Fault handling
+--------------
+
+The engine runs in one of two modes:
+
+``strict`` (default)
+    Any detected fault — a fetch-protocol violation (entering an
+    encoded block mid-way, a trace ending mid-block under
+    :meth:`FetchDecoder.finalize`) or a table integrity failure
+    (TT/BBIT parity mismatch, TT index outside the populated range) —
+    raises the matching :class:`~repro.errors.ReproError` subclass.
+
+``recover``
+    The engine never raises on a corrupted block.  It records the
+    event in :attr:`FetchDecoder.recovery_events`, abandons decoding,
+    and falls back to pass-through fetches for the remainder of the
+    run of sequential fetches (the rest of the block); the next BBIT
+    hit or non-sequential fetch re-arms normal operation.  Decoded
+    output for the abandoned block is, of course, the raw stored
+    words — recovery trades silent mis-decoding for an *explicit*
+    degraded region that software can act on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import DecodeFault, TableIntegrityError
 from repro.hw.bbit import BasicBlockIdentificationTable
 from repro.hw.tt import TransformationTable
 
-
-class DecodeFault(RuntimeError):
-    """Raised when the fetch stream violates the decode protocol,
-    e.g. jumping into the middle of an encoded basic block."""
+__all__ = ["FetchDecoder", "DecodeFault", "TableIntegrityError"]
 
 
 @dataclass
@@ -49,48 +69,106 @@ class FetchDecoder:
         bbit: BasicBlockIdentificationTable,
         block_size: int,
         encoded_region: set[int] | None = None,
+        mode: str = "strict",
     ):
+        if isinstance(block_size, bool) or not isinstance(block_size, int):
+            raise TypeError(
+                f"block_size must be an int, got {type(block_size).__name__}"
+            )
         if block_size < 2:
             raise ValueError("block size must be >= 2")
+        if mode not in ("strict", "recover"):
+            raise ValueError(f"mode must be 'strict' or 'recover', got {mode!r}")
         self.tt = tt
         self.bbit = bbit
         self.block_size = block_size
+        self.mode = mode
         #: Addresses whose stored words are encoded; used to detect
         #: protocol violations (entering an encoded block mid-way).
-        self.encoded_region = encoded_region or set()
+        #: A caller-supplied empty set is kept as-is (shared, mutable).
+        self.encoded_region = (
+            encoded_region if encoded_region is not None else set()
+        )
         self._active: _ActiveBlock | None = None
         self._history_word = 0
         self._expected_pc: int | None = None
+        #: True while recover mode is passing a corrupted/mid-entered
+        #: block through raw; cleared by any non-sequential fetch or
+        #: BBIT hit.
+        self._passthrough_run = False
         self.decoded_instructions = 0
         self.passthrough_instructions = 0
         #: Activity counters for the overhead argument (Section 7.2):
         #: TT reads happen once per decoded (non-anchor) instruction,
         #: BBIT probes only when the engine is inactive.
         self.tt_reads = 0
+        #: One dict per recover-mode event: ``kind`` (``mid_block_entry``,
+        #: ``bbit_integrity``, ``tt_integrity``, ``trace_truncation``),
+        #: the faulting ``pc`` and the original error ``message``.
+        self.recovery_events: list[dict] = []
 
     def reset(self) -> None:
+        """Return to the idle state *and* zero all statistics, so a
+        decoder reused across :meth:`decode_trace` calls does not leak
+        counters from the previous trace."""
         self._active = None
         self._history_word = 0
         self._expected_pc = None
+        self._passthrough_run = False
+        self.decoded_instructions = 0
+        self.passthrough_instructions = 0
+        self.tt_reads = 0
+        self.recovery_events = []
 
     # ------------------------------------------------------------------
+
+    def _recover(self, kind: str, pc: int, message: str) -> None:
+        self.recovery_events.append(
+            {"kind": kind, "pc": pc, "message": message}
+        )
 
     def fetch(self, pc: int, stored_word: int) -> int:
         """Process one fetch; returns the restored instruction word."""
         if self._active is not None and pc != self._expected_pc:
             # Taken branch out of the current block.
             self._active = None
+        if self._passthrough_run and pc != self._expected_pc:
+            self._passthrough_run = False
         if self._active is None:
-            entry = self.bbit.lookup(pc)
+            entry = None
+            fault: Exception | None = None
+            try:
+                entry = self.bbit.lookup(pc)
+            except TableIntegrityError as err:
+                fault = err
+            if (
+                fault is None
+                and entry is None
+                and not self._passthrough_run
+                and pc in self.encoded_region
+            ):
+                fault = DecodeFault(
+                    f"fetch of encoded word at {pc:#010x} without an "
+                    "active basic block (mid-block entry?)"
+                )
+            if fault is not None:
+                if self.mode == "strict":
+                    raise fault
+                kind = (
+                    "bbit_integrity"
+                    if isinstance(fault, TableIntegrityError)
+                    else "mid_block_entry"
+                )
+                self._recover(kind, pc, str(fault))
+                self._passthrough_run = True
+                entry = None
             if entry is None:
-                if pc in self.encoded_region:
-                    raise DecodeFault(
-                        f"fetch of encoded word at {pc:#010x} without an "
-                        "active basic block (mid-block entry?)"
-                    )
                 self.passthrough_instructions += 1
-                self._expected_pc = None
+                # Inside a pass-through run only sequential successors
+                # continue it; a plain unencoded fetch expects nothing.
+                self._expected_pc = pc + 4 if self._passthrough_run else None
                 return stored_word
+            self._passthrough_run = False
             self._active = _ActiveBlock(
                 base_tt_index=entry.tt_index,
                 start_pc=pc,
@@ -103,8 +181,20 @@ class FetchDecoder:
             decoded = stored_word  # block's first instruction passes through
         else:
             segment = (active.index - 1) // (self.block_size - 1)
-            # Direct list indexing: entry() resolves per-fetch otherwise.
-            tt_entry = self.tt.entries[active.base_tt_index + segment]
+            try:
+                # read() bounds- and (when enabled) parity-checks the row.
+                tt_entry = self.tt.read(active.base_tt_index + segment)
+            except TableIntegrityError as err:
+                if self.mode == "strict":
+                    raise
+                # Abandon the block: this fetch and the rest of the
+                # block fall back to pass-through.
+                self._recover("tt_integrity", pc, str(err))
+                self._active = None
+                self._passthrough_run = True
+                self.passthrough_instructions += 1
+                self._expected_pc = pc + 4
+                return stored_word
             self.tt_reads += 1
             decoded = tt_entry.decode(stored_word, self._history_word)
         self._history_word = decoded
@@ -117,14 +207,50 @@ class FetchDecoder:
             self._expected_pc = pc + 4
         return decoded
 
+    def finalize(self) -> None:
+        """Declare the fetch stream over.  A trace that ends while a
+        block is still being decoded (truncation) is a protocol fault:
+        strict mode raises, recover mode records the event."""
+        active = self._active
+        if active is None:
+            return
+        remaining = active.instructions_total - active.index
+        fault = DecodeFault(
+            f"trace ended mid-block: block at {active.start_pc:#010x} "
+            f"has {remaining} instruction(s) undecoded"
+        )
+        self._active = None
+        self._expected_pc = None
+        if self.mode == "strict":
+            raise fault
+        self._recover("trace_truncation", active.start_pc, str(fault))
+
+    def stats(self) -> dict:
+        """Counters plus recover-mode events, in one report-friendly dict."""
+        return {
+            "mode": self.mode,
+            "decoded_instructions": self.decoded_instructions,
+            "passthrough_instructions": self.passthrough_instructions,
+            "tt_reads": self.tt_reads,
+            "bbit_lookups": self.bbit.lookups,
+            "recoveries": len(self.recovery_events),
+            "recovery_events": list(self.recovery_events),
+        }
+
     # ------------------------------------------------------------------
 
     def decode_trace(
         self,
         addresses: list[int],
         stored_image_lookup,
+        finalize: bool = False,
     ) -> list[int]:
         """Decode a full fetch trace.  ``stored_image_lookup`` maps a
-        PC to the stored (possibly encoded) word."""
+        PC to the stored (possibly encoded) word.  ``finalize=True``
+        additionally treats end-of-trace as end-of-stream, flagging a
+        truncation that leaves a block half-decoded."""
         self.reset()
-        return [self.fetch(pc, stored_image_lookup(pc)) for pc in addresses]
+        decoded = [self.fetch(pc, stored_image_lookup(pc)) for pc in addresses]
+        if finalize:
+            self.finalize()
+        return decoded

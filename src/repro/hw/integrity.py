@@ -1,0 +1,47 @@
+"""Parity words for the decode tables.
+
+The ASIC follow-on work treats table integrity as a first-class
+hardware concern: a flipped selector or a stale BBIT field silently
+yields wrong instructions, because the decoder has no other way to
+tell a corrupted table from a reprogrammed one.  The defence modelled
+here is the classic one — each table row carries a parity word
+computed over every stored field when the row is *written*, and every
+*read* recomputes and compares it before the row is used.
+
+A 32-bit FNV-1a fold stands in for whatever ECC the silicon would
+actually use; what matters behaviourally is that any single corrupted
+field (including the CAM tag itself) mismatches with overwhelming
+probability, deterministically, and cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+_FNV_OFFSET = 0x811C9DC5
+_FNV_PRIME = 0x01000193
+_MASK32 = 0xFFFFFFFF
+
+
+def fold_words(values: Iterable[int]) -> int:
+    """FNV-1a over a field sequence; order- and position-sensitive."""
+    acc = _FNV_OFFSET
+    for value in values:
+        acc = ((acc ^ (value & _MASK32)) * _FNV_PRIME) & _MASK32
+        # Wider-than-32-bit fields (PCs on a 64-bit host) fold their
+        # high halves too, so no corruption hides above bit 31.
+        high = value >> 32
+        if high:
+            acc = ((acc ^ (high & _MASK32)) * _FNV_PRIME) & _MASK32
+    return acc
+
+
+def tt_entry_parity(selectors: Iterable[int], end: bool, count: int) -> int:
+    """Parity word over every stored field of one TT row."""
+    return fold_words([*selectors, int(end), count])
+
+
+def bbit_entry_parity(pc: int, tt_index: int, num_instructions: int) -> int:
+    """Parity word over every stored field of one BBIT row,
+    including the CAM tag (the PC)."""
+    return fold_words([pc, tt_index, num_instructions])

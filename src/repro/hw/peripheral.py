@@ -177,14 +177,10 @@ class EncodingLoaderPeripheral:
             end=bool(staging.flags & 1),
             count=(staging.flags >> 8) & 0xFF,
         )
-        index = staging.tt_index
-        while len(self.tt.entries) <= index:
-            self.tt.entries.append(TTEntry.identity(self.tt.width))
-        if index >= self.tt.capacity:
-            raise ValueError(
-                f"TT index {index} exceeds capacity {self.tt.capacity}"
-            )
-        self.tt.entries[index] = entry
+        # write() pads any gap with identity rows and keeps the row's
+        # parity word in sync (TableCapacityError subclasses ValueError,
+        # so software sees the same failure mode as before).
+        self.tt.write(staging.tt_index, entry)
         self.commits += 1
 
 

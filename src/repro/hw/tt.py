@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.program_codec import BlockEncoding
+from repro.errors import TableCapacityError, TableIntegrityError
+from repro.hw.integrity import tt_entry_parity
 
 # Selector indices, fixed by repro.core.transformations.OPTIMAL_SET:
 # 0=x 1=~x 2=y 3=~y 4=xor 5=xnor 6=nor 7=nand
@@ -92,10 +94,6 @@ class TTEntry:
         return cls(selectors=(0,) * width)
 
 
-class TableCapacityError(ValueError):
-    """Raised when a load exceeds the table's physical entry count."""
-
-
 class TransformationTable:
     """A fixed-capacity TT with allocation bookkeeping.
 
@@ -103,14 +101,25 @@ class TransformationTable:
     final entry has E set (Section 7.2).  The table is reprogrammable:
     :meth:`clear` + :meth:`allocate` model the software reload before
     entering a new application hot spot.
+
+    With ``parity=True`` every row written through :meth:`install` /
+    :meth:`write` / :meth:`allocate` carries a parity word; each
+    :meth:`read` recomputes and compares it, raising
+    :class:`~repro.errors.TableIntegrityError` on mismatch (the
+    hardened decode path of the fault-injection campaign).
     """
 
-    def __init__(self, capacity: int = 16, width: int = 32):
+    def __init__(self, capacity: int = 16, width: int = 32, parity: bool = False):
         if capacity < 1:
             raise ValueError("TT needs at least one entry")
         self.capacity = capacity
         self.width = width
+        self.parity_enabled = parity
         self.entries: list[TTEntry] = []
+        #: Parity word per row, written alongside the row itself;
+        #: mutating ``entries`` directly (as a fault would) leaves the
+        #: stored parity stale, which is exactly what a read detects.
+        self._parity: list[int] = []
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -121,6 +130,66 @@ class TransformationTable:
 
     def clear(self) -> None:
         self.entries.clear()
+        self._parity.clear()
+
+    # ------------------------------------------------------------------
+    # Checked access
+    # ------------------------------------------------------------------
+
+    def install(self, entry: TTEntry) -> int:
+        """Append one row (with its parity word); returns its index."""
+        if len(self.entries) >= self.capacity:
+            raise TableCapacityError(
+                f"TT full ({self.capacity} entries); cannot install another"
+            )
+        self.entries.append(entry)
+        self._parity.append(
+            tt_entry_parity(entry.selectors, entry.end, entry.count)
+        )
+        return len(self.entries) - 1
+
+    def write(self, index: int, entry: TTEntry) -> None:
+        """Program one row at ``index`` (the MMIO peripheral path),
+        padding any gap below it with identity rows."""
+        if not 0 <= index < self.capacity:
+            raise TableCapacityError(
+                f"TT index {index} exceeds capacity {self.capacity}"
+            )
+        while len(self.entries) <= index:
+            self.install(TTEntry.identity(self.width))
+        self.entries[index] = entry
+        self._parity[index] = tt_entry_parity(
+            entry.selectors, entry.end, entry.count
+        )
+
+    def read(self, index: int) -> TTEntry:
+        """Checked row read: bounds, then parity (when enabled)."""
+        if not 0 <= index < len(self.entries):
+            raise TableIntegrityError(
+                f"TT read at index {index} outside the populated range "
+                f"[0, {len(self.entries)})"
+            )
+        entry = self.entries[index]
+        if self.parity_enabled:
+            if index >= len(self._parity):
+                raise TableIntegrityError(
+                    f"TT entry {index} has no stored parity word"
+                )
+            expected = self._parity[index]
+            actual = tt_entry_parity(entry.selectors, entry.end, entry.count)
+            if actual != expected:
+                raise TableIntegrityError(
+                    f"TT entry {index} parity mismatch "
+                    f"(stored {expected:#010x}, computed {actual:#010x})"
+                )
+        return entry
+
+    def seal(self) -> None:
+        """Recompute every parity word from the current rows (for
+        callers that populated ``entries`` directly)."""
+        self._parity = [
+            tt_entry_parity(e.selectors, e.end, e.count) for e in self.entries
+        ]
 
     def allocate(self, encoding: BlockEncoding) -> int:
         """Install a basic block's segment plans; returns the base
@@ -139,7 +208,7 @@ class TransformationTable:
         bounds = encoding.bounds
         for row, (start, seg_len) in zip(selector_rows, bounds):
             is_tail = start + seg_len >= len(encoding.original_words)
-            self.entries.append(
+            self.install(
                 TTEntry(
                     selectors=tuple(row),
                     end=is_tail,
@@ -154,7 +223,7 @@ class TransformationTable:
         return base
 
     def entry(self, index: int) -> TTEntry:
-        return self.entries[index]
+        return self.read(index)
 
     def storage_bits(self, ct_bits: int = 4) -> int:
         """Physical SRAM bits: per entry, 3 selector bits per line plus

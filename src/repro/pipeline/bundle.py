@@ -17,10 +17,31 @@ import json
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.errors import BundleFormatError
 from repro.hw.bbit import BasicBlockIdentificationTable, BBITEntry
 from repro.hw.tt import TransformationTable, TTEntry
 
 FORMAT_VERSION = 1
+
+_NUM_SELECTORS = 8  # 3-bit selector space, fixed by OPTIMAL_SET
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise BundleFormatError(message)
+
+
+def _int_field(mapping: dict, key: str, where: str) -> int:
+    try:
+        value = mapping[key]
+    except (KeyError, TypeError):
+        raise BundleFormatError(f"{where}: missing field {key!r}") from None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BundleFormatError(
+            f"{where}: field {key!r} must be an integer, got "
+            f"{type(value).__name__}"
+        )
+    return value
 
 
 def _digest(words: Sequence[int]) -> str:
@@ -120,15 +141,75 @@ class EncodingBundle:
 
     @classmethod
     def from_json(cls, text: str) -> "EncodingBundle":
-        data = json.loads(text)
+        """Parse and fully validate a serialised bundle.
+
+        Every failure — truncated or garbled JSON, a wrong field type,
+        a digest mismatch, a dangling BBIT->TT reference — raises
+        :class:`~repro.errors.BundleFormatError` naming the offending
+        field, *before* anything could be installed into hardware
+        tables."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise BundleFormatError(
+                f"bundle is not valid JSON: {err}"
+            ) from err
+        _require(isinstance(data, dict), "bundle JSON root must be an object")
         if data.get("format_version") != FORMAT_VERSION:
-            raise ValueError(
+            raise BundleFormatError(
                 f"unsupported bundle format {data.get('format_version')!r}"
             )
-        words = [int(w, 16) for w in data["encoded_words"]]
+        for key in (
+            "name",
+            "block_size",
+            "text_base",
+            "original_digest",
+            "encoded_digest",
+            "encoded_words",
+            "tt",
+            "bbit",
+        ):
+            _require(key in data, f"bundle missing required field {key!r}")
+        raw_words = data["encoded_words"]
+        _require(
+            isinstance(raw_words, list),
+            "field 'encoded_words' must be a list of 8-digit hex strings",
+        )
+        words = []
+        for i, raw in enumerate(raw_words):
+            try:
+                word = int(raw, 16)
+            except (TypeError, ValueError):
+                raise BundleFormatError(
+                    f"encoded_words[{i}]: {raw!r} is not a hex word"
+                ) from None
+            _require(
+                0 <= word < 1 << 32,
+                f"encoded_words[{i}]: {raw!r} does not fit in 32 bits",
+            )
+            words.append(word)
+        _require(
+            isinstance(data["encoded_digest"], str),
+            "field 'encoded_digest' must be a hex string",
+        )
         if _digest(words) != data["encoded_digest"]:
-            raise ValueError("bundle corrupt: encoded image digest mismatch")
-        return cls(
+            raise BundleFormatError(
+                "bundle corrupt: encoded image digest mismatch"
+            )
+        _require(
+            isinstance(data["original_digest"], str)
+            and len(data["original_digest"]) == 64,
+            "field 'original_digest' must be a sha256 hex string",
+        )
+        _require(isinstance(data["name"], str), "field 'name' must be a string")
+        _require(
+            isinstance(data["tt"], list), "field 'tt' must be a list of entries"
+        )
+        _require(
+            isinstance(data["bbit"], list),
+            "field 'bbit' must be a list of entries",
+        )
+        bundle = cls(
             name=data["name"],
             block_size=data["block_size"],
             text_base=data["text_base"],
@@ -137,19 +218,135 @@ class EncodingBundle:
             tt_entries=data["tt"],
             bbit_entries=data["bbit"],
         )
+        bundle.validate()
+        return bundle
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def segments_for(self, num_instructions: int) -> int:
+        """TT entries one basic block of that length walks through
+        (position ``i >= 1`` reads segment ``(i - 1) // (k - 1)``)."""
+        if num_instructions <= 1:
+            return 1
+        return (num_instructions - 2) // (self.block_size - 1) + 1
+
+    def validate(self) -> None:
+        """Structural validation of the deployable pair: field types
+        and ranges, TT selector ranges, BBIT word ranges against the
+        image, and every BBIT->TT cross-reference (no dangling base
+        index, the walk must terminate on an E-bit entry)."""
+        _require(
+            isinstance(self.block_size, int)
+            and not isinstance(self.block_size, bool)
+            and self.block_size >= 2,
+            f"block_size must be an integer >= 2, got {self.block_size!r}",
+        )
+        _require(
+            isinstance(self.text_base, int)
+            and not isinstance(self.text_base, bool)
+            and self.text_base >= 0
+            and self.text_base % 4 == 0,
+            f"text_base must be a non-negative word-aligned address, "
+            f"got {self.text_base!r}",
+        )
+        width = None
+        for i, entry in enumerate(self.tt_entries):
+            where = f"tt[{i}]"
+            _require(
+                isinstance(entry, dict), f"{where}: entry must be an object"
+            )
+            selectors = entry.get("selectors")
+            _require(
+                isinstance(selectors, list) and selectors,
+                f"{where}: 'selectors' must be a non-empty list",
+            )
+            for line, selector in enumerate(selectors):
+                _require(
+                    isinstance(selector, int)
+                    and not isinstance(selector, bool)
+                    and 0 <= selector < _NUM_SELECTORS,
+                    f"{where}: selector for line {line} out of range "
+                    f"0..{_NUM_SELECTORS - 1}: {selector!r}",
+                )
+            if width is None:
+                width = len(selectors)
+            else:
+                _require(
+                    len(selectors) == width,
+                    f"{where}: width {len(selectors)} != first entry's {width}",
+                )
+            _require(
+                isinstance(entry.get("end"), bool),
+                f"{where}: 'end' must be a boolean",
+            )
+            count = _int_field(entry, "count", where)
+            _require(count >= 0, f"{where}: 'count' must be >= 0, got {count}")
+        image_end = self.text_base + 4 * len(self.encoded_words)
+        seen_pcs: set[int] = set()
+        for i, entry in enumerate(self.bbit_entries):
+            where = f"bbit[{i}]"
+            _require(
+                isinstance(entry, dict), f"{where}: entry must be an object"
+            )
+            pc = _int_field(entry, "pc", where)
+            tt_index = _int_field(entry, "tt_index", where)
+            num_instructions = _int_field(entry, "num_instructions", where)
+            _require(
+                pc % 4 == 0, f"{where}: pc {pc:#x} is not word-aligned"
+            )
+            _require(
+                pc not in seen_pcs, f"{where}: duplicate entry for pc {pc:#x}"
+            )
+            seen_pcs.add(pc)
+            _require(
+                num_instructions >= 1,
+                f"{where}: num_instructions must be >= 1, "
+                f"got {num_instructions}",
+            )
+            _require(
+                self.text_base <= pc
+                and pc + 4 * num_instructions <= image_end,
+                f"{where}: block [{pc:#x}, {pc + 4 * num_instructions:#x}) "
+                f"falls outside the image "
+                f"[{self.text_base:#x}, {image_end:#x})",
+            )
+            segments = self.segments_for(num_instructions)
+            _require(
+                0 <= tt_index
+                and tt_index + segments <= len(self.tt_entries),
+                f"{where}: dangling BBIT->TT reference: needs TT entries "
+                f"[{tt_index}, {tt_index + segments}) but the bundle has "
+                f"{len(self.tt_entries)}",
+            )
+            tail = self.tt_entries[tt_index + segments - 1]
+            _require(
+                bool(tail.get("end")),
+                f"{where}: TT walk from {tt_index} over {segments} "
+                "segment(s) does not terminate on an E-bit entry",
+            )
 
     # ------------------------------------------------------------------
     # Deployment
     # ------------------------------------------------------------------
 
     def build_tables(
-        self, tt_capacity: int = 16, bbit_capacity: int = 16
+        self,
+        tt_capacity: int = 16,
+        bbit_capacity: int = 16,
+        parity: bool = False,
     ) -> tuple[TransformationTable, BasicBlockIdentificationTable]:
         """Materialise hardware tables from the bundle (the "load with
-        the program" alternative of Section 7.1)."""
-        tt = TransformationTable(max(tt_capacity, len(self.tt_entries)))
+        the program" alternative of Section 7.1).  The bundle is fully
+        re-validated first, so nothing is installed from a malformed
+        bundle; ``parity=True`` arms the tables' per-row parity words."""
+        self.validate()
+        tt = TransformationTable(
+            max(tt_capacity, len(self.tt_entries)), parity=parity
+        )
         for entry in self.tt_entries:
-            tt.entries.append(
+            tt.install(
                 TTEntry(
                     selectors=tuple(entry["selectors"]),
                     end=bool(entry["end"]),
@@ -157,7 +354,7 @@ class EncodingBundle:
                 )
             )
         bbit = BasicBlockIdentificationTable(
-            max(bbit_capacity, len(self.bbit_entries) or 1)
+            max(bbit_capacity, len(self.bbit_entries) or 1), parity=parity
         )
         for entry in self.bbit_entries:
             bbit.install(
@@ -169,22 +366,39 @@ class EncodingBundle:
             )
         return tt, bbit
 
+    def encoded_pc_region(self) -> set[int]:
+        """Addresses covered by encoded basic blocks (for the
+        decoder's mid-block-entry protocol check)."""
+        region: set[int] = set()
+        for entry in self.bbit_entries:
+            pc = int(entry["pc"])
+            region.update(
+                range(pc, pc + 4 * int(entry["num_instructions"]), 4)
+            )
+        return region
+
     def verify_against(self, program) -> bool:
         """Check this bundle belongs to ``program`` (pre-encoding
         image digest match)."""
         return _digest(program.words) == self.original_digest
 
     def deploy_and_check(self, program, trace: Sequence[int]) -> bool:
-        """Full loader path: rebuild tables, decode the trace through
-        the hardware model, compare with the original program."""
+        """Full loader path: validate, rebuild tables, decode the
+        trace through the hardware model, compare with the original
+        program."""
         from repro.hw.fetch_decoder import FetchDecoder
 
         if not self.verify_against(program):
-            raise ValueError(
+            raise BundleFormatError(
                 f"bundle {self.name!r} does not match this program image"
             )
         tt, bbit = self.build_tables()
-        decoder = FetchDecoder(tt, bbit, self.block_size)
+        decoder = FetchDecoder(
+            tt,
+            bbit,
+            self.block_size,
+            encoded_region=self.encoded_pc_region(),
+        )
         base = self.text_base
         decoded = decoder.decode_trace(
             list(trace), lambda pc: self.encoded_words[(pc - base) >> 2]

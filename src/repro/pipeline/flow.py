@@ -35,6 +35,7 @@ from repro.cfg.loops import find_natural_loops
 from repro.cfg.profile import profile_trace
 from repro.core.program_codec import encode_basic_blocks
 from repro.core.transformations import OPTIMAL_SET, Transformation
+from repro.errors import DecodeVerificationError
 from repro.hw.bbit import BasicBlockIdentificationTable, BBITEntry
 from repro.hw.fetch_decoder import FetchDecoder
 from repro.hw.tt import TransformationTable
@@ -94,6 +95,7 @@ class EncodingFlow:
         verify_decode: bool = True,
         use_codebook: bool = True,
         parallel: int | None = None,
+        parity_protect: bool = False,
     ):
         self.block_size = block_size
         self.tt_capacity = tt_capacity
@@ -102,6 +104,9 @@ class EncodingFlow:
         self.strategy = strategy
         self.loops_only = loops_only
         self.verify_decode = verify_decode
+        #: Arm per-row parity words on the TT/BBIT this flow programs
+        #: (the hardened deploy path; see docs/robustness.md).
+        self.parity_protect = parity_protect
         #: ``True`` routes block encoding through the compiled codebook
         #: fast path; ``False`` runs the reference per-block solver.
         self.use_codebook = use_codebook
@@ -127,8 +132,10 @@ class EncodingFlow:
             loops_only=self.loops_only,
         )
 
-        tt = TransformationTable(self.tt_capacity)
-        bbit = BasicBlockIdentificationTable(self.bbit_capacity)
+        tt = TransformationTable(self.tt_capacity, parity=self.parity_protect)
+        bbit = BasicBlockIdentificationTable(
+            self.bbit_capacity, parity=self.parity_protect
+        )
         image = list(program.words)
         encoded_region: set[int] = set()
         # Long blocks against a nearly-full TT encode a prefix only;
@@ -172,7 +179,7 @@ class EncodingFlow:
             )
             original = [program.words[(pc - base) >> 2] for pc in trace]
             if decoded != original:
-                raise RuntimeError(
+                raise DecodeVerificationError(
                     f"{name}: hardware decode failed to restore the "
                     "instruction stream"
                 )

@@ -7,6 +7,7 @@ import random
 import pytest
 
 from repro.core.program_codec import encode_basic_block
+from repro.errors import TableIntegrityError
 from repro.hw.bbit import BasicBlockIdentificationTable, BBITEntry
 from repro.hw.fetch_decoder import FetchDecoder
 from repro.hw.tt import TransformationTable, TTEntry
@@ -58,10 +59,11 @@ class TestTableCorruption:
             BBITEntry(pc=0x400000, tt_index=1, num_instructions=len(words))
         )
         # Either the decode output is wrong or the walk runs off the
-        # end of the table — both are detectable faults.
+        # end of the table (a checked TableIntegrityError, no longer a
+        # raw IndexError) — both are detectable faults.
         try:
             decoded = _decode_all(tt, bbit, image, len(words))
-        except IndexError:
+        except TableIntegrityError:
             return
         assert decoded != words
 
@@ -95,6 +97,262 @@ class TestImageCorruption:
         decoded = _decode_all(tt, bbit, image, len(words))
         assert decoded[:5] == words[:5]  # earlier fetches unaffected
         assert decoded[5] != words[5]
+
+
+def _synthetic_target(
+    num_blocks=2, block_len=14, block_size=5, seed=7, parity=True
+):
+    """A DeploymentTarget built directly from encoded blocks — no
+    workload simulation, so per-model sweeps stay fast."""
+    from repro.faults.campaign import DeploymentTarget
+
+    rng = random.Random(seed)
+    base = 0x400000
+    original = [rng.getrandbits(32)]  # one unencoded word (detour target)
+    encoded = list(original)
+    tt_entries, bbit_entries = [], []
+    block_pcs = []
+    pc = base + 4
+    tt_index = 0
+    for _ in range(num_blocks):
+        words = [rng.getrandbits(32) for _ in range(block_len)]
+        enc = encode_basic_block(words, block_size)
+        for row, (start, seg_len) in zip(enc.selectors(), enc.bounds):
+            is_tail = start + seg_len >= block_len
+            tt_entries.append(
+                {
+                    "selectors": list(row),
+                    "end": is_tail,
+                    "count": (
+                        (seg_len if start == 0 else seg_len - 1)
+                        if is_tail
+                        else 0
+                    ),
+                }
+            )
+            tt_index += 1
+        bbit_entries.append(
+            {
+                "pc": pc,
+                "tt_index": tt_index - len(enc.bounds),
+                "num_instructions": block_len,
+            }
+        )
+        block_pcs.append(pc)
+        original.extend(words)
+        encoded.extend(enc.encoded_words)
+        pc += 4 * block_len
+    trace = [base]
+    for _ in range(2):  # each block fetched twice
+        for start in block_pcs:
+            trace.extend(start + 4 * i for i in range(block_len))
+            trace.append(base)  # branch back out through the neutral word
+    return DeploymentTarget(
+        name="synthetic",
+        block_size=block_size,
+        text_base=base,
+        original_words=original,
+        encoded_words=encoded,
+        tt_entries=tt_entries,
+        bbit_entries=bbit_entries,
+        trace=trace,
+        parity=parity,
+    )
+
+
+class TestPerModelDetectionRates:
+    """Every parity-protected table corruption and protocol violation
+    must be detected (strict) or recovered (recover) whenever it
+    manifests — the acceptance bar for the hardened decode path."""
+
+    TRIALS = 20
+
+    @pytest.fixture(scope="class")
+    def target(self):
+        return _synthetic_target()
+
+    @pytest.fixture(scope="class")
+    def protected_models(self):
+        from repro.faults.models import DEFAULT_MODELS
+
+        return [m for m in DEFAULT_MODELS if m.protected]
+
+    def test_protected_models_strict_all_detected(
+        self, target, protected_models
+    ):
+        from repro.faults.campaign import run_case
+
+        for model in protected_models:
+            outcomes = [
+                run_case(target, model, f"t:{model.name}:{i}", "strict").outcome
+                for i in range(self.TRIALS)
+            ]
+            assert set(outcomes) <= {"detected", "masked", "not-applicable"}, (
+                model.name,
+                outcomes,
+            )
+            assert outcomes.count("detected") > 0, model.name
+
+    def test_protected_models_recover_all_recovered(
+        self, target, protected_models
+    ):
+        from repro.faults.campaign import run_case
+
+        for model in protected_models:
+            outcomes = [
+                run_case(
+                    target, model, f"t:{model.name}:{i}", "recover"
+                ).outcome
+                for i in range(self.TRIALS)
+            ]
+            assert set(outcomes) <= {"recovered", "masked", "not-applicable"}, (
+                model.name,
+                outcomes,
+            )
+            assert outcomes.count("recovered") > 0, model.name
+
+    def test_image_flips_are_silent_without_ecc(self, target):
+        from repro.faults.models import ImageBitFlip
+        from repro.faults.campaign import run_case
+
+        outcomes = [
+            run_case(target, ImageBitFlip(), f"img:{i}", "strict").outcome
+            for i in range(self.TRIALS)
+        ]
+        # The honest negative result: stored-image upsets have no
+        # runtime check to trip, so they corrupt silently (or mask).
+        assert set(outcomes) <= {"silently-corrupted", "masked"}
+        assert "silently-corrupted" in outcomes
+
+    def test_without_parity_table_corruption_can_be_silent(self):
+        from repro.faults.models import TTSelectorFlip
+        from repro.faults.campaign import run_case
+
+        target = _synthetic_target(parity=False)
+        outcomes = {
+            run_case(target, TTSelectorFlip(), f"np:{i}", "strict").outcome
+            for i in range(self.TRIALS)
+        }
+        assert "silently-corrupted" in outcomes  # what parity buys us
+
+    def test_same_seed_same_outcome(self, target):
+        from repro.faults.models import DEFAULT_MODELS
+        from repro.faults.campaign import run_case
+
+        for model in DEFAULT_MODELS:
+            first = run_case(target, model, "fixed-seed", "strict")
+            second = run_case(target, model, "fixed-seed", "strict")
+            assert first.outcome == second.outcome
+            assert first.detail == second.detail
+
+
+class TestRecoverModeDecoder:
+    def test_recover_never_raises_and_records_events(self, words):
+        encoding, tt, bbit, image = _setup(words)
+        region = {0x400000 + 4 * i for i in range(len(words))}
+        decoder = FetchDecoder(
+            tt, bbit, 5, encoded_region=region, mode="recover"
+        )
+        # Enter mid-block: strict would raise DecodeFault.
+        mid = 0x400000 + 4 * 6
+        out = decoder.fetch(mid, image[mid])
+        assert out == image[mid]  # passed through raw
+        assert decoder.recovery_events
+        assert decoder.recovery_events[0]["kind"] == "mid_block_entry"
+        assert decoder.passthrough_instructions == 1
+        # The rest of the block passes through without further events.
+        decoder.fetch(mid + 4, image[mid + 4])
+        assert len(decoder.recovery_events) == 1
+
+    def test_recover_tt_integrity_falls_back_to_passthrough(self, words):
+        encoding, tt, bbit, image = _setup(words)
+        tt.parity_enabled = True
+        tt.seal()
+        entry = tt.entries[1]
+        tt.entries[1] = TTEntry(
+            selectors=tuple((s + 1) % 8 for s in entry.selectors),
+            end=entry.end,
+            count=entry.count,
+        )
+        decoder = FetchDecoder(tt, bbit, 5, mode="recover")
+        decoded = [
+            decoder.fetch(0x400000 + 4 * i, image[0x400000 + 4 * i])
+            for i in range(len(words))
+        ]
+        assert any(
+            e["kind"] == "tt_integrity" for e in decoder.recovery_events
+        )
+        # Everything before the corrupted segment decoded correctly.
+        assert decoded[:5] == words[:5]
+        stats = decoder.stats()
+        assert stats["recoveries"] == len(decoder.recovery_events) >= 1
+
+    def test_strict_finalize_detects_truncation(self, words):
+        from repro.errors import DecodeFault as StructuredDecodeFault
+
+        encoding, tt, bbit, image = _setup(words)
+        decoder = FetchDecoder(tt, bbit, 5)
+        for i in range(4):  # stop mid-block
+            decoder.fetch(0x400000 + 4 * i, image[0x400000 + 4 * i])
+        with pytest.raises(StructuredDecodeFault, match="mid-block"):
+            decoder.finalize()
+
+    def test_recover_finalize_records_truncation(self, words):
+        encoding, tt, bbit, image = _setup(words)
+        decoder = FetchDecoder(tt, bbit, 5, mode="recover")
+        for i in range(4):
+            decoder.fetch(0x400000 + 4 * i, image[0x400000 + 4 * i])
+        decoder.finalize()
+        assert decoder.recovery_events[-1]["kind"] == "trace_truncation"
+
+
+class TestDecoderHardening:
+    def test_reset_clears_counters(self, words):
+        encoding, tt, bbit, image = _setup(words)
+        decoder = FetchDecoder(tt, bbit, 5)
+        lookup = lambda pc: image[pc]
+        addresses = [0x400000 + 4 * i for i in range(len(words))]
+        first = decoder.decode_trace(addresses, lookup)
+        decoded_count = decoder.decoded_instructions
+        tt_reads = decoder.tt_reads
+        second = decoder.decode_trace(addresses, lookup)
+        assert first == second == words
+        # Counters no longer leak across decode_trace calls.
+        assert decoder.decoded_instructions == decoded_count
+        assert decoder.tt_reads == tt_reads
+        assert decoder.passthrough_instructions == 0
+
+    def test_caller_supplied_empty_region_is_kept(self, words):
+        encoding, tt, bbit, image = _setup(words)
+        region: set[int] = set()
+        decoder = FetchDecoder(tt, bbit, 5, encoded_region=region)
+        assert decoder.encoded_region is region  # not silently replaced
+
+    def test_block_size_type_checked(self, words):
+        encoding, tt, bbit, image = _setup(words)
+        with pytest.raises(TypeError, match="block_size"):
+            FetchDecoder(tt, bbit, "5")
+        with pytest.raises(TypeError, match="block_size"):
+            FetchDecoder(tt, bbit, True)
+
+    def test_invalid_mode_rejected(self, words):
+        encoding, tt, bbit, image = _setup(words)
+        with pytest.raises(ValueError, match="mode"):
+            FetchDecoder(tt, bbit, 5, mode="lenient")
+
+    def test_parity_protected_bbit_detects_corruption(self, words):
+        from repro.hw.bbit import BasicBlockIdentificationTable
+
+        encoding, tt, bbit, image = _setup(words)
+        protected = BasicBlockIdentificationTable(16, parity=True)
+        protected.install(
+            BBITEntry(pc=0x400000, tt_index=0, num_instructions=len(words))
+        )
+        protected._by_pc[0x400000] = BBITEntry(
+            pc=0x400000, tt_index=3, num_instructions=len(words)
+        )
+        with pytest.raises(TableIntegrityError, match="parity"):
+            protected.lookup(0x400000)
 
 
 class TestFlowLevelDetection:

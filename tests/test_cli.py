@@ -12,7 +12,15 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("codebook", "theory", "streams", "encode", "suite", "cost"):
+        for command in (
+            "codebook",
+            "theory",
+            "streams",
+            "encode",
+            "suite",
+            "cost",
+            "faults",
+        ):
             args = parser.parse_args(
                 [command] + (["mmul"] if command == "encode" else [])
             )
@@ -69,6 +77,56 @@ class TestCommands:
         )
         assert result.returncode == 0
         assert "100.0" in result.stdout
+
+
+class TestFaultsCommand:
+    def test_small_campaign_runs_and_writes_report(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "FAULTS_report.json"
+        assert (
+            main(
+                [
+                    "faults",
+                    "--workload",
+                    "fir",
+                    "--seed",
+                    "1",
+                    "--trials",
+                    "1",
+                    "--models",
+                    "tt_selector_flip",
+                    "mid_block_entry",
+                    "--check",
+                    "--json",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "tt_selector_flip" in out
+        assert "all detected or recovered" in out
+        data = json.loads(report_path.read_text())
+        assert data["protected_ok"] is True
+        assert data["config"]["models"] == ["tt_selector_flip", "mid_block_entry"]
+        # One trial x two modes x two models.
+        assert len(data["cases"]) == 4
+
+    def test_unknown_model_rejected(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "faults",
+                    "--models",
+                    "cosmic_ray",
+                    "--json",
+                    str(tmp_path / "r.json"),
+                ]
+            )
+            == 2
+        )
+        assert "unknown fault model" in capsys.readouterr().err
 
 
 class TestCompileCommand:

@@ -27,6 +27,9 @@ The package is organised as one subpackage per subsystem:
 ``repro.pipeline``
     The end-to-end flow: program -> trace -> hot-spot selection ->
     encoding -> transition measurement -> report.
+``repro.obs``
+    The shared observability layer: metric families, tracing spans,
+    and machine-readable run reports (``RUN_report.json``).
 """
 
 from repro.core.transformations import (
@@ -52,6 +55,10 @@ _LAZY_EXPORTS = {
     "CampaignConfig": ("repro.faults", "CampaignConfig"),
     "run_campaign": ("repro.faults", "run_campaign"),
     "FaultCampaignReport": ("repro.faults", "FaultCampaignReport"),
+    "OBS": ("repro.obs", "OBS"),
+    "MetricsRegistry": ("repro.obs", "MetricsRegistry"),
+    "Tracer": ("repro.obs", "Tracer"),
+    "RunReport": ("repro.obs", "RunReport"),
 }
 
 
@@ -87,5 +94,9 @@ __all__ = [
     "CampaignConfig",
     "run_campaign",
     "FaultCampaignReport",
+    "OBS",
+    "MetricsRegistry",
+    "Tracer",
+    "RunReport",
     "__version__",
 ]

@@ -16,7 +16,14 @@ command        what it prints
                written to BENCH_codec.json
 ``faults``     the fault-injection campaign: per-model detection and
                recovery rates, written to FAULTS_report.json
+``metrics``    metric families from a RUN_report.json (``--check``
+               gates on the expected encode families)
+``trace``      span timings from a RUN_report.json (``--top N``)
 =============  =====================================================
+
+``encode`` and ``faults`` accept ``--metrics``: the run is executed
+with the observability layer on and a machine-readable snapshot
+(metrics + spans + provenance) is written to ``RUN_report.json``.
 """
 
 from __future__ import annotations
@@ -25,7 +32,34 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.workloads.registry import BENCHMARK_ORDER
+from repro.workloads.registry import BENCHMARK_ORDER, EXTENDED_WORKLOADS
+
+#: Everything ``repro encode`` accepts: the Figure-6 benchmarks plus
+#: the extended kernels (``fir`` & co.) the fault campaign deploys.
+ENCODABLE_WORKLOADS = BENCHMARK_ORDER + EXTENDED_WORKLOADS
+
+
+def _obs_begin(args: argparse.Namespace) -> bool:
+    """Flip the observability layer on when ``--metrics`` was given."""
+    if not getattr(args, "metrics", False):
+        return False
+    from repro import obs
+
+    obs.reset()
+    obs.enable(jsonl_path=args.trace_jsonl)
+    return True
+
+
+def _obs_finish(
+    args: argparse.Namespace, command: str, seed: int | None = None
+) -> None:
+    """Snapshot the enabled observability state into ``args.report``."""
+    from repro import obs
+
+    report = obs.collect_report(command=command, seed=seed)
+    path = report.write(args.report)
+    obs.OBS.tracer.close_jsonl()
+    print(f"wrote {path}")
 
 
 def _cmd_codebook(args: argparse.Namespace) -> int:
@@ -71,7 +105,26 @@ def _cmd_encode(args: argparse.Namespace) -> int:
     from repro.pipeline.flow import EncodingFlow
     from repro.workloads.registry import build_workload
 
-    workload = build_workload(args.workload)
+    name = args.workload_opt or args.workload
+    if name is None:
+        print(
+            "encode: a workload is required (positional or --workload)",
+            file=sys.stderr,
+        )
+        return 2
+    if (
+        args.workload_opt
+        and args.workload
+        and args.workload_opt != args.workload
+    ):
+        print(
+            f"encode: conflicting workloads {args.workload!r} and "
+            f"--workload {args.workload_opt!r}",
+            file=sys.stderr,
+        )
+        return 2
+    observed = _obs_begin(args)
+    workload = build_workload(name)
     flow = EncodingFlow(
         block_size=args.block_size,
         tt_capacity=args.tt_entries,
@@ -97,6 +150,8 @@ def _cmd_encode(args: argparse.Namespace) -> int:
         f"({result.reduction_percent:.1f}% reduction)"
     )
     print(f"decode:        {'verified bit-exact' if result.decode_verified else 'n/a'}")
+    if observed:
+        _obs_finish(args, command=f"repro encode {name}")
     return 0
 
 
@@ -214,6 +269,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         workers=args.workers,
         case_timeout=args.timeout,
     )
+    observed = _obs_begin(args)
     for workload in config.workloads:
         print(f"preparing {workload} deployment ...", file=sys.stderr)
     report = run_campaign(config)
@@ -226,6 +282,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     )
     path = report.write(args.json)
     print(f"wrote {path}")
+    if observed:
+        _obs_finish(args, command="repro faults", seed=config.seed)
     if args.check and not report.protected_ok():
         print(
             "FAIL: a parity-protected or protocol fault model shows "
@@ -234,6 +292,149 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _load_report_or_complain(path: str) -> dict | None:
+    from repro.obs.report import load_run_report, validate_run_report
+
+    try:
+        data = load_run_report(path)
+    except FileNotFoundError:
+        print(
+            f"no run report at {path}; produce one with "
+            "`repro encode --workload fir --metrics`",
+            file=sys.stderr,
+        )
+        return None
+    problems = validate_run_report(data)
+    if problems:
+        for problem in problems:
+            print(f"invalid report: {problem}", file=sys.stderr)
+        return None
+    return data
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.report import missing_families
+
+    data = _load_report_or_complain(args.report)
+    if data is None:
+        return 2
+    metrics = data["metrics"]
+    if args.json:
+        print(json.dumps(metrics, indent=1))
+    else:
+        meta = data.get("meta", {})
+        print(
+            f"run {meta.get('run_id', '?')} "
+            f"({meta.get('command') or 'unknown command'}, "
+            f"git {str(meta.get('git_sha', '?'))[:12]})"
+        )
+        header = f"{'family':<34s} {'type':<9s} {'series':>6s} {'total':>14s}"
+        print(header)
+        print("-" * len(header))
+        for name in sorted(metrics):
+            family = metrics[name]
+            series = family.get("series", [])
+            if family.get("type") == "histogram":
+                total = sum(entry.get("count", 0) for entry in series)
+            else:
+                total = sum(entry.get("value", 0) for entry in series)
+            total_text = (
+                f"{total:,.4f}".rstrip("0").rstrip(".")
+                if isinstance(total, float)
+                else f"{total:,}"
+            )
+            print(
+                f"{name:<34s} {family.get('type', '?'):<9s} "
+                f"{len(series):>6d} {total_text:>14s}"
+            )
+    if args.check:
+        missing = missing_families(data)
+        if missing:
+            print(
+                "FAIL: expected metric families missing from the report: "
+                + ", ".join(missing),
+                file=sys.stderr,
+            )
+            return 1
+        print("all expected encode metric families present")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    data = _load_report_or_complain(args.report)
+    if data is None:
+        return 2
+    trace = data["trace"]
+    if args.json:
+        print(json.dumps(trace, indent=1))
+        return 0
+    print(
+        f"run {trace.get('run_id', '?')}: "
+        f"{trace.get('spans_recorded', 0)} spans recorded, "
+        f"{trace.get('spans_dropped', 0)} dropped"
+    )
+    by_name = trace.get("by_name", {})
+    if by_name:
+        header = (
+            f"{'span':<28s} {'count':>6s} {'total s':>10s} "
+            f"{'min s':>10s} {'max s':>10s}"
+        )
+        print(header)
+        print("-" * len(header))
+        for name in sorted(
+            by_name, key=lambda n: by_name[n]["total_s"], reverse=True
+        ):
+            row = by_name[name]
+            print(
+                f"{name:<28s} {row['count']:>6d} {row['total_s']:>10.5f} "
+                f"{row['min_s']:>10.5f} {row['max_s']:>10.5f}"
+            )
+    spans = trace.get("spans", [])
+    if spans and args.top:
+        slowest = sorted(
+            spans, key=lambda s: s.get("duration_s", 0.0), reverse=True
+        )[: args.top]
+        print(f"\nslowest {len(slowest)} spans:")
+        for span in slowest:
+            indent = "  " * int(span.get("depth", 0))
+            attrs = span.get("attrs", {})
+            attr_text = (
+                " " + " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+                if attrs
+                else ""
+            )
+            print(
+                f"  {span.get('duration_s', 0.0):>10.5f}s "
+                f"{indent}{span.get('name', '?')}{attr_text}"
+            )
+    return 0
+
+
+def _add_obs_arguments(p: argparse.ArgumentParser) -> None:
+    """The ``--metrics`` family shared by instrumented commands."""
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="run with observability on and write a RUN_report.json",
+    )
+    p.add_argument(
+        "--report",
+        default="RUN_report.json",
+        metavar="PATH",
+        help="where --metrics writes the run report",
+    )
+    p.add_argument(
+        "--trace-jsonl",
+        default=None,
+        metavar="PATH",
+        help="also stream one JSON span event per line to PATH",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -268,7 +469,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_streams)
 
     p = sub.add_parser("encode", help="run the flow on one benchmark")
-    p.add_argument("workload", choices=BENCHMARK_ORDER)
+    p.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        choices=ENCODABLE_WORKLOADS,
+        help="workload to encode (or use --workload)",
+    )
+    p.add_argument(
+        "--workload",
+        dest="workload_opt",
+        default=None,
+        choices=ENCODABLE_WORKLOADS,
+        metavar="NAME",
+        help="workload to encode (alias for the positional)",
+    )
     p.add_argument("-k", "--block-size", type=int, default=5)
     p.add_argument("--tt-entries", type=int, default=16)
     mode = p.add_mutually_exclusive_group()
@@ -292,6 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="encode basic blocks across N worker processes",
     )
+    _add_obs_arguments(p)
     p.set_defaults(func=_cmd_encode)
 
     p = sub.add_parser("suite", help="Figure 6 (+7) over all benchmarks")
@@ -368,7 +584,46 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 unless every protected model is fully detected/recovered",
     )
+    _add_obs_arguments(p)
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser(
+        "metrics", help="metric families from a RUN_report.json"
+    )
+    p.add_argument(
+        "--report",
+        default="RUN_report.json",
+        metavar="PATH",
+        help="run report to read",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="dump the raw metrics object"
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless every expected encode metric family is present",
+    )
+    p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser("trace", help="span timings from a RUN_report.json")
+    p.add_argument(
+        "--report",
+        default="RUN_report.json",
+        metavar="PATH",
+        help="run report to read",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="dump the raw trace object"
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="how many slowest spans to list (0 to skip)",
+    )
+    p.set_defaults(func=_cmd_trace)
 
     return parser
 

@@ -39,6 +39,7 @@ from repro.core.transformations import (
     OPTIMAL_SET,
     Transformation,
 )
+from repro.obs import OBS
 
 _INF = 1 << 30
 
@@ -268,6 +269,13 @@ class BlockSolver:
         return solution
 
     def _solve(self, word: list[int], fixed_first: int | None) -> BlockSolution:
+        if OBS.enabled:
+            OBS.registry.counter(
+                "codec.reference_blocks_solved",
+                "block words solved by the reference BlockSolver "
+                "(codebook compilation or --reference runs)",
+                variant="anchored" if fixed_first is None else "constrained",
+            ).inc()
         best: BlockSolution | None = None
         for transformation in self.transformations:
             result = self.best_for_transformation(word, transformation, fixed_first)

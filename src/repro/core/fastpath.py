@@ -46,6 +46,7 @@ from typing import Sequence
 from repro.core.block_solver import BlockSolver, infeasible_block_error
 from repro.core.boolfunc import BoolFunc
 from repro.core.transformations import OPTIMAL_SET, Transformation
+from repro.obs import OBS
 
 #: Compiled codebooks retained process-wide (newest-used last).
 _CODEBOOK_LRU_SIZE = 32
@@ -198,11 +199,24 @@ def get_codebook(
     )
     book = _CODEBOOKS.get(key)
     if book is None:
-        book = CompiledCodebook(block_size, tuple(transformations))
+        if OBS.enabled:
+            OBS.registry.counter(
+                "codec.codebook_misses",
+                "codebook compilations (LRU misses)",
+                k=str(block_size),
+            ).inc()
+        with OBS.tracer.span("codec.codebook_compile", k=block_size):
+            book = CompiledCodebook(block_size, tuple(transformations))
         _CODEBOOKS[key] = book
         while len(_CODEBOOKS) > _CODEBOOK_LRU_SIZE:
             _CODEBOOKS.popitem(last=False)
     else:
+        if OBS.enabled:
+            OBS.registry.counter(
+                "codec.codebook_hits",
+                "compiled codebook LRU hits",
+                k=str(block_size),
+            ).inc()
         _CODEBOOKS.move_to_end(key)
     return book
 

@@ -41,6 +41,7 @@ from repro.core.stream_codec import (
     segment_bounds,
 )
 from repro.core.transformations import OPTIMAL_SET, Transformation
+from repro.obs import OBS
 
 
 @dataclass(frozen=True)
@@ -195,6 +196,19 @@ def encode_basic_block(
         raise ValueError(
             f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
         )
+    if OBS.enabled:
+        path = "fast" if use_codebook and len(words) >= 2 else "reference"
+        OBS.registry.counter(
+            "codec.blocks_encoded",
+            "basic blocks vertically encoded",
+            path=path,
+            strategy=strategy,
+        ).inc()
+        OBS.registry.counter(
+            "codec.words_encoded",
+            "instruction words vertically encoded",
+            path=path,
+        ).inc(len(words))
     if use_codebook and len(words) >= 2:
         return _encode_basic_block_fast(
             words, block_size, width, tuple(transformations), strategy

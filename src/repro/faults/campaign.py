@@ -21,6 +21,7 @@ would be an irony too far.
 from __future__ import annotations
 
 import random
+import time
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -44,6 +45,7 @@ from repro.faults.report import (
     FaultCampaignReport,
 )
 from repro.hw.fetch_decoder import FetchDecoder
+from repro.obs import OBS
 
 
 @dataclass
@@ -135,7 +137,20 @@ class DeploymentTarget:
 def run_case(
     target: DeploymentTarget, model: FaultModel, seed: str, mode: str
 ) -> CaseResult:
-    """Inject one fault, replay the trace, classify the outcome."""
+    """Inject one fault, replay the trace, classify the outcome.
+
+    Every result carries its wall-clock ``duration_seconds`` (kept out
+    of the deterministic per-case JSON; aggregated in the report's
+    per-model duration columns and slowest-case field)."""
+    started = time.perf_counter()
+    result = _run_case(target, model, seed, mode)
+    result.duration_seconds = time.perf_counter() - started
+    return result
+
+
+def _run_case(
+    target: DeploymentTarget, model: FaultModel, seed: str, mode: str
+) -> CaseResult:
     state = target.materialise()
     record: InjectionRecord = model.inject(state, random.Random(seed))
     if not record.applicable:
@@ -288,15 +303,30 @@ def _run_parallel(
                     {},
                     error=f"worker exceeded {case_timeout}s timeout",
                 )
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "faults.case_timeouts",
+                        "campaign cases killed by the per-case timeout",
+                    ).inc()
                 downgrade = f"a case exceeded the {case_timeout}s timeout"
                 break
             except BrokenExecutor as err:
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "faults.pool_breaks",
+                        "worker pools that died under the campaign",
+                    ).inc()
                 downgrade = f"worker pool broke: {err!r}"
                 break
     finally:
         # Never block the campaign on a wedged worker.
         pool.shutdown(wait=downgrade is None, cancel_futures=True)
     if downgrade is not None:
+        if OBS.enabled:
+            OBS.registry.counter(
+                "faults.pool_downgrades",
+                "campaigns downgraded from parallel to serial",
+            ).inc()
         warnings.warn(
             f"fault campaign: {downgrade}; finishing the remaining "
             f"{len(tasks) - len(results)} case(s) serially",
@@ -319,15 +349,17 @@ def run_campaign(
     """Run the full sweep; ``targets`` overrides workload preparation
     (used by tests to inject synthetic deployments)."""
     if targets is None:
-        targets = [
-            DeploymentTarget.prepare(
-                workload,
-                block_size=config.block_size,
-                parity=config.parity,
-                workload_params=config.workload_params.get(workload),
-            )
-            for workload in config.workloads
-        ]
+        targets = []
+        for workload in config.workloads:
+            with OBS.tracer.span("faults.prepare", workload=workload):
+                targets.append(
+                    DeploymentTarget.prepare(
+                        workload,
+                        block_size=config.block_size,
+                        parity=config.parity,
+                        workload_params=config.workload_params.get(workload),
+                    )
+                )
     by_name = {target.name: target for target in targets}
     if len(by_name) != len(targets):
         raise CampaignError("duplicate target names in campaign")
@@ -338,13 +370,34 @@ def run_campaign(
                 seed = f"{config.seed}:{target.name}:{model.name}:{trial}"
                 for mode in config.modes:
                     tasks.append((target.name, model, seed, mode))
-    if config.workers and config.workers > 1:
-        cases = _run_parallel(
-            by_name, tasks, config.workers, config.case_timeout
-        )
-    else:
-        cases = [
-            run_case(by_name[name], model, seed, mode)
-            for name, model, seed, mode in tasks
-        ]
+    with OBS.tracer.span(
+        "faults.campaign",
+        cases=len(tasks),
+        workers=config.workers or 1,
+    ):
+        if config.workers and config.workers > 1:
+            cases = _run_parallel(
+                by_name, tasks, config.workers, config.case_timeout
+            )
+        else:
+            cases = [
+                run_case(by_name[name], model, seed, mode)
+                for name, model, seed, mode in tasks
+            ]
+    if OBS.enabled:
+        registry = OBS.registry
+        for case in cases:
+            registry.counter(
+                "faults.cases",
+                "campaign cases by model, mode and outcome",
+                model=case.model,
+                mode=case.mode,
+                outcome=case.outcome,
+            ).inc()
+            if case.duration_seconds is not None:
+                registry.histogram(
+                    "faults.case_seconds",
+                    "per-case wall-clock duration",
+                    model=case.model,
+                ).observe(case.duration_seconds)
     return FaultCampaignReport(config=config.to_dict(), cases=cases)

@@ -55,6 +55,11 @@ class CaseResult:
     outcome: str
     detail: dict = field(default_factory=dict)
     error: str | None = None
+    #: Wall-clock seconds for this case.  Deliberately excluded from
+    #: :meth:`to_dict`: per-case records stay byte-deterministic across
+    #: identical runs; durations surface through the report's per-model
+    #: aggregates and ``slowest_case``.
+    duration_seconds: float | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -92,8 +97,20 @@ class FaultCampaignReport:
                     "model": case.model,
                     "mode": case.mode,
                     **{outcome: 0 for outcome in OUTCOMES},
+                    "total_seconds": 0.0,
+                    "slowest_seconds": None,
+                    "slowest_seed": None,
                 }
-            rows[key][case.outcome] += 1
+            row = rows[key]
+            row[case.outcome] += 1
+            if case.duration_seconds is not None:
+                row["total_seconds"] += case.duration_seconds
+                if (
+                    row["slowest_seconds"] is None
+                    or case.duration_seconds > row["slowest_seconds"]
+                ):
+                    row["slowest_seconds"] = case.duration_seconds
+                    row["slowest_seed"] = case.seed
         table = []
         for key in keys:
             row = rows[key]
@@ -106,8 +123,27 @@ class FaultCampaignReport:
                 if manifested
                 else None
             )
+            cases = sum(row[outcome] for outcome in OUTCOMES)
+            row["mean_seconds"] = (
+                row["total_seconds"] / cases if cases else None
+            )
             table.append(row)
         return table
+
+    def slowest_case(self) -> dict | None:
+        """The single longest-running case of the whole campaign."""
+        timed = [c for c in self.cases if c.duration_seconds is not None]
+        if not timed:
+            return None
+        worst = max(timed, key=lambda c: c.duration_seconds)
+        return {
+            "workload": worst.workload,
+            "model": worst.model,
+            "mode": worst.mode,
+            "seed": worst.seed,
+            "outcome": worst.outcome,
+            "duration_seconds": worst.duration_seconds,
+        }
 
     def silent_cases(self) -> list[CaseResult]:
         return [case for case in self.cases if case.outcome == SILENT]
@@ -159,6 +195,10 @@ class FaultCampaignReport:
             "summary": self.model_table(),
             "protected_ok": self.protected_ok(),
             "silent_corruptions": len(self.silent_cases()),
+            "total_seconds": sum(
+                c.duration_seconds or 0.0 for c in self.cases
+            ),
+            "slowest_case": self.slowest_case(),
             "cases": [case.to_dict() for case in self.cases],
         }
 

@@ -47,6 +47,10 @@ class BasicBlockIdentificationTable:
         self._parity: dict[int, int] = {}
         self.lookups = 0
         self.hits = 0
+        #: Parity activity, published onto the metrics registry by the
+        #: fetch decoder alongside the lookup counters.
+        self.parity_checks = 0
+        self.parity_failures = 0
 
     def __len__(self) -> int:
         return len(self._by_pc)
@@ -56,6 +60,8 @@ class BasicBlockIdentificationTable:
         self._parity.clear()
         self.lookups = 0
         self.hits = 0
+        self.parity_checks = 0
+        self.parity_failures = 0
 
     def install(self, entry: BBITEntry) -> None:
         if entry.pc in self._by_pc:
@@ -86,11 +92,13 @@ class BasicBlockIdentificationTable:
         if entry is None:
             return None
         if self.parity_enabled:
+            self.parity_checks += 1
             stored = self._parity.get(pc)
             actual = bbit_entry_parity(
                 entry.pc, entry.tt_index, entry.num_instructions
             )
             if stored != actual:
+                self.parity_failures += 1
                 raise TableIntegrityError(
                     f"BBIT entry for {pc:#010x} parity mismatch "
                     f"(stored {'none' if stored is None else f'{stored:#010x}'}, "

@@ -48,8 +48,14 @@ from dataclasses import dataclass
 from repro.errors import DecodeFault, TableIntegrityError
 from repro.hw.bbit import BasicBlockIdentificationTable
 from repro.hw.tt import TransformationTable
+from repro.obs import OBS
 
 __all__ = ["FetchDecoder", "DecodeFault", "TableIntegrityError"]
+
+#: Retained recover-mode events; older events beyond the cap roll off
+#: (counted in ``recovery_events_dropped``) so a long recover-mode run
+#: cannot grow without bound.
+DEFAULT_RECOVERY_EVENT_CAPACITY = 1024
 
 
 @dataclass
@@ -70,6 +76,7 @@ class FetchDecoder:
         block_size: int,
         encoded_region: set[int] | None = None,
         mode: str = "strict",
+        recovery_event_capacity: int = DEFAULT_RECOVERY_EVENT_CAPACITY,
     ):
         if isinstance(block_size, bool) or not isinstance(block_size, int):
             raise TypeError(
@@ -102,10 +109,18 @@ class FetchDecoder:
         #: TT reads happen once per decoded (non-anchor) instruction,
         #: BBIT probes only when the engine is inactive.
         self.tt_reads = 0
+        if recovery_event_capacity < 1:
+            raise ValueError("recovery_event_capacity must be >= 1")
+        self.recovery_event_capacity = recovery_event_capacity
         #: One dict per recover-mode event: ``kind`` (``mid_block_entry``,
         #: ``bbit_integrity``, ``tt_integrity``, ``trace_truncation``),
-        #: the faulting ``pc`` and the original error ``message``.
+        #: the faulting ``pc`` and the original error ``message``.  A
+        #: bounded ring: the newest ``recovery_event_capacity`` events
+        #: are kept, the overflow is counted in
+        #: :attr:`recovery_events_dropped` (and on the metrics
+        #: registry) instead of growing without bound.
         self.recovery_events: list[dict] = []
+        self.recovery_events_dropped = 0
 
     def reset(self) -> None:
         """Return to the idle state *and* zero all statistics, so a
@@ -119,13 +134,28 @@ class FetchDecoder:
         self.passthrough_instructions = 0
         self.tt_reads = 0
         self.recovery_events = []
+        self.recovery_events_dropped = 0
 
     # ------------------------------------------------------------------
 
     def _recover(self, kind: str, pc: int, message: str) -> None:
+        if len(self.recovery_events) >= self.recovery_event_capacity:
+            self.recovery_events.pop(0)
+            self.recovery_events_dropped += 1
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "decoder.recovery_events_dropped",
+                    "recover-mode events rolled off the bounded ring",
+                ).inc()
         self.recovery_events.append(
             {"kind": kind, "pc": pc, "message": message}
         )
+        if OBS.enabled:
+            OBS.registry.counter(
+                "decoder.recoveries",
+                "recover-mode fallbacks to pass-through",
+                kind=kind,
+            ).inc()
 
     def fetch(self, pc: int, stored_word: int) -> int:
         """Process one fetch; returns the restored instruction word."""
@@ -233,8 +263,66 @@ class FetchDecoder:
             "passthrough_instructions": self.passthrough_instructions,
             "tt_reads": self.tt_reads,
             "bbit_lookups": self.bbit.lookups,
-            "recoveries": len(self.recovery_events),
+            "recoveries": len(self.recovery_events) + self.recovery_events_dropped,
             "recovery_events": list(self.recovery_events),
+            "recovery_events_dropped": self.recovery_events_dropped,
+        }
+
+    def publish_metrics(self, table_baseline: dict | None = None) -> None:
+        """Route this decoder's counters (and its tables' activity
+        since ``table_baseline``) onto the process metrics registry."""
+        if not OBS.enabled:
+            return
+        base = table_baseline or {}
+        registry = OBS.registry
+        registry.counter(
+            "decoder.decoded_instructions",
+            "instructions restored through a TT transformation chain",
+            mode=self.mode,
+        ).inc(self.decoded_instructions)
+        registry.counter(
+            "decoder.passthrough_instructions",
+            "fetches served unchanged (BBIT miss or degraded block)",
+            mode=self.mode,
+        ).inc(self.passthrough_instructions)
+        registry.counter(
+            "decoder.tt_reads", "TT row reads on the fetch path", mode=self.mode
+        ).inc(self.tt_reads)
+        registry.counter(
+            "decoder.bbit_lookups", "BBIT CAM probes", mode=self.mode
+        ).inc(self.bbit.lookups - base.get("bbit_lookups", 0))
+        registry.counter(
+            "decoder.bbit_hits", "BBIT CAM hits", mode=self.mode
+        ).inc(self.bbit.hits - base.get("bbit_hits", 0))
+        registry.counter(
+            "decoder.parity_checks",
+            "TT + BBIT parity words recomputed and compared",
+            mode=self.mode,
+        ).inc(
+            self.tt.parity_checks
+            + self.bbit.parity_checks
+            - base.get("parity_checks", 0)
+        )
+        registry.counter(
+            "decoder.parity_failures",
+            "TT + BBIT parity mismatches detected",
+            mode=self.mode,
+        ).inc(
+            self.tt.parity_failures
+            + self.bbit.parity_failures
+            - base.get("parity_failures", 0)
+        )
+
+    def _table_baseline(self) -> dict:
+        """Snapshot of the shared tables' cumulative counters, so a
+        :meth:`decode_trace` publishes only its own activity."""
+        return {
+            "bbit_lookups": self.bbit.lookups,
+            "bbit_hits": self.bbit.hits,
+            "parity_checks": self.tt.parity_checks + self.bbit.parity_checks,
+            "parity_failures": (
+                self.tt.parity_failures + self.bbit.parity_failures
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -250,7 +338,15 @@ class FetchDecoder:
         additionally treats end-of-trace as end-of-stream, flagging a
         truncation that leaves a block half-decoded."""
         self.reset()
-        decoded = [self.fetch(pc, stored_image_lookup(pc)) for pc in addresses]
-        if finalize:
-            self.finalize()
+        baseline = self._table_baseline() if OBS.enabled else None
+        with OBS.tracer.span(
+            "decoder.decode_trace", mode=self.mode, fetches=len(addresses)
+        ):
+            decoded = [
+                self.fetch(pc, stored_image_lookup(pc)) for pc in addresses
+            ]
+            if finalize:
+                self.finalize()
+        if OBS.enabled:
+            self.publish_metrics(baseline)
         return decoded

@@ -120,6 +120,12 @@ class TransformationTable:
         #: mutating ``entries`` directly (as a fault would) leaves the
         #: stored parity stale, which is exactly what a read detects.
         self._parity: list[int] = []
+        #: Activity counters, published onto the metrics registry by
+        #: whoever drives the table (the fetch decoder, the flow).
+        self.reads = 0
+        self.writes = 0
+        self.parity_checks = 0
+        self.parity_failures = 0
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -146,6 +152,7 @@ class TransformationTable:
         self._parity.append(
             tt_entry_parity(entry.selectors, entry.end, entry.count)
         )
+        self.writes += 1
         return len(self.entries) - 1
 
     def write(self, index: int, entry: TTEntry) -> None:
@@ -164,6 +171,7 @@ class TransformationTable:
 
     def read(self, index: int) -> TTEntry:
         """Checked row read: bounds, then parity (when enabled)."""
+        self.reads += 1
         if not 0 <= index < len(self.entries):
             raise TableIntegrityError(
                 f"TT read at index {index} outside the populated range "
@@ -171,13 +179,16 @@ class TransformationTable:
             )
         entry = self.entries[index]
         if self.parity_enabled:
+            self.parity_checks += 1
             if index >= len(self._parity):
+                self.parity_failures += 1
                 raise TableIntegrityError(
                     f"TT entry {index} has no stored parity word"
                 )
             expected = self._parity[index]
             actual = tt_entry_parity(entry.selectors, entry.end, entry.count)
             if actual != expected:
+                self.parity_failures += 1
                 raise TableIntegrityError(
                     f"TT entry {index} parity mismatch "
                     f"(stored {expected:#010x}, computed {actual:#010x})"

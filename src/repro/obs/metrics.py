@@ -1,0 +1,318 @@
+"""Labelled metric families: counters, gauges, histograms.
+
+The registry is the always-on half of the observability layer
+(:mod:`repro.obs`): incrementing a counter is one attribute add, and
+*fetching* a metric is one dict lookup on an interned key, so
+instrumented code can afford to keep it live on warm paths.  The truly
+hot inner loops (per-segment codec lookups, per-fetch decode) never
+touch the registry directly — they keep plain local counters and
+publish totals in bulk when a run completes.
+
+Families group series that share a name and type but differ in label
+values (``workload``, ``k``, ``line``, ``model``, ...), mirroring the
+Prometheus data model the related benchmarking literature leans on:
+
+>>> reg = MetricsRegistry()
+>>> reg.counter("codec.blocks_encoded", workload="fir").inc()
+>>> reg.counter("codec.blocks_encoded", workload="fft").inc(3)
+>>> sorted(s.value for s in reg.family("codec.blocks_encoded").series())
+[1, 3]
+
+Histograms keep fixed cumulative buckets *and* a bounded value sample
+for summary quantiles; both appear in :meth:`MetricsRegistry.snapshot`,
+the JSON-ready structure ``RUN_report.json`` embeds.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets: exponential seconds-scale coverage from
+#: 100 microseconds to ~100 s, suitable for span durations.
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    100.0,
+)
+
+#: Upper bound on the per-histogram value sample kept for quantiles.
+_SAMPLE_CAP = 4096
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: tuple[tuple[str, str], ...]) -> None:
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (capacities, coverage, sizes)."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: tuple[tuple[str, str], ...]) -> None:
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.value -= amount
+
+    def to_dict(self) -> dict:
+        return {"labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """Fixed cumulative buckets plus a bounded sample for quantiles.
+
+    ``observe`` is O(log buckets); the sample keeps the first
+    ``_SAMPLE_CAP`` observations (enough for the quantiles of any run
+    this repo performs — a full campaign is a few thousand cases) and
+    counts what it had to drop, so a truncated summary is visible
+    rather than silent.
+    """
+
+    __slots__ = (
+        "labels",
+        "buckets",
+        "bucket_counts",
+        "count",
+        "total",
+        "min",
+        "max",
+        "_sample",
+        "sample_dropped",
+    )
+
+    def __init__(
+        self,
+        labels: tuple[tuple[str, str], ...],
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.labels = labels
+        self.buckets = tuple(buckets)
+        self.bucket_counts = [0] * (len(buckets) + 1)  # last = +Inf
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._sample: list[float] = []
+        self.sample_dropped = 0
+
+    def observe(self, value: int | float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._sample) < _SAMPLE_CAP:
+            self._sample.append(value)
+        else:
+            self.sample_dropped += 1
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> float | None:
+        """Summary quantile from the retained sample (nearest-rank)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._sample:
+            return None
+        ordered = sorted(self._sample)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def to_dict(self) -> dict:
+        return {
+            "labels": dict(self.labels),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "quantiles": {
+                "p50": self.quantile(0.5),
+                "p90": self.quantile(0.9),
+                "p99": self.quantile(0.99),
+            },
+            "buckets": [
+                {"le": le, "count": count}
+                for le, count in zip(
+                    [*self.buckets, "+Inf"], self.bucket_counts
+                )
+            ],
+            "sample_dropped": self.sample_dropped,
+        }
+
+
+_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """All series sharing one metric name and type."""
+
+    __slots__ = ("name", "type", "help", "_series")
+
+    def __init__(self, name: str, type_: str, help_: str = "") -> None:
+        self.name = name
+        self.type = type_
+        self.help = help_
+        self._series: dict[tuple[tuple[str, str], ...], object] = {}
+
+    def series(self) -> list:
+        return list(self._series.values())
+
+    def total(self) -> float:
+        """Sum of all series values (counters/gauges) or counts."""
+        if self.type == "histogram":
+            return sum(s.count for s in self._series.values())
+        return sum(s.value for s in self._series.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.type,
+            "help": self.help,
+            "series": [s.to_dict() for s in self._series.values()],
+        }
+
+
+class MetricsRegistry:
+    """Process-wide metric store with labelled families.
+
+    A family's type is fixed by its first registration; asking for the
+    same name with a different type raises, which catches the classic
+    "counter here, gauge there" drift at the call site.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+        # Interned (name, labels) -> metric fast path, so warm call
+        # sites cost one dict get after the first visit.
+        self._interned: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def _get(
+        self,
+        type_: str,
+        name: str,
+        help_: str,
+        labels: dict,
+        **extra,
+    ):
+        key = (name, tuple(sorted(labels.items())) if labels else ())
+        metric = self._interned.get(key)
+        # The class check keeps the fast path honest: an interned hit
+        # under the wrong accessor (counter vs gauge) must still raise.
+        if metric is not None and metric.__class__ is _TYPES[type_]:
+            return metric
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(name, type_, help_)
+                self._families[name] = family
+            elif family.type != type_:
+                raise ValueError(
+                    f"metric {name!r} already registered as a "
+                    f"{family.type}, cannot re-register as a {type_}"
+                )
+            elif help_ and not family.help:
+                family.help = help_
+            metric = self._interned.get(key)
+            if metric is not None:
+                return metric
+            label_key = key[1]
+            metric = _TYPES[type_](label_key, **extra)
+            family._series[label_key] = metric
+            self._interned[key] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._get("counter", name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._get("gauge", name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        return self._get("histogram", name, help, labels, buckets=buckets)
+
+    # ------------------------------------------------------------------
+
+    def family(self, name: str) -> MetricFamily:
+        return self._families[name]
+
+    def family_names(self) -> list[str]:
+        return sorted(self._families)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def snapshot(self) -> dict:
+        """JSON-ready ``{family name: family dict}`` of everything."""
+        with self._lock:
+            return {
+                name: family.to_dict()
+                for name, family in sorted(self._families.items())
+            }
+
+    def reset(self) -> None:
+        """Drop every family and series (test isolation hook)."""
+        with self._lock:
+            self._families.clear()
+            self._interned.clear()

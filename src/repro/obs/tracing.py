@@ -1,0 +1,261 @@
+"""Span-based wall-clock tracing with JSONL emission.
+
+A span measures one named region of work::
+
+    with tracer.span("encode.block_solve", line=7):
+        ...
+
+Spans nest: each carries its parent's id and a depth, so the flow's
+phase breakdown (``flow.run`` > ``flow.encode`` > ...) reconstructs as
+a tree.  Every span records a monotonic start/duration pair plus an
+epoch timestamp, and is tagged with the tracer's process-wide
+``run_id`` so events from one run correlate across files.
+
+Disabled tracers cost a single attribute check per call:
+:meth:`Tracer.span` returns the shared :data:`NOOP_SPAN` singleton
+without allocating anything.  ``tests/obs/test_tracing.py`` guards
+this property.
+
+With ``jsonl_path`` set, every finished span appends one JSON line
+(``{"event": "span", ...}``) to the file — the machine-readable trace
+log the ``repro trace`` subcommand and external tooling consume.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from typing import IO
+
+__all__ = ["Span", "Tracer", "NOOP_SPAN", "new_run_id"]
+
+#: Retained finished spans per tracer; older spans beyond the cap are
+#: dropped (counted in :attr:`Tracer.spans_dropped`) so week-long runs
+#: cannot exhaust memory.
+DEFAULT_MAX_SPANS = 65536
+
+
+def new_run_id() -> str:
+    """A short process-unique run identifier."""
+    return uuid.uuid4().hex[:12]
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **attrs) -> None:
+        """Accept (and discard) late attributes."""
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One timed region; use as a context manager via :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "depth",
+        "start_unix",
+        "_tracer",
+        "_start",
+        "duration",
+        "status",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: dict,
+        parent_id: str | None,
+        depth: int,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = uuid.uuid4().hex[:12]
+        self.parent_id = parent_id
+        self.depth = depth
+        self.start_unix = time.time()
+        self.duration = 0.0
+        self.status = "ok"
+        self._start = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered mid-span (counts, sizes)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self._start
+        if exc_type is not None:
+            self.status = "error"
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self)
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start_unix": self.start_unix,
+            "duration_s": self.duration,
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Collects nested spans; one instance per process by default.
+
+    The span stack is thread-local so concurrent threads each see
+    their own nesting; the finished-span list and JSONL stream are
+    shared (append is atomic under the GIL, and the JSONL file is
+    written one complete line at a time).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        max_spans: int = DEFAULT_MAX_SPANS,
+        run_id: str | None = None,
+    ) -> None:
+        self.enabled = enabled
+        self.run_id = run_id or new_run_id()
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        self.spans_dropped = 0
+        self._local = threading.local()
+        self._jsonl: IO[str] | None = None
+        self._jsonl_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs):
+        """Open a span (or return :data:`NOOP_SPAN` when disabled)."""
+        if not self.enabled:
+            return NOOP_SPAN
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span = Span(
+            self,
+            name,
+            attrs,
+            parent.span_id if parent else None,
+            parent.depth + 1 if parent else 0,
+        )
+        stack.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        if len(self.spans) >= self.max_spans:
+            # Drop the *oldest* retained span: recent activity is what
+            # reports and `repro trace` care about.
+            self.spans.pop(0)
+            self.spans_dropped += 1
+        self.spans.append(span)
+        if self._jsonl is not None:
+            self._emit({"event": "span", "run_id": self.run_id, **span.to_dict()})
+
+    # ------------------------------------------------------------------
+    # JSONL stream
+    # ------------------------------------------------------------------
+
+    def _emit(self, event: dict) -> None:
+        with self._jsonl_lock:
+            if self._jsonl is None:
+                return
+            self._jsonl.write(json.dumps(event) + "\n")
+            self._jsonl.flush()
+
+    def open_jsonl(self, path) -> None:
+        """Start appending span events to ``path`` (one JSON per line)."""
+        self.close_jsonl()
+        self._jsonl = open(path, "a")
+        self._emit(
+            {
+                "event": "run_start",
+                "run_id": self.run_id,
+                "start_unix": time.time(),
+            }
+        )
+
+    def close_jsonl(self) -> None:
+        with self._jsonl_lock:
+            if self._jsonl is not None:
+                self._jsonl.close()
+                self._jsonl = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def slowest(self, n: int = 10) -> list[Span]:
+        return sorted(self.spans, key=lambda s: s.duration, reverse=True)[:n]
+
+    def aggregate(self) -> dict[str, dict]:
+        """Per-name totals: ``{name: {count, total_s, min_s, max_s}}``."""
+        table: dict[str, dict] = {}
+        for span in self.spans:
+            row = table.get(span.name)
+            if row is None:
+                table[span.name] = {
+                    "count": 1,
+                    "total_s": span.duration,
+                    "min_s": span.duration,
+                    "max_s": span.duration,
+                }
+            else:
+                row["count"] += 1
+                row["total_s"] += span.duration
+                row["min_s"] = min(row["min_s"], span.duration)
+                row["max_s"] = max(row["max_s"], span.duration)
+        return table
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: aggregates plus every retained span."""
+        return {
+            "run_id": self.run_id,
+            "spans_recorded": len(self.spans) + self.spans_dropped,
+            "spans_dropped": self.spans_dropped,
+            "by_name": self.aggregate(),
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+    def reset(self) -> None:
+        """Drop retained spans and the nesting stack; keep the run id."""
+        self.spans = []
+        self.spans_dropped = 0
+        self._local = threading.local()

@@ -17,9 +17,7 @@ from __future__ import annotations
 
 import json
 import math
-import platform
 import random
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Sequence
@@ -29,6 +27,14 @@ from repro.core.program_codec import (
     encode_basic_block,
 )
 from repro.core.stream_codec import StreamEncoder, decode_with_plan
+from repro.obs.report import run_metadata
+from repro.obs.tracing import Tracer
+
+#: Dedicated always-on tracer for benchmark timing: the harness must
+#: measure even when process-wide observability is disabled (indeed the
+#: acceptance run times the codec *with* ``repro.obs.OBS`` off), so it
+#: does not share the global tracer's enable switch.
+_BENCH_TRACER = Tracer(enabled=True)
 
 
 @dataclass(frozen=True)
@@ -124,14 +130,17 @@ class BenchReport:
         return "\n".join(lines)
 
 
-def _best_time(fn: Callable[[], object], repeats: int) -> float:
+def _best_time(
+    fn: Callable[[], object], repeats: int, label: str = "bench.run"
+) -> float:
     """Minimum wall time over ``repeats`` runs (the standard noise
-    filter for throughput benchmarks)."""
+    filter for throughput benchmarks), measured through obs spans so
+    every individual repetition lands in the benchmark trace."""
     best = float("inf")
-    for _ in range(max(1, repeats)):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
+    for repeat in range(max(1, repeats)):
+        with _BENCH_TRACER.span(label, repeat=repeat) as span:
+            fn()
+        best = min(best, span.duration)
     return best
 
 
@@ -164,10 +173,12 @@ def run_codec_benchmarks(
                 unit="streams",
                 units_per_run=1,
                 reference_seconds=_best_time(
-                    lambda: reference.encode(stream), repeats
+                    lambda: reference.encode(stream),
+                    repeats,
+                    f"bench.{name}.reference",
                 ),
                 fast_seconds=_best_time(
-                    lambda: fast.encode(stream), repeats
+                    lambda: fast.encode(stream), repeats, f"bench.{name}.fast"
                 ),
             )
         )
@@ -191,9 +202,12 @@ def run_codec_benchmarks(
                     words, block_size, use_codebook=False
                 ),
                 repeats,
+                "bench.block_encode_greedy.reference",
             ),
             fast_seconds=_best_time(
-                lambda: encode_basic_block(words, block_size), repeats
+                lambda: encode_basic_block(words, block_size),
+                repeats,
+                "bench.block_encode_greedy.fast",
             ),
         )
     )
@@ -217,9 +231,12 @@ def run_codec_benchmarks(
                     stored, block_size, plan, use_tables=False
                 ),
                 repeats,
+                "bench.stream_decode_plan.reference",
             ),
             fast_seconds=_best_time(
-                lambda: decode_with_plan(stored, block_size, plan), repeats
+                lambda: decode_with_plan(stored, block_size, plan),
+                repeats,
+                "bench.stream_decode_plan.fast",
             ),
         )
     )
@@ -238,21 +255,31 @@ def run_codec_benchmarks(
             reference_seconds=_best_time(
                 lambda: decode_basic_block(encoding, use_tables=False),
                 repeats,
+                "bench.block_decode.reference",
             ),
             fast_seconds=_best_time(
-                lambda: decode_basic_block(encoding), repeats
+                lambda: decode_basic_block(encoding),
+                repeats,
+                "bench.block_decode.fast",
             ),
         )
     )
 
+    # Provenance stamp (git SHA, platform, timestamp, run id) so
+    # BENCH_codec.json files are comparable across PRs and machines.
+    meta = run_metadata(command="repro bench", seed=seed)
     config = {
         "stream_length": stream_length,
         "num_words": num_words,
         "block_size": block_size,
         "repeats": repeats,
         "seed": seed,
-        "python": platform.python_version(),
-        "platform": platform.platform(),
+        "python": meta["python"],
+        "platform": meta["platform"],
+        "git_sha": meta["git_sha"],
+        "timestamp": meta["timestamp"],
+        "timestamp_unix": meta["timestamp_unix"],
+        "run_id": _BENCH_TRACER.run_id,
     }
     return BenchReport(config=config, cases=cases)
 

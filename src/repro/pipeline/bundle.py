@@ -20,6 +20,7 @@ from typing import Sequence
 from repro.errors import BundleFormatError
 from repro.hw.bbit import BasicBlockIdentificationTable, BBITEntry
 from repro.hw.tt import TransformationTable, TTEntry
+from repro.obs import OBS
 
 FORMAT_VERSION = 1
 
@@ -75,48 +76,59 @@ class EncodingBundle:
         from repro.cfg.graph import ControlFlowGraph
         from repro.core.program_codec import encode_basic_block
 
-        cfg = ControlFlowGraph.build(program)
-        bundle = cls(
-            name=result.name,
-            block_size=result.block_size,
-            text_base=program.text_base,
-            encoded_words=list(result.encoded_image),
-            original_digest=_digest(program.words),
-        )
-        tt_index = 0
-        for start in result.selected_blocks:
-            block = cfg.blocks[start]
-            length = (
-                result.plan.encoded_length(start, len(block))
-                if result.plan is not None
-                else len(block)
+        with OBS.tracer.span(
+            "bundle.build",
+            workload=result.name,
+            blocks=len(result.selected_blocks),
+        ):
+            cfg = ControlFlowGraph.build(program)
+            bundle = cls(
+                name=result.name,
+                block_size=result.block_size,
+                text_base=program.text_base,
+                encoded_words=list(result.encoded_image),
+                original_digest=_digest(program.words),
             )
-            encoding = encode_basic_block(
-                block.words[:length], result.block_size
-            )
-            bounds = encoding.bounds
-            base_index = tt_index
-            for row, (seg_start, seg_len) in zip(encoding.selectors(), bounds):
-                is_tail = seg_start + seg_len >= length
-                bundle.tt_entries.append(
+            tt_index = 0
+            for start in result.selected_blocks:
+                block = cfg.blocks[start]
+                length = (
+                    result.plan.encoded_length(start, len(block))
+                    if result.plan is not None
+                    else len(block)
+                )
+                encoding = encode_basic_block(
+                    block.words[:length], result.block_size
+                )
+                bounds = encoding.bounds
+                base_index = tt_index
+                for row, (seg_start, seg_len) in zip(
+                    encoding.selectors(), bounds
+                ):
+                    is_tail = seg_start + seg_len >= length
+                    bundle.tt_entries.append(
+                        {
+                            "selectors": list(row),
+                            "end": is_tail,
+                            "count": (
+                                (seg_len if seg_start == 0 else seg_len - 1)
+                                if is_tail
+                                else 0
+                            ),
+                        }
+                    )
+                    tt_index += 1
+                bundle.bbit_entries.append(
                     {
-                        "selectors": list(row),
-                        "end": is_tail,
-                        "count": (
-                            (seg_len if seg_start == 0 else seg_len - 1)
-                            if is_tail
-                            else 0
-                        ),
+                        "pc": start,
+                        "tt_index": base_index,
+                        "num_instructions": length,
                     }
                 )
-                tt_index += 1
-            bundle.bbit_entries.append(
-                {
-                    "pc": start,
-                    "tt_index": base_index,
-                    "num_instructions": length,
-                }
-            )
+        if OBS.enabled:
+            OBS.registry.counter(
+                "bundle.builds", "firmware bundles materialised", workload=result.name
+            ).inc()
         return bundle
 
     # ------------------------------------------------------------------
@@ -237,6 +249,14 @@ class EncodingBundle:
         and ranges, TT selector ranges, BBIT word ranges against the
         image, and every BBIT->TT cross-reference (no dangling base
         index, the walk must terminate on an E-bit entry)."""
+        with OBS.tracer.span("bundle.validate", workload=self.name):
+            self._validate()
+        if OBS.enabled:
+            OBS.registry.counter(
+                "bundle.validations", "bundle structural validations passed"
+            ).inc()
+
+    def _validate(self) -> None:
         _require(
             isinstance(self.block_size, int)
             and not isinstance(self.block_size, bool)

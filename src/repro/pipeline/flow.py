@@ -40,6 +40,7 @@ from repro.hw.bbit import BasicBlockIdentificationTable, BBITEntry
 from repro.hw.fetch_decoder import FetchDecoder
 from repro.hw.tt import TransformationTable
 from repro.isa.assembler import Program
+from repro.obs import OBS
 from repro.sim.bus import count_trace_transitions, per_line_trace_transitions
 from repro.workloads.common import Workload
 
@@ -120,73 +121,94 @@ class EncodingFlow:
         self, program: Program, trace: Sequence[int], name: str = "program"
     ) -> FlowResult:
         """Encode ``program``'s hot blocks and measure over ``trace``."""
-        cfg = ControlFlowGraph.build(program)
-        profile = profile_trace(cfg, trace)
-        loops = find_natural_loops(cfg)
-        plan = select_hot_blocks(
-            profile,
-            self.block_size,
-            tt_capacity=self.tt_capacity,
-            bbit_capacity=self.bbit_capacity,
-            loops=loops,
-            loops_only=self.loops_only,
+        span = OBS.tracer.span(
+            "flow.run", workload=name, k=self.block_size, fetches=len(trace)
         )
-
-        tt = TransformationTable(self.tt_capacity, parity=self.parity_protect)
-        bbit = BasicBlockIdentificationTable(
-            self.bbit_capacity, parity=self.parity_protect
-        )
-        image = list(program.words)
-        encoded_region: set[int] = set()
-        # Long blocks against a nearly-full TT encode a prefix only;
-        # the E/CT tail ends decoding there and the rest of the block
-        # stays plain in memory.
-        lengths = {
-            start: plan.encoded_length(start, len(cfg.blocks[start]))
-            for start in plan.selected
-        }
-        encodings = encode_basic_blocks(
-            [cfg.blocks[start].words[: lengths[start]] for start in plan.selected],
-            self.block_size,
-            transformations=self.transformations,
-            strategy=self.strategy,
-            use_codebook=self.use_codebook,
-            parallel=self.parallel,
-        )
-        for start, encoding in zip(plan.selected, encodings):
-            length = lengths[start]
-            base_index = tt.allocate(encoding)
-            bbit.install(
-                BBITEntry(
-                    pc=start,
-                    tt_index=base_index,
-                    num_instructions=length,
+        with span:
+            with OBS.tracer.span("flow.analyze", workload=name):
+                cfg = ControlFlowGraph.build(program)
+                profile = profile_trace(cfg, trace)
+                loops = find_natural_loops(cfg)
+            with OBS.tracer.span("flow.select", workload=name):
+                plan = select_hot_blocks(
+                    profile,
+                    self.block_size,
+                    tt_capacity=self.tt_capacity,
+                    bbit_capacity=self.bbit_capacity,
+                    loops=loops,
+                    loops_only=self.loops_only,
                 )
-            )
-            first = program.index_of(start)
-            for offset, word in enumerate(encoding.encoded_words):
-                image[first + offset] = word
-            encoded_region.update(range(start, start + 4 * length, 4))
 
-        decode_verified = False
-        if self.verify_decode and plan.selected:
-            decoder = FetchDecoder(
-                tt, bbit, self.block_size, encoded_region=encoded_region
+            tt = TransformationTable(
+                self.tt_capacity, parity=self.parity_protect
             )
-            base = program.text_base
-            decoded = decoder.decode_trace(
-                list(trace), lambda pc: image[(pc - base) >> 2]
+            bbit = BasicBlockIdentificationTable(
+                self.bbit_capacity, parity=self.parity_protect
             )
-            original = [program.words[(pc - base) >> 2] for pc in trace]
-            if decoded != original:
-                raise DecodeVerificationError(
-                    f"{name}: hardware decode failed to restore the "
-                    "instruction stream"
+            image = list(program.words)
+            encoded_region: set[int] = set()
+            # Long blocks against a nearly-full TT encode a prefix only;
+            # the E/CT tail ends decoding there and the rest of the block
+            # stays plain in memory.
+            lengths = {
+                start: plan.encoded_length(start, len(cfg.blocks[start]))
+                for start in plan.selected
+            }
+            with OBS.tracer.span(
+                "flow.encode", workload=name, blocks=len(plan.selected)
+            ):
+                encodings = encode_basic_blocks(
+                    [
+                        cfg.blocks[start].words[: lengths[start]]
+                        for start in plan.selected
+                    ],
+                    self.block_size,
+                    transformations=self.transformations,
+                    strategy=self.strategy,
+                    use_codebook=self.use_codebook,
+                    parallel=self.parallel,
                 )
-            decode_verified = True
+            with OBS.tracer.span("flow.deploy", workload=name):
+                for start, encoding in zip(plan.selected, encodings):
+                    length = lengths[start]
+                    base_index = tt.allocate(encoding)
+                    bbit.install(
+                        BBITEntry(
+                            pc=start,
+                            tt_index=base_index,
+                            num_instructions=length,
+                        )
+                    )
+                    first = program.index_of(start)
+                    for offset, word in enumerate(encoding.encoded_words):
+                        image[first + offset] = word
+                    encoded_region.update(range(start, start + 4 * length, 4))
 
-        baseline = count_trace_transitions(program, trace)
-        encoded = count_trace_transitions(program, trace, image)
+            decode_verified = False
+            if self.verify_decode and plan.selected:
+                with OBS.tracer.span("flow.verify_decode", workload=name):
+                    decoder = FetchDecoder(
+                        tt, bbit, self.block_size, encoded_region=encoded_region
+                    )
+                    base = program.text_base
+                    decoded = decoder.decode_trace(
+                        list(trace), lambda pc: image[(pc - base) >> 2]
+                    )
+                    original = [
+                        program.words[(pc - base) >> 2] for pc in trace
+                    ]
+                    if decoded != original:
+                        raise DecodeVerificationError(
+                            f"{name}: hardware decode failed to restore the "
+                            "instruction stream"
+                        )
+                    decode_verified = True
+
+            with OBS.tracer.span("flow.measure", workload=name):
+                baseline = count_trace_transitions(program, trace)
+                encoded = count_trace_transitions(program, trace, image)
+        if OBS.enabled:
+            self._publish_metrics(name, plan, baseline, encoded, profile)
         return FlowResult(
             name=name,
             block_size=self.block_size,
@@ -202,14 +224,46 @@ class EncodingFlow:
             plan=plan,
         )
 
+    def _publish_metrics(
+        self, name: str, plan, baseline: int, encoded: int, profile
+    ) -> None:
+        """Per-(workload, k) gauges and counters for one flow run."""
+        registry = OBS.registry
+        labels = {"workload": name, "k": str(self.block_size)}
+        registry.counter(
+            "flow.runs", "end-to-end encoding flow executions", **labels
+        ).inc()
+        registry.gauge(
+            "flow.baseline_transitions",
+            "bus transitions over the trace, unencoded image",
+            **labels,
+        ).set(baseline)
+        registry.gauge(
+            "flow.encoded_transitions",
+            "bus transitions over the trace, encoded image",
+            **labels,
+        ).set(encoded)
+        registry.gauge(
+            "flow.hot_coverage",
+            "fraction of fetches inside encoded blocks",
+            **labels,
+        ).set(profile.coverage_of(plan.selected))
+        registry.gauge(
+            "flow.tt_entries_used", "TT rows the selection consumed", **labels
+        ).set(plan.tt_entries_used)
+        registry.gauge(
+            "flow.blocks_selected", "basic blocks selected for encoding", **labels
+        ).set(len(plan.selected))
+
     def run_workload(self, workload: Workload, max_steps: int = 200_000_000) -> FlowResult:
         """Convenience: simulate a workload, then run the flow."""
         program = workload.assemble()
         from repro.sim.cpu import run_program
 
-        cpu, trace = run_program(program, max_steps=max_steps)
-        if workload.verify is not None:
-            workload.verify(cpu)
+        with OBS.tracer.span("flow.simulate", workload=workload.name):
+            cpu, trace = run_program(program, max_steps=max_steps)
+            if workload.verify is not None:
+                workload.verify(cpu)
         return self.run(program, trace, name=workload.name)
 
     def per_line_breakdown(

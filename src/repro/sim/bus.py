@@ -42,9 +42,23 @@ def count_trace_transitions(
     """Total bit transitions on the instruction bus over a trace."""
     fetched = _trace_words(program, addresses, image)
     if fetched.size < 2:
-        return 0
-    toggles = np.bitwise_xor(fetched[1:], fetched[:-1])
-    return int(np.bitwise_count(toggles).sum())
+        total = 0
+    else:
+        toggles = np.bitwise_xor(fetched[1:], fetched[:-1])
+        total = int(np.bitwise_count(toggles).sum())
+    from repro.obs import OBS
+
+    if OBS.enabled:
+        which = "baseline" if image is None else "patched"
+        OBS.registry.counter(
+            "bus.measurements", "transition-count evaluations", image=which
+        ).inc()
+        OBS.registry.counter(
+            "bus.transitions_measured",
+            "bit transitions counted across all measurements",
+            image=which,
+        ).inc(total)
+    return total
 
 
 def per_line_trace_transitions(

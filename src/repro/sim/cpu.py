@@ -538,7 +538,18 @@ def run_program(
 ) -> tuple[Cpu, list[int]]:
     """Assemble-and-go helper: run ``program`` and return the CPU state
     plus the fetch trace (list of PCs)."""
+    from repro.obs import OBS
+
     cpu = Cpu(program)
     trace: list[int] = [] if with_trace else None  # type: ignore[assignment]
-    cpu.run(max_steps=max_steps, trace=trace)
+    with OBS.tracer.span("sim.run", instructions=len(program.words)) as span:
+        cpu.run(max_steps=max_steps, trace=trace)
+        span.set(steps=cpu.steps)
+    if OBS.enabled:
+        OBS.registry.counter(
+            "sim.instructions", "instructions executed by the functional CPU"
+        ).inc(cpu.steps)
+        OBS.registry.counter(
+            "sim.fetches", "fetch addresses captured into traces"
+        ).inc(len(trace) if with_trace else 0)
     return cpu, (trace if with_trace else [])

@@ -125,12 +125,22 @@ class TestRunCampaign:
             "summary",
             "protected_ok",
             "silent_corruptions",
+            "total_seconds",
+            "slowest_case",
             "cases",
         }
         assert data["protected_ok"] is True
         assert data["config"]["seed"] == 42
         assert len(data["cases"]) == len(report.cases)
         assert data["silent_corruptions"] == len(report.silent_cases())
+        # Durations are aggregated, never per-case: the case records
+        # stay byte-deterministic across identical runs.
+        assert data["total_seconds"] > 0
+        assert data["slowest_case"]["duration_seconds"] > 0
+        assert all("duration_seconds" not in case for case in data["cases"])
+        for row in data["summary"]:
+            assert row["total_seconds"] >= 0
+            assert row["mean_seconds"] is None or row["mean_seconds"] >= 0
 
     def test_format_table_lists_every_model(self):
         report = run_campaign(_small_config(), targets=[_synthetic_target()])

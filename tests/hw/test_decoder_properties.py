@@ -26,7 +26,9 @@ blocks_strategy = st.lists(
 
 
 def _materialise_many(block_words, block_size):
-    tt = TransformationTable(capacity=64)
+    # Worst case: 4 blocks x 18 words at k=2 is ~17 segments per
+    # block, so 64 entries can genuinely run out.
+    tt = TransformationTable(capacity=128)
     bbit = BasicBlockIdentificationTable(capacity=16)
     image = {}
     bases = []

@@ -1,0 +1,127 @@
+"""MetricsRegistry semantics: families, labels, types, snapshots."""
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("codec.blocks_encoded")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_same_labels_intern_to_same_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("codec.blocks_encoded", workload="fir", k="5")
+        b = reg.counter("codec.blocks_encoded", k="5", workload="fir")
+        assert a is b  # label order must not matter
+
+    def test_distinct_labels_are_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("faults.cases", outcome="detected").inc(2)
+        reg.counter("faults.cases", outcome="masked").inc(3)
+        family = reg.family("faults.cases")
+        assert len(family.series()) == 2
+        assert family.total() == 5
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match=">= 0"):
+            reg.counter("codec.blocks_encoded").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("flow.hot_coverage")
+        gauge.set(0.75)
+        gauge.inc(0.05)
+        gauge.dec(0.10)
+        assert gauge.value == pytest.approx(0.70)
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative_by_construction(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("faults.case_seconds")
+        for value in (0.0002, 0.003, 0.003, 2.0, 500.0):
+            hist.observe(value)
+        assert hist.count == 5
+        assert hist.min == 0.0002
+        assert hist.max == 500.0
+        data = hist.to_dict()
+        # The +Inf tail catches the out-of-range observation.
+        assert data["buckets"][-1] == {"le": "+Inf", "count": 1}
+        assert sum(b["count"] for b in data["buckets"]) == 5
+
+    def test_quantiles_nearest_rank(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("span.seconds")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 100.0
+        assert hist.quantile(0.5) == pytest.approx(50.0, abs=1.0)
+
+    def test_sample_cap_counts_drops(self):
+        from repro.obs.metrics import _SAMPLE_CAP
+
+        reg = MetricsRegistry()
+        hist = reg.histogram("span.seconds")
+        for _ in range(_SAMPLE_CAP + 10):
+            hist.observe(1.0)
+        assert hist.sample_dropped == 10
+        assert hist.count == _SAMPLE_CAP + 10  # count is exact regardless
+
+    def test_unsorted_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="increasing"):
+            reg.histogram("bad", buckets=(1.0, 0.5))
+
+
+class TestRegistry:
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("codec.blocks_encoded")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("codec.blocks_encoded")
+
+    def test_contains_and_family_names(self):
+        reg = MetricsRegistry()
+        reg.counter("b.second")
+        reg.gauge("a.first")
+        assert "b.second" in reg
+        assert "missing" not in reg
+        assert reg.family_names() == ["a.first", "b.second"]
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("codec.blocks_encoded", workload="fir").inc(3)
+        reg.gauge("flow.hot_coverage", workload="fir").set(0.99)
+        reg.histogram("faults.case_seconds").observe(0.5)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["codec.blocks_encoded"]["type"] == "counter"
+        assert snap["codec.blocks_encoded"]["series"][0] == {
+            "labels": {"workload": "fir"},
+            "value": 3,
+        }
+        assert snap["faults.case_seconds"]["series"][0]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("codec.blocks_encoded")
+        counter.inc()
+        reg.reset()
+        assert "codec.blocks_encoded" not in reg
+        # A fresh series after reset, not the old interned object.
+        assert reg.counter("codec.blocks_encoded") is not counter
+        assert reg.counter("codec.blocks_encoded").value == 0
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

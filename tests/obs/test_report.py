@@ -1,0 +1,129 @@
+"""RunReport: collection, serialisation, validation, provenance."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    EXPECTED_ENCODE_FAMILIES,
+    REPORT_SCHEMA_VERSION,
+    RunReport,
+    load_run_report,
+    missing_families,
+    run_metadata,
+    validate_run_report,
+)
+from repro.obs.tracing import Tracer
+
+
+def _populated_state():
+    registry = MetricsRegistry()
+    registry.counter("codec.blocks_encoded", workload="fir").inc(3)
+    registry.gauge("flow.hot_coverage", workload="fir").set(0.99)
+    registry.histogram("faults.case_seconds", model="m").observe(0.01)
+    tracer = Tracer(enabled=True)
+    with tracer.span("flow.run", workload="fir"):
+        with tracer.span("flow.encode"):
+            pass
+    return registry, tracer
+
+
+class TestRunMetadata:
+    def test_contains_provenance(self):
+        meta = run_metadata(command="repro encode fir", seed=7)
+        assert meta["command"] == "repro encode fir"
+        assert meta["seed"] == 7
+        assert meta["git_sha"]
+        assert meta["platform"]
+        assert meta["python"].count(".") >= 1
+        assert meta["timestamp_unix"] > 0
+
+    def test_git_sha_override(self, monkeypatch):
+        from repro.obs import report
+
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        report.git_revision.cache_clear()
+        try:
+            assert run_metadata()["git_sha"] == "cafebabe"
+        finally:
+            report.git_revision.cache_clear()
+
+
+class TestRunReport:
+    def test_collect_and_write_round_trip(self, tmp_path):
+        registry, tracer = _populated_state()
+        report = RunReport.collect(
+            registry, tracer, command="repro encode fir", seed=1
+        )
+        path = report.write(tmp_path / "RUN_report.json")
+        data = load_run_report(path)
+        assert data["schema_version"] == REPORT_SCHEMA_VERSION
+        assert data["meta"]["run_id"] == tracer.run_id
+        assert data["meta"]["command"] == "repro encode fir"
+        assert data["metrics"]["codec.blocks_encoded"]["series"][0] == {
+            "labels": {"workload": "fir"},
+            "value": 3,
+        }
+        assert {s["name"] for s in data["trace"]["spans"]} == {
+            "flow.run",
+            "flow.encode",
+        }
+        assert validate_run_report(data) == []
+
+    def test_extra_block_survives(self, tmp_path):
+        registry, tracer = _populated_state()
+        report = RunReport.collect(
+            registry, tracer, extra={"workload": "fir"}
+        )
+        data = json.loads(
+            (report.write(tmp_path / "r.json")).read_text()
+        )
+        assert data["extra"] == {"workload": "fir"}
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_run_report([]) == ["report must be a JSON object"]
+
+    def test_flags_missing_sections(self):
+        problems = validate_run_report({"schema_version": 1})
+        assert any("meta" in p for p in problems)
+        assert any("metrics" in p for p in problems)
+        assert any("trace" in p for p in problems)
+
+    def test_flags_newer_schema(self):
+        registry, tracer = _populated_state()
+        data = RunReport.collect(registry, tracer).to_dict()
+        data["schema_version"] = REPORT_SCHEMA_VERSION + 1
+        assert any("newer" in p for p in validate_run_report(data))
+
+    def test_flags_bad_metric_family(self):
+        registry, tracer = _populated_state()
+        data = RunReport.collect(registry, tracer).to_dict()
+        data["metrics"]["bad"] = {"type": "timer", "series": [{}]}
+        problems = validate_run_report(data)
+        assert any("unknown type 'timer'" in p for p in problems)
+        assert any("labels" in p for p in problems)
+
+    @pytest.mark.parametrize("key", ["name", "duration_s", "depth"])
+    def test_flags_malformed_span(self, key):
+        registry, tracer = _populated_state()
+        data = RunReport.collect(registry, tracer).to_dict()
+        del data["trace"]["spans"][0][key]
+        assert any(key in p for p in validate_run_report(data))
+
+
+class TestMissingFamilies:
+    def test_all_missing_on_empty_report(self):
+        data = {"metrics": {}}
+        assert missing_families(data) == list(EXPECTED_ENCODE_FAMILIES)
+
+    def test_none_missing_when_present(self):
+        data = {
+            "metrics": {
+                name: {"type": "counter", "series": []}
+                for name in EXPECTED_ENCODE_FAMILIES
+            }
+        }
+        assert missing_families(data) == []

@@ -19,7 +19,10 @@ class TestParser:
             "encode",
             "suite",
             "cost",
+            "bench",
             "faults",
+            "metrics",
+            "trace",
         ):
             args = parser.parse_args(
                 [command] + (["mmul"] if command == "encode" else [])

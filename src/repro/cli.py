@@ -16,6 +16,9 @@ command        what it prints
                written to BENCH_codec.json
 ``faults``     the fault-injection campaign: per-model detection and
                recovery rates, written to FAULTS_report.json
+               (``--wal``/``--resume`` checkpoint and resume the sweep)
+``experiment`` the parameter-sweep grid (workloads x block sizes x TT
+               capacities x strategies) as CSV, also resumable
 ``metrics``    metric families from a RUN_report.json (``--check``
                gates on the expected encode families)
 ``trace``      span timings from a RUN_report.json (``--top N``)
@@ -269,10 +272,13 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         workers=args.workers,
         case_timeout=args.timeout,
     )
+    if args.resume and not args.wal:
+        print("faults: --resume requires --wal PATH", file=sys.stderr)
+        return 2
     observed = _obs_begin(args)
     for workload in config.workloads:
         print(f"preparing {workload} deployment ...", file=sys.stderr)
-    report = run_campaign(config)
+    report = run_campaign(config, wal_path=args.wal, resume=args.resume)
     print(report.format_table())
     silent = len(report.silent_cases())
     print(
@@ -280,7 +286,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         f"protected models "
         f"{'all detected or recovered' if report.protected_ok() else 'NOT fully covered'}"
     )
-    path = report.write(args.json)
+    path = report.write(args.json, deterministic=args.deterministic)
     print(f"wrote {path}")
     if observed:
         _obs_finish(args, command="repro faults", seed=config.seed)
@@ -291,6 +297,36 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.pipeline.experiment import run_sweep
+
+    if args.resume and not args.wal:
+        print("experiment: --resume requires --wal PATH", file=sys.stderr)
+        return 2
+    workloads = args.workload or ["fir"]
+    unknown = [name for name in workloads if name not in ENCODABLE_WORKLOADS]
+    if unknown:
+        print(
+            f"unknown workload(s): {', '.join(unknown)}; "
+            f"available: {', '.join(ENCODABLE_WORKLOADS)}",
+            file=sys.stderr,
+        )
+        return 2
+    sweep = run_sweep(
+        workloads,
+        block_sizes=tuple(args.block_sizes),
+        tt_capacities=tuple(args.tt_capacities),
+        strategies=tuple(args.strategies),
+        wal_path=args.wal,
+        resume=args.resume,
+    )
+    print(sweep.to_csv())
+    if args.csv:
+        path = sweep.write_csv(args.csv)
+        print(f"wrote {path}", file=sys.stderr)
     return 0
 
 
@@ -584,8 +620,65 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 unless every protected model is fully detected/recovered",
     )
+    p.add_argument(
+        "--wal",
+        default=None,
+        metavar="PATH",
+        help="journal finished cases to a JSONL write-ahead log",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the --wal log and skip already-finished cases",
+    )
+    p.add_argument(
+        "--deterministic",
+        action="store_true",
+        help="zero wall-clock aggregates so identical runs (and resumed "
+        "runs) write byte-identical reports",
+    )
     _add_obs_arguments(p)
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser(
+        "experiment",
+        help="parameter-sweep grid over workloads (CSV, resumable)",
+    )
+    p.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="workload(s) to sweep (repeatable; default fir)",
+    )
+    p.add_argument(
+        "--block-sizes", type=int, nargs="+", default=[4, 5, 6, 7]
+    )
+    p.add_argument("--tt-capacities", type=int, nargs="+", default=[16])
+    p.add_argument(
+        "--strategies",
+        nargs="+",
+        choices=("greedy", "optimal", "disjoint"),
+        default=["greedy"],
+    )
+    p.add_argument(
+        "--csv",
+        default=None,
+        metavar="PATH",
+        help="also write the grid to PATH (atomic)",
+    )
+    p.add_argument(
+        "--wal",
+        default=None,
+        metavar="PATH",
+        help="journal finished grid points to a JSONL write-ahead log",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the --wal log and skip already-finished points",
+    )
+    p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser(
         "metrics", help="metric families from a RUN_report.json"

@@ -21,6 +21,7 @@ faults`` for the CLI entry point.
 from repro.faults.campaign import (
     CampaignConfig,
     DeploymentTarget,
+    case_key,
     run_campaign,
     run_case,
 )
@@ -35,6 +36,7 @@ from repro.faults.report import CaseResult, FaultCampaignReport
 __all__ = [
     "CampaignConfig",
     "DeploymentTarget",
+    "case_key",
     "run_campaign",
     "run_case",
     "DEFAULT_MODELS",

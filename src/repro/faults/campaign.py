@@ -12,20 +12,33 @@ per-model tables compare both hardening strategies on an identical
 fault population.
 
 Workers: with ``workers > 1`` cases fan out across processes, each
-future bounded by ``case_timeout``.  A timed-out or crashed worker
-pool *downgrades the campaign to serial with a warning* instead of
-failing it — a robustness harness that dies of its own infrastructure
-would be an irony too far.
+future bounded by ``case_timeout``.  A timed-out case is retried
+serially under the same deadline (with seeded backoff between
+attempts); worker failures feed a circuit breaker
+(:class:`repro.runtime.CircuitBreaker`) that downgrades the campaign
+to serial with a warning after ``breaker_threshold`` consecutive
+failures instead of failing it — a robustness harness that dies of its
+own infrastructure would be an irony too far.  The serial path honors
+the *same* per-case deadline via :mod:`repro.runtime.deadline`.
+
+Checkpointing: pass ``wal_path`` to journal every completed case to a
+JSONL write-ahead log; ``resume=True`` replays it, skipping finished
+cases — a campaign SIGKILLed mid-run resumes where it stopped and
+(written with ``deterministic=True``) reproduces a byte-identical
+``FAULTS_report.json``.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 import time
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.errors import CampaignError, ReproError
 from repro.faults.models import (
@@ -35,6 +48,7 @@ from repro.faults.models import (
     RunState,
 )
 from repro.faults.report import (
+    CORRECTED,
     CRASHED,
     DETECTED,
     MASKED,
@@ -46,6 +60,14 @@ from repro.faults.report import (
 )
 from repro.hw.fetch_decoder import FetchDecoder
 from repro.obs import OBS
+from repro.runtime import (
+    BackoffPolicy,
+    CheckpointLog,
+    CircuitBreaker,
+    DeadlineExceeded,
+    retry_call,
+    run_with_deadline,
+)
 
 
 @dataclass
@@ -157,16 +179,22 @@ def _run_case(
         return CaseResult(
             target.name, model.name, seed, mode, NOT_APPLICABLE, record.detail
         )
+    base = target.text_base
+    image = state.image
+    num_words = len(image)
+    golden_words = target.original_words
+
+    def golden(pc: int) -> int:
+        return golden_words[(pc - base) >> 2]
+
     decoder = FetchDecoder(
         state.tt,
         state.bbit,
         target.block_size,
         encoded_region=state.encoded_region,
         mode=mode,
+        golden_lookup=golden if mode == "degraded" else None,
     )
-    base = target.text_base
-    image = state.image
-    num_words = len(image)
 
     def lookup(pc: int) -> int:
         index = (pc - base) >> 2
@@ -177,9 +205,10 @@ def _run_case(
     try:
         decoded = decoder.decode_trace(state.trace, lookup, finalize=True)
     except ReproError as err:
-        if mode == "recover":
-            # Recover mode promises never to raise on a corrupted
-            # block; an escape is a harness bug, not a detection.
+        if mode in ("recover", "degraded"):
+            # Recover/degraded modes promise never to raise on a
+            # corrupted block; an escape is a harness bug, not a
+            # detection.
             return CaseResult(
                 target.name,
                 model.name,
@@ -212,12 +241,22 @@ def _run_case(
     if decoder.recovery_events:
         detail = dict(record.detail)
         detail["recovery_events"] = decoder.recovery_events[:8]
+        if decoder.degradations:
+            detail["degradations"] = decoder.degradations
+            detail["golden_served"] = decoder.golden_served_instructions
         return CaseResult(
             target.name, model.name, seed, mode, RECOVERED, detail
         )
     if decoded != expected:
         return CaseResult(
             target.name, model.name, seed, mode, SILENT, record.detail
+        )
+    corrections = state.tt.ecc_corrections + state.bbit.ecc_corrections
+    if corrections:
+        detail = dict(record.detail)
+        detail["ecc_corrections"] = corrections
+        return CaseResult(
+            target.name, model.name, seed, mode, CORRECTED, detail
         )
     return CaseResult(target.name, model.name, seed, mode, MASKED, record.detail)
 
@@ -239,6 +278,12 @@ class CampaignConfig:
     workers: int | None = None
     case_timeout: float = 120.0
     workload_params: dict = field(default_factory=dict)
+    #: Consecutive worker failures (timeouts, pool breaks) before the
+    #: circuit breaker downgrades the campaign to serial execution.
+    breaker_threshold: int = 3
+    #: Attempts for the deadline-guarded serial re-run of a case whose
+    #: parallel future timed out (seeded backoff between attempts).
+    retry_attempts: int = 2
 
     def to_dict(self) -> dict:
         return {
@@ -256,6 +301,18 @@ class CampaignConfig:
             "case_timeout": self.case_timeout,
         }
 
+    def run_key(self) -> str:
+        """Identity of the case population, for WAL compatibility.
+
+        Excludes execution-only knobs (workers, timeouts): a resume
+        may change *how* cases run, never *which* cases exist or what
+        they compute."""
+        identity = self.to_dict()
+        for knob in ("workers", "case_timeout"):
+            identity.pop(knob, None)
+        blob = json.dumps(identity, sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
 
 _WORKER_TARGETS: dict[str, DeploymentTarget] = {}
 
@@ -271,15 +328,67 @@ def _worker_run_case(
     return run_case(_WORKER_TARGETS[target_name], model, seed, mode)
 
 
+def case_key(target_name: str, model: FaultModel, seed: str, mode: str) -> str:
+    """The WAL identity of one case."""
+    return f"{target_name}|{model.name}|{seed}|{mode}"
+
+
+def _run_case_serial(
+    target: DeploymentTarget,
+    model: FaultModel,
+    seed: str,
+    mode: str,
+    case_timeout: float,
+    retry_attempts: int = 1,
+) -> CaseResult:
+    """One case under a wall-clock deadline — the serial path's
+    equivalent of ``future.result(timeout)`` — with seeded-backoff
+    retries on expiry and a ``crashed`` classification if every
+    attempt times out."""
+    policy = BackoffPolicy(max_attempts=max(1, retry_attempts))
+
+    def attempt():
+        return run_with_deadline(
+            lambda: run_case(target, model, seed, mode),
+            case_timeout,
+            what=f"case {seed}/{mode}",
+        )
+
+    try:
+        return retry_call(
+            attempt,
+            policy=policy,
+            seed=f"{seed}:{mode}",
+            retry_on=(DeadlineExceeded,),
+        )
+    except DeadlineExceeded as err:
+        if OBS.enabled:
+            OBS.registry.counter(
+                "faults.case_timeouts",
+                "campaign cases killed by the per-case timeout",
+            ).inc()
+        return CaseResult(
+            target.name,
+            model.name,
+            seed,
+            mode,
+            CRASHED,
+            {},
+            error=f"case timeout: {err}",
+        )
+
+
 def _run_parallel(
     targets: dict[str, DeploymentTarget],
     tasks: list[tuple[str, FaultModel, str, str]],
-    workers: int,
-    case_timeout: float,
+    config: CampaignConfig,
+    checkpoint: CheckpointLog | None = None,
 ) -> list[CaseResult]:
+    case_timeout = config.case_timeout
+    breaker = CircuitBreaker(threshold=config.breaker_threshold)
     results: dict[int, CaseResult] = {}
     pool = ProcessPoolExecutor(
-        max_workers=workers,
+        max_workers=config.workers,
         initializer=_worker_init,
         initargs=(list(targets.values()),),
     )
@@ -290,33 +399,44 @@ def _run_parallel(
             for index, task in enumerate(tasks)
         }
         for index, future in futures.items():
+            target_name, model, seed, mode = tasks[index]
             try:
                 results[index] = future.result(timeout=case_timeout)
+                breaker.record_success()
             except FutureTimeoutError:
-                target_name, model, seed, mode = tasks[index]
-                results[index] = CaseResult(
-                    target_name,
-                    model.name,
-                    seed,
-                    mode,
-                    CRASHED,
-                    {},
-                    error=f"worker exceeded {case_timeout}s timeout",
-                )
                 if OBS.enabled:
                     OBS.registry.counter(
                         "faults.case_timeouts",
                         "campaign cases killed by the per-case timeout",
                     ).inc()
-                downgrade = f"a case exceeded the {case_timeout}s timeout"
-                break
+                # The timed-out case is re-run serially, under the
+                # same deadline the pool enforced.
+                results[index] = _run_case_serial(
+                    targets[target_name],
+                    model,
+                    seed,
+                    mode,
+                    case_timeout,
+                    config.retry_attempts,
+                )
+                if breaker.record_failure():
+                    downgrade = (
+                        f"{breaker.consecutive_failures} consecutive case "
+                        "timeout(s) tripped the circuit breaker"
+                    )
             except BrokenExecutor as err:
                 if OBS.enabled:
                     OBS.registry.counter(
                         "faults.pool_breaks",
                         "worker pools that died under the campaign",
                     ).inc()
+                breaker.record_failure()
                 downgrade = f"worker pool broke: {err!r}"
+            if checkpoint is not None and index in results:
+                checkpoint.record(
+                    case_key(*tasks[index]), results[index].to_dict()
+                )
+            if downgrade is not None:
                 break
     finally:
         # Never block the campaign on a wedged worker.
@@ -334,20 +454,38 @@ def _run_parallel(
             stacklevel=2,
         )
         for index, task in enumerate(tasks):
-            if index not in results:
-                target_name, model, seed, mode = task
-                results[index] = run_case(
-                    targets[target_name], model, seed, mode
-                )
+            if index in results:
+                continue
+            target_name, model, seed, mode = task
+            # Serial fallback cases honor the same per-case deadline
+            # the pool enforced (historically they ran unbounded).
+            results[index] = _run_case_serial(
+                targets[target_name],
+                model,
+                seed,
+                mode,
+                case_timeout,
+                config.retry_attempts,
+            )
+            if checkpoint is not None:
+                checkpoint.record(case_key(*task), results[index].to_dict())
     return [results[index] for index in range(len(tasks))]
 
 
 def run_campaign(
     config: CampaignConfig,
     targets: list[DeploymentTarget] | None = None,
+    wal_path: str | Path | None = None,
+    resume: bool = False,
 ) -> FaultCampaignReport:
     """Run the full sweep; ``targets`` overrides workload preparation
-    (used by tests to inject synthetic deployments)."""
+    (used by tests to inject synthetic deployments).
+
+    ``wal_path`` journals every completed case to a JSONL write-ahead
+    log; ``resume=True`` replays that log first and only runs the
+    cases it is missing.  Replayed cases carry no durations — resumed
+    runs should be written with ``deterministic=True`` so the report
+    matches an uninterrupted run byte for byte."""
     if targets is None:
         targets = []
         for workload in config.workloads:
@@ -370,20 +508,60 @@ def run_campaign(
                 seed = f"{config.seed}:{target.name}:{model.name}:{trial}"
                 for mode in config.modes:
                     tasks.append((target.name, model, seed, mode))
-    with OBS.tracer.span(
-        "faults.campaign",
-        cases=len(tasks),
-        workers=config.workers or 1,
-    ):
-        if config.workers and config.workers > 1:
-            cases = _run_parallel(
-                by_name, tasks, config.workers, config.case_timeout
-            )
+
+    checkpoint: CheckpointLog | None = None
+    completed: dict[str, dict] = {}
+    if wal_path is not None:
+        wal_file = Path(wal_path)
+        if not resume and wal_file.exists():
+            wal_file.unlink()
+        checkpoint = CheckpointLog(wal_file, run_key=config.run_key())
+        if resume:
+            completed = checkpoint.load()
+
+    results: dict[int, CaseResult] = {}
+    pending: list[tuple[int, tuple[str, FaultModel, str, str]]] = []
+    for index, task in enumerate(tasks):
+        replayed = completed.get(case_key(*task))
+        if replayed is not None:
+            results[index] = CaseResult.from_dict(replayed)
         else:
-            cases = [
-                run_case(by_name[name], model, seed, mode)
-                for name, model, seed, mode in tasks
-            ]
+            pending.append((index, task))
+
+    try:
+        with OBS.tracer.span(
+            "faults.campaign",
+            cases=len(tasks),
+            workers=config.workers or 1,
+            resumed=len(results),
+        ):
+            if pending:
+                if config.workers and config.workers > 1:
+                    pending_tasks = [task for _, task in pending]
+                    ran = _run_parallel(
+                        by_name, pending_tasks, config, checkpoint
+                    )
+                    for (index, _), result in zip(pending, ran):
+                        results[index] = result
+                else:
+                    for index, task in pending:
+                        name, model, seed, mode = task
+                        results[index] = _run_case_serial(
+                            by_name[name],
+                            model,
+                            seed,
+                            mode,
+                            config.case_timeout,
+                            config.retry_attempts,
+                        )
+                        if checkpoint is not None:
+                            checkpoint.record(
+                                case_key(*task), results[index].to_dict()
+                            )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+    cases = [results[index] for index in range(len(tasks))]
     if OBS.enabled:
         registry = OBS.registry
         for case in cases:

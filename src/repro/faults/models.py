@@ -15,9 +15,11 @@ model                     corruption
 ``tt_selector_flip``      one bit of one 3-bit selector in one TT row
 ``tt_end_flip``           the E bit of one TT row
 ``tt_count_corruption``   the CT field of one TT row
+``tt_double_bit_flip``    two distinct stored bits of one TT row
 ``bbit_wrong_tt_index``   a BBIT row points at the wrong TT base index
 ``bbit_wrong_length``     a BBIT row's ``num_instructions`` is off
 ``bbit_stale_pc``         a BBIT row's CAM tag names a stale PC
+``bbit_double_bit_flip``  two distinct non-tag bits of one BBIT row
 ``image_bit_flip``        one stored bit of one encoded word
 ``image_3bit_flip``       three stored bits of one encoded word
 ``mid_block_entry``       the fetch stream jumps into an encoded block
@@ -26,10 +28,16 @@ model                     corruption
 ========================  ==================================================
 
 Models whose corruption the hardened path *guarantees* to detect or
-recover from (parity-protected table rows, protocol checks) carry
+recover from (SEC-DED-protected table rows, protocol checks) carry
 ``protected = True``; encoded-image flips do not — the image is digest
 -checked at load time but has no per-word runtime protection, exactly
 like instruction SRAM without ECC.
+
+With SEC-DED rows (PR 4) the single-bit table models
+(``tt_selector_flip``, ``tt_end_flip``, ``tt_count_corruption``,
+``bbit_wrong_tt_index``) are now *corrected* transparently rather than
+detected; the ``*_double_bit_flip`` models exercise the uncorrectable
+path (quarantine → detect / repair / degrade).
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.hw import integrity
 from repro.hw.bbit import BasicBlockIdentificationTable, BBITEntry
 from repro.hw.tt import TTEntry, TransformationTable
 
@@ -175,6 +184,31 @@ class TTCountCorruption(_TTRowFault):
         return self._done(tt_index=index, count=corrupted, was=entry.count)
 
 
+class TTDoubleBitFlip(_TTRowFault):
+    """Two distinct stored bits of one TT row flip — past SEC-DED's
+    correction power, so the row must be quarantined (detected,
+    repaired from the bundle, or degraded; never served)."""
+
+    name = "tt_double_bit_flip"
+
+    def inject(self, state, rng):
+        index, entry = self._pick_row(state, rng)
+        if entry is None:
+            return self._skip("TT is empty")
+        row_bits = integrity.tt_row_bits(entry.width)
+        positions = rng.sample(range(row_bits), 2)
+        data = integrity.tt_row_data(entry.selectors, entry.end, entry.count)
+        for position in positions:
+            data ^= 1 << position
+        selectors, end, count = integrity.tt_row_fields(data, entry.width)
+        self._overwrite(
+            state,
+            index,
+            TTEntry(selectors=selectors, end=end, count=count),
+        )
+        return self._done(tt_index=index, bits=sorted(positions))
+
+
 # ----------------------------------------------------------------------
 # BBIT corruptions
 # ----------------------------------------------------------------------
@@ -259,6 +293,40 @@ class BBITStalePC(_BBITRowFault):
         if entry.pc in state.bbit._parity:
             state.bbit._parity[stale] = state.bbit._parity.pop(entry.pc)
         return self._done(pc=stale, was=entry.pc)
+
+
+class BBITDoubleBitFlip(_BBITRowFault):
+    """Two distinct stored bits of one BBIT row flip, both outside the
+    CAM tag (a double-flipped tag simply never matches the probe line,
+    i.e. it degenerates to a miss rather than exercising the code)."""
+
+    name = "bbit_double_bit_flip"
+
+    def inject(self, state, rng):
+        entry = self._pick_row(state, rng)
+        if entry is None:
+            return self._skip("BBIT is empty")
+        positions = rng.sample(
+            range(
+                integrity.BBIT_PC_BITS,
+                integrity.bbit_row_bits(),
+            ),
+            2,
+        )
+        data = integrity.bbit_row_data(
+            entry.pc, entry.tt_index, entry.num_instructions
+        )
+        for position in positions:
+            data ^= 1 << position
+        pc, tt_index, num_instructions = integrity.bbit_row_fields(data)
+        self._overwrite(
+            state,
+            entry.pc,
+            BBITEntry(
+                pc=pc, tt_index=tt_index, num_instructions=num_instructions
+            ),
+        )
+        return self._done(pc=entry.pc, bits=sorted(positions))
 
 
 # ----------------------------------------------------------------------
@@ -381,9 +449,11 @@ DEFAULT_MODELS: tuple[FaultModel, ...] = (
     TTSelectorFlip(),
     TTEndFlip(),
     TTCountCorruption(),
+    TTDoubleBitFlip(),
     BBITWrongTTIndex(),
     BBITWrongLength(),
     BBITStalePC(),
+    BBITDoubleBitFlip(),
     ImageBitFlip(bits=1),
     ImageBitFlip(bits=3),
     MidBlockEntry(),

@@ -4,11 +4,17 @@ Outcome vocabulary (one per injected case):
 
 ``detected``
     Strict-mode decode raised a structured :class:`~repro.errors.ReproError`
-    (parity mismatch, protocol violation, truncation at finalize).
+    (uncorrectable table row, protocol violation, truncation at
+    finalize).
+``corrected``
+    Decode completed bit-identical to the original stream with no
+    recovery event, and the tables' SEC-DED logic corrected at least
+    one single-bit row error along the way — the self-healing path
+    working as designed.
 ``recovered``
-    Recover-mode decode completed, with the fault logged in the
-    decoder's ``recovery_events`` (degraded to pass-through, never
-    silently wrong without a trace).
+    Recover- or degraded-mode decode completed, with the fault logged
+    in the decoder's ``recovery_events`` (degraded to pass-through or
+    golden-image service, never silently wrong without a trace).
 ``silently-corrupted``
     Decode completed with no error and no recovery event, but the
     output differs from the original instruction stream — the failure
@@ -34,14 +40,25 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.runtime import atomic_write_text
+
 DETECTED = "detected"
+CORRECTED = "corrected"
 RECOVERED = "recovered"
 SILENT = "silently-corrupted"
 CRASHED = "crashed"
 MASKED = "masked"
 NOT_APPLICABLE = "not-applicable"
 
-OUTCOMES = (DETECTED, RECOVERED, SILENT, CRASHED, MASKED, NOT_APPLICABLE)
+OUTCOMES = (
+    DETECTED,
+    CORRECTED,
+    RECOVERED,
+    SILENT,
+    CRASHED,
+    MASKED,
+    NOT_APPLICABLE,
+)
 
 
 @dataclass
@@ -71,6 +88,20 @@ class CaseResult:
             "detail": self.detail,
             "error": self.error,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CaseResult":
+        """Rebuild a case from its WAL/report record (no duration —
+        replayed cases are deliberately timing-free)."""
+        return cls(
+            workload=data["workload"],
+            model=data["model"],
+            seed=data["seed"],
+            mode=data["mode"],
+            outcome=data["outcome"],
+            detail=data.get("detail") or {},
+            error=data.get("error"),
+        )
 
 
 @dataclass
@@ -115,11 +146,15 @@ class FaultCampaignReport:
         for key in keys:
             row = rows[key]
             manifested = (
-                row[DETECTED] + row[RECOVERED] + row[SILENT] + row[CRASHED]
+                row[DETECTED]
+                + row[CORRECTED]
+                + row[RECOVERED]
+                + row[SILENT]
+                + row[CRASHED]
             )
             row["manifested"] = manifested
             row["detection_or_recovery_rate"] = (
-                (row[DETECTED] + row[RECOVERED]) / manifested
+                (row[DETECTED] + row[CORRECTED] + row[RECOVERED]) / manifested
                 if manifested
                 else None
             )
@@ -173,39 +208,58 @@ class FaultCampaignReport:
 
     def format_table(self) -> str:
         header = (
-            f"{'model':<22s} {'mode':<8s} {'det':>4s} {'rec':>4s} "
-            f"{'sil':>4s} {'crash':>5s} {'mask':>4s} {'n/a':>4s} "
-            f"{'det-or-rec':>10s}"
+            f"{'model':<22s} {'mode':<8s} {'det':>4s} {'corr':>4s} "
+            f"{'rec':>4s} {'sil':>4s} {'crash':>5s} {'mask':>4s} "
+            f"{'n/a':>4s} {'det-or-rec':>10s}"
         )
         lines = [header, "-" * len(header)]
         for row in self.model_table():
             rate = row["detection_or_recovery_rate"]
             lines.append(
                 f"{row['model']:<22s} {row['mode']:<8s} "
-                f"{row[DETECTED]:>4d} {row[RECOVERED]:>4d} "
+                f"{row[DETECTED]:>4d} {row[CORRECTED]:>4d} "
+                f"{row[RECOVERED]:>4d} "
                 f"{row[SILENT]:>4d} {row[CRASHED]:>5d} "
                 f"{row[MASKED]:>4d} {row[NOT_APPLICABLE]:>4d} "
                 f"{'  --' if rate is None else f'{100 * rate:9.1f}%':>10s}"
             )
         return "\n".join(lines)
 
-    def to_dict(self) -> dict:
+    def to_dict(self, deterministic: bool = False) -> dict:
+        """Full report dict.  ``deterministic=True`` zeroes every
+        wall-clock aggregate (timings vary run to run; the resume
+        contract promises byte-identical reports, so resumable runs
+        must write the deterministic form)."""
+        summary = self.model_table()
+        if deterministic:
+            for row in summary:
+                row["total_seconds"] = 0.0
+                row["mean_seconds"] = None
+                row["slowest_seconds"] = None
+                row["slowest_seed"] = None
         return {
             "config": self.config,
-            "summary": self.model_table(),
+            "summary": summary,
             "protected_ok": self.protected_ok(),
             "silent_corruptions": len(self.silent_cases()),
-            "total_seconds": sum(
-                c.duration_seconds or 0.0 for c in self.cases
+            "total_seconds": (
+                0.0
+                if deterministic
+                else sum(c.duration_seconds or 0.0 for c in self.cases)
             ),
-            "slowest_case": self.slowest_case(),
+            "slowest_case": None if deterministic else self.slowest_case(),
             "cases": [case.to_dict() for case in self.cases],
         }
 
-    def to_json(self) -> str:
-        return json.dumps(self.to_dict(), indent=1)
+    def to_json(self, deterministic: bool = False) -> str:
+        return json.dumps(self.to_dict(deterministic=deterministic), indent=1)
 
-    def write(self, path: str = "FAULTS_report.json") -> Path:
+    def write(
+        self,
+        path: str = "FAULTS_report.json",
+        deterministic: bool = False,
+    ) -> Path:
         target = Path(path)
-        target.write_text(self.to_json())
+        # Atomic: a crash mid-write can never leave a truncated report.
+        atomic_write_text(target, self.to_json(deterministic=deterministic))
         return target

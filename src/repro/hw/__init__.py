@@ -12,6 +12,7 @@ from repro.errors import TableCapacityError, TableIntegrityError
 from repro.hw.tt import TTEntry, TransformationTable
 from repro.hw.bbit import BBITEntry, BasicBlockIdentificationTable
 from repro.hw.fetch_decoder import FetchDecoder, DecodeFault
+from repro.hw.scrubber import ScrubReport, TableScrubber
 from repro.hw.cost import HardwareCost, estimate_cost
 
 __all__ = [
@@ -21,6 +22,8 @@ __all__ = [
     "BasicBlockIdentificationTable",
     "FetchDecoder",
     "DecodeFault",
+    "TableScrubber",
+    "ScrubReport",
     "TableCapacityError",
     "TableIntegrityError",
     "HardwareCost",

@@ -39,6 +39,25 @@ The engine runs in one of two modes:
     output for the abandoned block is, of course, the raw stored
     words — recovery trades silent mis-decoding for an *explicit*
     degraded region that software can act on.
+
+``degraded``
+    The strongest fallback, available when a golden (pre-encoding)
+    image lookup is attached.  On unrecoverable TT/BBIT corruption the
+    engine *demotes* the affected block: its addresses move from
+    :attr:`FetchDecoder.encoded_region` into
+    :attr:`FetchDecoder.degraded_region` and every subsequent fetch of
+    them is served from the golden image — so the decoded stream stays
+    bit-identical to the original program, at the cost of losing the
+    power benefit for that block.  Each demotion is counted
+    (``decoder.degradations``) alongside the per-fetch
+    ``decoder.golden_served`` volume.  After the scrubber repairs the
+    tables from a golden bundle, :meth:`FetchDecoder.restore_degraded`
+    re-arms the demoted blocks.
+
+Note the single-bit story never reaches any of these modes: the
+tables' SEC-DED rows correct one flipped bit transparently inside
+:meth:`TransformationTable.read` / BBIT ``lookup``, so only
+uncorrectable (double-bit or worse) corruption surfaces here.
 """
 
 from __future__ import annotations
@@ -77,6 +96,7 @@ class FetchDecoder:
         encoded_region: set[int] | None = None,
         mode: str = "strict",
         recovery_event_capacity: int = DEFAULT_RECOVERY_EVENT_CAPACITY,
+        golden_lookup=None,
     ):
         if isinstance(block_size, bool) or not isinstance(block_size, int):
             raise TypeError(
@@ -84,8 +104,14 @@ class FetchDecoder:
             )
         if block_size < 2:
             raise ValueError("block size must be >= 2")
-        if mode not in ("strict", "recover"):
-            raise ValueError(f"mode must be 'strict' or 'recover', got {mode!r}")
+        if mode not in ("strict", "recover", "degraded"):
+            raise ValueError(
+                f"mode must be 'strict', 'recover' or 'degraded', got {mode!r}"
+            )
+        if mode == "degraded" and golden_lookup is None:
+            raise ValueError(
+                "degraded mode needs a golden_lookup (pc -> original word)"
+            )
         self.tt = tt
         self.bbit = bbit
         self.block_size = block_size
@@ -96,6 +122,12 @@ class FetchDecoder:
         self.encoded_region = (
             encoded_region if encoded_region is not None else set()
         )
+        #: Golden-image lookup (pc -> original word) backing degraded
+        #: mode; also usable by the scrubber's verification sweeps.
+        self.golden_lookup = golden_lookup
+        #: Addresses demoted out of :attr:`encoded_region` after an
+        #: unrecoverable fault; served from the golden image.
+        self.degraded_region: set[int] = set()
         self._active: _ActiveBlock | None = None
         self._history_word = 0
         self._expected_pc: int | None = None
@@ -121,6 +153,10 @@ class FetchDecoder:
         #: registry) instead of growing without bound.
         self.recovery_events: list[dict] = []
         self.recovery_events_dropped = 0
+        #: Degraded-mode bookkeeping: demotion events and the number
+        #: of fetches served straight from the golden image.
+        self.degradations = 0
+        self.golden_served_instructions = 0
 
     def reset(self) -> None:
         """Return to the idle state *and* zero all statistics, so a
@@ -135,8 +171,52 @@ class FetchDecoder:
         self.tt_reads = 0
         self.recovery_events = []
         self.recovery_events_dropped = 0
+        # degraded_region intentionally survives a reset: demotion is
+        # a persistent memory-layout change, not a per-trace statistic.
+        self.degradations = 0
+        self.golden_served_instructions = 0
+
+    def restore_degraded(self) -> int:
+        """Re-arm every demoted block (after the tables were repaired
+        from a golden bundle); returns how many addresses moved back
+        into the encoded region."""
+        restored = len(self.degraded_region)
+        self.encoded_region |= self.degraded_region
+        self.degraded_region.clear()
+        return restored
 
     # ------------------------------------------------------------------
+
+    def _degrade(
+        self, kind: str, pc: int, message: str, block: _ActiveBlock | None = None
+    ) -> None:
+        """Demote the faulting address — or, when the block extent is
+        known, the whole block — out of the encoded region."""
+        pcs = [pc]
+        if block is not None:
+            pcs = [
+                block.start_pc + 4 * i
+                for i in range(block.instructions_total)
+            ]
+        for addr in pcs:
+            self.encoded_region.discard(addr)
+            self.degraded_region.add(addr)
+        self.degradations += 1
+        self._recover(kind, pc, message)
+        if OBS.enabled:
+            OBS.registry.counter(
+                "decoder.degradations",
+                "blocks demoted to golden-image service after an "
+                "unrecoverable table fault",
+                kind=kind,
+            ).inc()
+
+    def _serve_golden(self, pc: int) -> int:
+        self.golden_served_instructions += 1
+        self._active = None
+        self._passthrough_run = False
+        self._expected_pc = None
+        return self.golden_lookup(pc)
 
     def _recover(self, kind: str, pc: int, message: str) -> None:
         if len(self.recovery_events) >= self.recovery_event_capacity:
@@ -159,6 +239,10 @@ class FetchDecoder:
 
     def fetch(self, pc: int, stored_word: int) -> int:
         """Process one fetch; returns the restored instruction word."""
+        if pc in self.degraded_region:
+            # The block was demoted after an unrecoverable fault: its
+            # stored words are untrustworthy, serve the golden image.
+            return self._serve_golden(pc)
         if self._active is not None and pc != self._expected_pc:
             # Taken branch out of the current block.
             self._active = None
@@ -189,6 +273,13 @@ class FetchDecoder:
                     if isinstance(fault, TableIntegrityError)
                     else "mid_block_entry"
                 )
+                if self.mode == "degraded":
+                    # The block extent is unknown (the BBIT row is the
+                    # thing that's broken): demote this address; the
+                    # block's remaining words demote themselves one by
+                    # one as their mid-block fetches fault here too.
+                    self._degrade(kind, pc, str(fault))
+                    return self._serve_golden(pc)
                 self._recover(kind, pc, str(fault))
                 self._passthrough_run = True
                 entry = None
@@ -217,6 +308,14 @@ class FetchDecoder:
             except TableIntegrityError as err:
                 if self.mode == "strict":
                     raise
+                if self.mode == "degraded":
+                    # The active block's extent is known: demote all of
+                    # it at once and serve this fetch from the golden
+                    # image (earlier words already decoded correctly).
+                    block = self._active
+                    self._active = None
+                    self._degrade("tt_integrity", pc, str(err), block=block)
+                    return self._serve_golden(pc)
                 # Abandon the block: this fetch and the rest of the
                 # block fall back to pass-through.
                 self._recover("tt_integrity", pc, str(err))
@@ -266,6 +365,15 @@ class FetchDecoder:
             "recoveries": len(self.recovery_events) + self.recovery_events_dropped,
             "recovery_events": list(self.recovery_events),
             "recovery_events_dropped": self.recovery_events_dropped,
+            "degradations": self.degradations,
+            "golden_served_instructions": self.golden_served_instructions,
+            "degraded_addresses": len(self.degraded_region),
+            "ecc_corrections": (
+                self.tt.ecc_corrections + self.bbit.ecc_corrections
+            ),
+            "ecc_double_faults": (
+                self.tt.ecc_double_faults + self.bbit.ecc_double_faults
+            ),
         }
 
     def publish_metrics(self, table_baseline: dict | None = None) -> None:
@@ -312,6 +420,11 @@ class FetchDecoder:
             + self.bbit.parity_failures
             - base.get("parity_failures", 0)
         )
+        registry.counter(
+            "decoder.golden_served",
+            "fetches served from the golden image for demoted blocks",
+            mode=self.mode,
+        ).inc(self.golden_served_instructions)
 
     def _table_baseline(self) -> dict:
         """Snapshot of the shared tables' cumulative counters, so a

@@ -1,30 +1,75 @@
-"""Parity words for the decode tables.
+"""SEC-DED codewords for the decode tables.
 
 The ASIC follow-on work treats table integrity as a first-class
 hardware concern: a flipped selector or a stale BBIT field silently
 yields wrong instructions, because the decoder has no other way to
-tell a corrupted table from a reprogrammed one.  The defence modelled
-here is the classic one — each table row carries a parity word
-computed over every stored field when the row is *written*, and every
-*read* recomputes and compares it before the row is used.
+tell a corrupted table from a reprogrammed one.  The original defence
+here was a per-row parity word (detection only); this module upgrades
+it to the scheme real table SRAMs ship with — **SEC-DED**: an extended
+Hamming code (single-error *correction*, double-error *detection*)
+over every stored field of a row, plus one overall parity bit.
 
-A 32-bit FNV-1a fold stands in for whatever ECC the silicon would
-actually use; what matters behaviourally is that any single corrupted
-field (including the CAM tag itself) mismatches with overwhelming
-probability, deterministically, and cheaply.
+Layout
+------
+
+Each row serialises its fields into one data word (LSB-first, field
+by field):
+
+* TT row:   ``width`` 3-bit selectors, the E bit, a 32-bit CT field.
+* BBIT row: 64-bit PC (the CAM tag), 32-bit TT index, 32-bit length.
+
+For ``m`` data bits the codeword adds ``r`` Hamming check bits
+(``2**r >= m + r + 1``) in the classic power-of-two positions of a
+1-indexed codeword, plus the overall parity bit — 9 check bits for
+both row formats.  The check bits are stored *beside* the row (the
+extra SRAM column), exactly like the parity word they replace.
+
+Decoding a row against its stored check word yields one of three
+outcomes:
+
+``clean``
+    Codeword consistent; the row is served as stored.
+``corrected``
+    Exactly one bit (data *or* check) flipped; the corrected data is
+    returned and the caller repairs the row in place.
+``uncorrectable``
+    A double-bit error (non-zero syndrome, even overall parity): the
+    row cannot be trusted and must be quarantined.
+
+Like every SEC-DED implementation, three or more flipped bits may
+alias to a "correctable" single-bit pattern — the guarantee covers
+one- and two-bit upsets, which is the standard soft-error budget the
+scrubber's sweep cadence is provisioned against.
+
+The legacy FNV-1a fold is kept (:func:`fold_words`) for callers that
+only need a cheap detection word.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from functools import lru_cache
+from typing import Iterable, Sequence
 
 _FNV_OFFSET = 0x811C9DC5
 _FNV_PRIME = 0x01000193
 _MASK32 = 0xFFFFFFFF
 
+#: Serialised field widths (bits).
+TT_SELECTOR_BITS = 3
+TT_COUNT_BITS = 32
+BBIT_PC_BITS = 64
+BBIT_INDEX_BITS = 32
+BBIT_LENGTH_BITS = 32
+
+CLEAN = "clean"
+CORRECTED = "corrected"
+UNCORRECTABLE = "uncorrectable"
+
 
 def fold_words(values: Iterable[int]) -> int:
-    """FNV-1a over a field sequence; order- and position-sensitive."""
+    """FNV-1a over a field sequence; order- and position-sensitive.
+
+    Legacy detection-only digest (the pre-SEC-DED parity word)."""
     acc = _FNV_OFFSET
     for value in values:
         acc = ((acc ^ (value & _MASK32)) * _FNV_PRIME) & _MASK32
@@ -36,12 +81,166 @@ def fold_words(values: Iterable[int]) -> int:
     return acc
 
 
-def tt_entry_parity(selectors: Iterable[int], end: bool, count: int) -> int:
-    """Parity word over every stored field of one TT row."""
-    return fold_words([*selectors, int(end), count])
+# ----------------------------------------------------------------------
+# Extended Hamming (SEC-DED)
+# ----------------------------------------------------------------------
 
 
-def bbit_entry_parity(pc: int, tt_index: int, num_instructions: int) -> int:
-    """Parity word over every stored field of one BBIT row,
+@lru_cache(maxsize=8)
+def _layout(m: int) -> tuple[int, tuple[int, ...]]:
+    """For ``m`` data bits: the check-bit count ``r`` and the codeword
+    position of every data bit (1-indexed; powers of two are check
+    positions)."""
+    r = 0
+    while (1 << r) < m + r + 1:
+        r += 1
+    positions = []
+    pos = 1
+    while len(positions) < m:
+        if pos & (pos - 1):  # not a power of two -> data position
+            positions.append(pos)
+        pos += 1
+    return r, tuple(positions)
+
+
+def secded_check_bits(m: int) -> int:
+    """Stored check-word width for ``m`` data bits (Hamming bits plus
+    the overall parity bit)."""
+    return _layout(m)[0] + 1
+
+
+def secded_encode(data: int, m: int) -> int:
+    """Check word for ``m`` data bits: ``r`` Hamming bits in the low
+    bits (bit ``j`` covers codeword positions with bit ``j`` set) and
+    the overall parity bit at bit ``r`` (even parity over the whole
+    codeword)."""
+    r, positions = _layout(m)
+    syndrome = 0
+    ones = 0
+    for i in range(m):
+        if (data >> i) & 1:
+            syndrome ^= positions[i]
+            ones ^= 1
+    # Each Hamming bit makes its coverage class even, so the encoded
+    # syndrome of the full codeword is zero.
+    check = syndrome
+    for j in range(r):
+        if (syndrome >> j) & 1:
+            ones ^= 1
+    return check | (ones << r)
+
+
+def secded_decode(data: int, m: int, check: int) -> tuple[str, int, int]:
+    """Validate ``data`` against its stored ``check`` word.
+
+    Returns ``(status, corrected_data, corrected_check)`` where status
+    is :data:`CLEAN`, :data:`CORRECTED` (single-bit error fixed — in
+    the data or in the check word itself) or :data:`UNCORRECTABLE`
+    (double-bit error)."""
+    r, positions = _layout(m)
+    stored_hamming = check & ((1 << r) - 1)
+    stored_overall = (check >> r) & 1
+    syndrome = 0
+    ones = stored_overall
+    for i in range(m):
+        if (data >> i) & 1:
+            syndrome ^= positions[i]
+            ones ^= 1
+    for j in range(r):
+        if (stored_hamming >> j) & 1:
+            syndrome ^= 1 << j
+            ones ^= 1
+    if syndrome == 0 and ones == 0:
+        return CLEAN, data, check
+    if ones == 1:
+        # Odd overall parity: a single-bit error at position
+        # ``syndrome`` (0 means the overall parity bit itself).
+        if syndrome == 0:
+            return CORRECTED, data, check ^ (1 << r)
+        if syndrome & (syndrome - 1) == 0:
+            # A Hamming check bit flipped; the data is intact.
+            bit = syndrome.bit_length() - 1
+            return CORRECTED, data, check ^ (1 << bit)
+        try:
+            index = positions.index(syndrome)
+        except ValueError:
+            # Syndrome points past the codeword: >= 3 bits flipped.
+            return UNCORRECTABLE, data, check
+        return CORRECTED, data ^ (1 << index), check
+    # Even overall parity with a non-zero syndrome: two bits flipped.
+    return UNCORRECTABLE, data, check
+
+
+# ----------------------------------------------------------------------
+# Row serialisation
+# ----------------------------------------------------------------------
+
+
+def tt_row_bits(width: int) -> int:
+    """Serialised TT-row width: ``width`` selectors, E, CT."""
+    return TT_SELECTOR_BITS * width + 1 + TT_COUNT_BITS
+
+
+def tt_row_data(selectors: Sequence[int], end: bool, count: int) -> int:
+    """Pack one TT row's stored fields into a data word, LSB-first."""
+    data = 0
+    shift = 0
+    for selector in selectors:
+        data |= (selector & 0b111) << shift
+        shift += TT_SELECTOR_BITS
+    data |= (1 if end else 0) << shift
+    shift += 1
+    data |= (count & ((1 << TT_COUNT_BITS) - 1)) << shift
+    return data
+
+
+def tt_row_fields(data: int, width: int) -> tuple[tuple[int, ...], bool, int]:
+    """Unpack :func:`tt_row_data` back into ``(selectors, end, count)``."""
+    selectors = []
+    shift = 0
+    for _ in range(width):
+        selectors.append((data >> shift) & 0b111)
+        shift += TT_SELECTOR_BITS
+    end = bool((data >> shift) & 1)
+    shift += 1
+    count = (data >> shift) & ((1 << TT_COUNT_BITS) - 1)
+    return tuple(selectors), end, count
+
+
+def tt_row_ecc(selectors: Sequence[int], end: bool, count: int) -> int:
+    """SEC-DED check word over every stored field of one TT row."""
+    return secded_encode(
+        tt_row_data(selectors, end, count), tt_row_bits(len(selectors))
+    )
+
+
+def bbit_row_bits() -> int:
+    return BBIT_PC_BITS + BBIT_INDEX_BITS + BBIT_LENGTH_BITS
+
+
+def bbit_row_data(pc: int, tt_index: int, num_instructions: int) -> int:
+    """Pack one BBIT row (including the CAM tag) into a data word."""
+    data = pc & ((1 << BBIT_PC_BITS) - 1)
+    data |= (tt_index & ((1 << BBIT_INDEX_BITS) - 1)) << BBIT_PC_BITS
+    data |= (num_instructions & ((1 << BBIT_LENGTH_BITS) - 1)) << (
+        BBIT_PC_BITS + BBIT_INDEX_BITS
+    )
+    return data
+
+
+def bbit_row_fields(data: int) -> tuple[int, int, int]:
+    """Unpack :func:`bbit_row_data` into ``(pc, tt_index, length)``."""
+    pc = data & ((1 << BBIT_PC_BITS) - 1)
+    tt_index = (data >> BBIT_PC_BITS) & ((1 << BBIT_INDEX_BITS) - 1)
+    num_instructions = (data >> (BBIT_PC_BITS + BBIT_INDEX_BITS)) & (
+        (1 << BBIT_LENGTH_BITS) - 1
+    )
+    return pc, tt_index, num_instructions
+
+
+def bbit_row_ecc(pc: int, tt_index: int, num_instructions: int) -> int:
+    """SEC-DED check word over every stored field of one BBIT row,
     including the CAM tag (the PC)."""
-    return fold_words([pc, tt_index, num_instructions])
+    return secded_encode(
+        bbit_row_data(pc, tt_index, num_instructions), bbit_row_bits()
+    )

@@ -1,0 +1,205 @@
+"""Background scrubbing for the decode-table SRAMs.
+
+SEC-DED (see :mod:`repro.hw.integrity`) corrects one flipped bit per
+row — but only per *accumulation window*: two soft errors landing in
+the same row between reads become uncorrectable.  Real table memories
+therefore pair the code with a **scrubber**, a background walker that
+re-reads every row on a fixed cadence so single-bit upsets are cleaned
+long before a second one can join them.
+
+:class:`TableScrubber` models exactly that:
+
+* :meth:`TableScrubber.tick` advances a cycle counter; every
+  ``cadence`` ticks it triggers a full :meth:`TableScrubber.sweep`.
+* A sweep walks every TT row and every BBIT row, correcting single-bit
+  errors in place (the tables count them in ``ecc_corrections`` /
+  ``hw.ecc_corrections``) and quarantining uncorrectable rows.
+* With a golden :class:`~repro.pipeline.bundle.EncodingBundle`
+  attached — the bundle the tables were built from — quarantined rows
+  are **repaired** from the bundle instead of staying dead, and the
+  BBIT is additionally cross-checked against the bundle's row set, so
+  even an aliased multi-bit corruption (one that fooled the code) or a
+  stale CAM tag is caught and rewritten.
+* When a :class:`~repro.hw.fetch_decoder.FetchDecoder` is attached and
+  a repairing sweep leaves no quarantined rows, the decoder's demoted
+  (degraded) blocks are re-armed via ``restore_degraded``.
+
+Each sweep is summarised in a :class:`ScrubReport` and counted on the
+metrics registry (``hw.scrub_sweeps``, ``hw.scrub_rows_checked``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.bbit import BasicBlockIdentificationTable, BBITEntry
+from repro.hw.tt import TransformationTable, TTEntry
+from repro.obs import OBS
+
+DEFAULT_CADENCE = 64
+
+
+@dataclass
+class ScrubReport:
+    """Outcome tallies for one sweep (or a merged run of sweeps)."""
+
+    rows_checked: int = 0
+    corrected: int = 0
+    quarantined: int = 0
+    repaired: int = 0
+    dropped: int = 0
+    restored_addresses: int = 0
+
+    def merge(self, other: "ScrubReport") -> "ScrubReport":
+        for key in vars(self):
+            setattr(self, key, getattr(self, key) + getattr(other, key))
+        return self
+
+    def to_dict(self) -> dict:
+        return dict(vars(self))
+
+
+@dataclass
+class TableScrubber:
+    """Cadenced SEC-DED sweep over one TT/BBIT pair.
+
+    ``bundle`` (optional) must be the golden
+    :class:`~repro.pipeline.bundle.EncodingBundle` the tables were
+    materialised from (``build_tables`` installs rows in bundle list
+    order, so TT row ``i`` corresponds to ``bundle.tt_entries[i]``).
+    """
+
+    tt: TransformationTable
+    bbit: BasicBlockIdentificationTable
+    cadence: int = DEFAULT_CADENCE
+    bundle: object | None = None
+    decoder: object | None = None
+    sweeps: int = 0
+    _cycles: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cadence < 1:
+            raise ValueError("scrub cadence must be >= 1")
+
+    def attach_bundle(self, bundle) -> None:
+        """Arm golden-repair using the bundle the tables came from."""
+        self.bundle = bundle
+
+    def attach_decoder(self, decoder) -> None:
+        """Let clean repair sweeps re-arm the decoder's demoted blocks."""
+        self.decoder = decoder
+
+    def tick(self, cycles: int = 1) -> ScrubReport | None:
+        """Advance the cycle counter; runs a sweep (returning its
+        report) each time the cadence elapses, else returns None."""
+        if cycles < 0:
+            raise ValueError("cycles must be >= 0")
+        self._cycles += cycles
+        report: ScrubReport | None = None
+        while self._cycles >= self.cadence:
+            self._cycles -= self.cadence
+            swept = self.sweep()
+            report = swept if report is None else report.merge(swept)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _golden_tt_entry(self, index: int) -> TTEntry | None:
+        if self.bundle is None:
+            return None
+        entries = self.bundle.tt_entries
+        if index >= len(entries):
+            return None
+        raw = entries[index]
+        return TTEntry(
+            selectors=tuple(raw["selectors"]),
+            end=bool(raw["end"]),
+            count=int(raw["count"]),
+        )
+
+    def _golden_bbit_rows(self) -> dict[int, BBITEntry] | None:
+        if self.bundle is None:
+            return None
+        return {
+            int(raw["pc"]): BBITEntry(
+                pc=int(raw["pc"]),
+                tt_index=int(raw["tt_index"]),
+                num_instructions=int(raw["num_instructions"]),
+            )
+            for raw in self.bundle.bbit_entries
+        }
+
+    def sweep(self) -> ScrubReport:
+        """Walk every row of both tables once."""
+        report = ScrubReport()
+        self._sweep_tt(report)
+        self._sweep_bbit(report)
+        self.sweeps += 1
+        if (
+            self.decoder is not None
+            and self.bundle is not None
+            and not self.tt.quarantined
+            and not self.bbit.quarantined
+        ):
+            report.restored_addresses += self.decoder.restore_degraded()
+        if OBS.enabled:
+            OBS.registry.counter(
+                "hw.scrub_sweeps", "full table scrub sweeps"
+            ).inc()
+            OBS.registry.counter(
+                "hw.scrub_rows_checked", "table rows walked by the scrubber"
+            ).inc(report.rows_checked)
+        return report
+
+    def _sweep_tt(self, report: ScrubReport) -> None:
+        for index in range(len(self.tt.entries)):
+            was_quarantined = index in self.tt.quarantined
+            status = self.tt.check_row(index)
+            report.rows_checked += 1
+            if status == "corrected":
+                report.corrected += 1
+            elif status == "quarantined":
+                if not was_quarantined:
+                    report.quarantined += 1
+                golden = self._golden_tt_entry(index)
+                if golden is not None:
+                    self.tt.repair_row(index, golden)
+                    report.repaired += 1
+
+    def _sweep_bbit(self, report: ScrubReport) -> None:
+        golden = self._golden_bbit_rows()
+        for pc in list(self.bbit._by_pc) + [
+            pc for pc in self.bbit.quarantined if pc not in self.bbit._by_pc
+        ]:
+            was_quarantined = pc in self.bbit.quarantined
+            status = self.bbit.check_row(pc)
+            report.rows_checked += 1
+            if status == "corrected":
+                report.corrected += 1
+            elif status == "quarantined":
+                if not was_quarantined:
+                    report.quarantined += 1
+                if golden is not None:
+                    if pc in golden:
+                        self.bbit.repair_row(golden[pc])
+                        report.repaired += 1
+                    else:
+                        # No golden row under this tag: the tag itself
+                        # is corrupt; drop it (the true row is restored
+                        # by the cross-check below).
+                        self.bbit.drop_row(pc)
+                        report.dropped += 1
+        if golden is None:
+            return
+        # Cross-check against the golden row set: catches aliased
+        # multi-bit corruptions that still satisfy the code, and stale
+        # CAM tags that moved a consistent row under the wrong key.
+        for pc in list(self.bbit._by_pc):
+            if pc not in golden:
+                self.bbit.drop_row(pc)
+                report.dropped += 1
+        for pc, entry in golden.items():
+            stored = self.bbit.peek(pc)
+            if stored != entry:
+                self.bbit.repair_row(entry)
+                report.repaired += 1

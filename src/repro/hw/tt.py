@@ -20,7 +20,8 @@ from typing import Sequence
 
 from repro.core.program_codec import BlockEncoding
 from repro.errors import TableCapacityError, TableIntegrityError
-from repro.hw.integrity import tt_entry_parity
+from repro.hw import integrity
+from repro.obs import OBS
 
 # Selector indices, fixed by repro.core.transformations.OPTIMAL_SET:
 # 0=x 1=~x 2=y 3=~y 4=xor 5=xnor 6=nor 7=nand
@@ -103,10 +104,14 @@ class TransformationTable:
     entering a new application hot spot.
 
     With ``parity=True`` every row written through :meth:`install` /
-    :meth:`write` / :meth:`allocate` carries a parity word; each
-    :meth:`read` recomputes and compares it, raising
-    :class:`~repro.errors.TableIntegrityError` on mismatch (the
-    hardened decode path of the fault-injection campaign).
+    :meth:`write` / :meth:`allocate` carries a SEC-DED check word
+    (:mod:`repro.hw.integrity`); each :meth:`read` validates it.  A
+    single flipped bit is **corrected in place** (counted in
+    :attr:`ecc_corrections` and the ``hw.ecc_corrections`` metric); a
+    double-bit error **quarantines** the row and raises
+    :class:`~repro.errors.TableIntegrityError`.  Quarantined rows stay
+    unreadable until :meth:`repair_row` (the scrubber's golden-bundle
+    path) rewrites them.
     """
 
     def __init__(self, capacity: int = 16, width: int = 32, parity: bool = False):
@@ -116,16 +121,23 @@ class TransformationTable:
         self.width = width
         self.parity_enabled = parity
         self.entries: list[TTEntry] = []
-        #: Parity word per row, written alongside the row itself;
-        #: mutating ``entries`` directly (as a fault would) leaves the
-        #: stored parity stale, which is exactly what a read detects.
+        #: SEC-DED check word per row, written alongside the row
+        #: itself; mutating ``entries`` directly (as a fault would)
+        #: leaves the stored check word stale, which is exactly what a
+        #: read corrects or detects.
         self._parity: list[int] = []
+        #: Row indices whose last check found an uncorrectable
+        #: (double-bit) error; unreadable until repaired.
+        self.quarantined: set[int] = set()
         #: Activity counters, published onto the metrics registry by
         #: whoever drives the table (the fetch decoder, the flow).
         self.reads = 0
         self.writes = 0
         self.parity_checks = 0
         self.parity_failures = 0
+        self.ecc_corrections = 0
+        self.ecc_double_faults = 0
+        self.repairs = 0
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -137,21 +149,23 @@ class TransformationTable:
     def clear(self) -> None:
         self.entries.clear()
         self._parity.clear()
+        self.quarantined.clear()
 
     # ------------------------------------------------------------------
     # Checked access
     # ------------------------------------------------------------------
 
+    def _row_ecc(self, entry: TTEntry) -> int:
+        return integrity.tt_row_ecc(entry.selectors, entry.end, entry.count)
+
     def install(self, entry: TTEntry) -> int:
-        """Append one row (with its parity word); returns its index."""
+        """Append one row (with its check word); returns its index."""
         if len(self.entries) >= self.capacity:
             raise TableCapacityError(
                 f"TT full ({self.capacity} entries); cannot install another"
             )
         self.entries.append(entry)
-        self._parity.append(
-            tt_entry_parity(entry.selectors, entry.end, entry.count)
-        )
+        self._parity.append(self._row_ecc(entry))
         self.writes += 1
         return len(self.entries) - 1
 
@@ -165,42 +179,96 @@ class TransformationTable:
         while len(self.entries) <= index:
             self.install(TTEntry.identity(self.width))
         self.entries[index] = entry
-        self._parity[index] = tt_entry_parity(
-            entry.selectors, entry.end, entry.count
+        self._parity[index] = self._row_ecc(entry)
+        self.quarantined.discard(index)
+
+    def check_row(self, index: int) -> str:
+        """Validate one populated row against its stored check word
+        without raising: corrects a single-bit error in place and
+        returns ``"clean"`` / ``"corrected"`` / ``"quarantined"``.
+        The scrubber's sweep primitive; :meth:`read` layers the
+        raising behaviour on top."""
+        if index in self.quarantined:
+            return "quarantined"
+        entry = self.entries[index]
+        if index >= len(self._parity):
+            # A row with no check word at all (direct population
+            # without seal()): treat as uncorrectable.
+            self.quarantined.add(index)
+            self.ecc_double_faults += 1
+            return "quarantined"
+        data = integrity.tt_row_data(entry.selectors, entry.end, entry.count)
+        status, fixed_data, fixed_check = integrity.secded_decode(
+            data, integrity.tt_row_bits(entry.width), self._parity[index]
         )
+        if status == integrity.CLEAN:
+            return "clean"
+        if status == integrity.CORRECTED:
+            selectors, end, count = integrity.tt_row_fields(
+                fixed_data, entry.width
+            )
+            self.entries[index] = TTEntry(
+                selectors=selectors, end=end, count=count
+            )
+            self._parity[index] = fixed_check
+            self.ecc_corrections += 1
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "hw.ecc_corrections",
+                    "single-bit table-row errors corrected by SEC-DED",
+                    table="tt",
+                ).inc()
+            return "corrected"
+        self.quarantined.add(index)
+        self.ecc_double_faults += 1
+        if OBS.enabled:
+            OBS.registry.counter(
+                "hw.ecc_double_faults",
+                "uncorrectable (double-bit) table-row errors",
+                table="tt",
+            ).inc()
+        return "quarantined"
 
     def read(self, index: int) -> TTEntry:
-        """Checked row read: bounds, then parity (when enabled)."""
+        """Checked row read: bounds, then SEC-DED (when enabled).
+
+        A single-bit upset is corrected transparently; an
+        uncorrectable or quarantined row raises
+        :class:`~repro.errors.TableIntegrityError`."""
         self.reads += 1
         if not 0 <= index < len(self.entries):
             raise TableIntegrityError(
                 f"TT read at index {index} outside the populated range "
                 f"[0, {len(self.entries)})"
             )
-        entry = self.entries[index]
         if self.parity_enabled:
             self.parity_checks += 1
-            if index >= len(self._parity):
+            status = self.check_row(index)
+            if status == "quarantined":
                 self.parity_failures += 1
                 raise TableIntegrityError(
-                    f"TT entry {index} has no stored parity word"
+                    f"TT entry {index} failed its SEC-DED check "
+                    "(uncorrectable error; row quarantined)"
                 )
-            expected = self._parity[index]
-            actual = tt_entry_parity(entry.selectors, entry.end, entry.count)
-            if actual != expected:
-                self.parity_failures += 1
-                raise TableIntegrityError(
-                    f"TT entry {index} parity mismatch "
-                    f"(stored {expected:#010x}, computed {actual:#010x})"
-                )
-        return entry
+        return self.entries[index]
+
+    def repair_row(self, index: int, entry: TTEntry) -> None:
+        """Rewrite one row from a trusted source (the golden bundle),
+        lifting its quarantine."""
+        self.write(index, entry)
+        self.repairs += 1
+        if OBS.enabled:
+            OBS.registry.counter(
+                "hw.rows_repaired",
+                "quarantined table rows rewritten from a golden source",
+                table="tt",
+            ).inc()
 
     def seal(self) -> None:
-        """Recompute every parity word from the current rows (for
+        """Recompute every check word from the current rows (for
         callers that populated ``entries`` directly)."""
-        self._parity = [
-            tt_entry_parity(e.selectors, e.end, e.count) for e in self.entries
-        ]
+        self._parity = [self._row_ecc(entry) for entry in self.entries]
+        self.quarantined.clear()
 
     def allocate(self, encoding: BlockEncoding) -> int:
         """Install a basic block's segment plans; returns the base

@@ -137,8 +137,11 @@ class RunReport:
         return data
 
     def write(self, path: str | Path = "RUN_report.json") -> Path:
+        from repro.runtime import atomic_write_text
+
         path = Path(path)
-        path.write_text(json.dumps(self.to_dict(), indent=1) + "\n")
+        # Atomic: a crash mid-write never leaves a truncated report.
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=1) + "\n")
         return path
 
 

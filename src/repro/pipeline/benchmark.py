@@ -109,8 +109,11 @@ class BenchReport:
         }
 
     def write(self, path: str | Path) -> Path:
+        from repro.runtime import atomic_write_text
+
         path = Path(path)
-        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        # Atomic: a crash mid-write never leaves a truncated report.
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2) + "\n")
         return path
 
     def format_table(self) -> str:

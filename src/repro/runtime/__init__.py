@@ -1,0 +1,41 @@
+"""Resilient-execution primitives for long campaigns.
+
+The fault-injection and sweep campaigns (``repro faults``,
+``repro experiment``) run thousands of seeded cases across a process
+pool; a flaky worker, a hung case or a mid-run SIGKILL used to cost
+the whole run.  This package holds the harness-independent pieces:
+
+``retry``
+    Exponential backoff with deterministic (seeded) jitter, plus a
+    circuit breaker that downgrades a pool to serial execution after
+    N consecutive worker failures.
+``checkpoint``
+    A JSONL write-ahead log of completed cases so an interrupted
+    campaign resumes where it stopped, and atomic artifact writes
+    (tmp + fsync + ``os.replace``) so a crash can never leave a
+    truncated JSON report.
+``deadline``
+    Per-task wall-clock deadlines that work in the serial path too
+    (SIGALRM on a Unix main thread, a watchdog join elsewhere).
+"""
+
+from repro.runtime.checkpoint import (
+    CheckpointLog,
+    atomic_write_text,
+)
+from repro.runtime.deadline import DeadlineExceeded, run_with_deadline
+from repro.runtime.retry import (
+    BackoffPolicy,
+    CircuitBreaker,
+    retry_call,
+)
+
+__all__ = [
+    "atomic_write_text",
+    "CheckpointLog",
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "retry_call",
+    "DeadlineExceeded",
+    "run_with_deadline",
+]

@@ -1,0 +1,166 @@
+"""Write-ahead checkpointing and atomic artifact writes.
+
+Two failure modes killed long campaigns before this module existed:
+
+* a mid-run SIGKILL threw away every completed case, and
+* a crash *during* ``Path.write_text`` of a report left a truncated
+  JSON file that downstream tooling then choked on.
+
+:func:`atomic_write_text` fixes the second: the content goes to a
+temporary file in the destination directory, is flushed and fsynced,
+and only then renamed over the target with ``os.replace`` — so the
+artifact is always either the complete old version or the complete
+new one.
+
+:class:`CheckpointLog` fixes the first with the standard
+write-ahead-log shape: one JSON line per completed unit of work,
+fsynced on append.  On resume the log is replayed (tolerating a
+truncated final line, the expected artifact of dying mid-append) and
+completed keys are skipped.  The log is keyed by a ``run_key`` derived
+from the campaign configuration, so a resume with a *different*
+configuration refuses to mix results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.obs import OBS
+
+
+class CheckpointMismatchError(ReproError):
+    """Resume attempted against a WAL from a different run config."""
+
+
+def atomic_write_text(path: Path | str, content: str) -> None:
+    """Crash-safe replacement for ``Path.write_text``.
+
+    Writes to a temp file in the same directory (same filesystem, so
+    the rename is atomic), fsyncs it, then ``os.replace``\\ s it over
+    ``path``.  Readers never observe a partial file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(content)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class CheckpointLog:
+    """JSONL write-ahead log of completed work units.
+
+    Record shape: the first line is a header ``{"run_key": ...}``;
+    every subsequent line is ``{"key": <case key>, "result": <dict>}``.
+    Appends are fsynced so a completed case survives any subsequent
+    kill; a half-written trailing line (the signature of dying
+    mid-append) is ignored on load.
+    """
+
+    def __init__(self, path: Path | str, run_key: str):
+        self.path = Path(path)
+        self.run_key = run_key
+        self.completed: dict[str, dict] = {}
+        self._handle = None
+
+    # -- loading -------------------------------------------------------
+
+    def load(self) -> dict[str, dict]:
+        """Replay the log (if it exists) into :attr:`completed`.
+
+        Raises :class:`CheckpointMismatchError` when the log belongs
+        to a different run configuration."""
+        self.completed = {}
+        if not self.path.exists():
+            return self.completed
+        with self.path.open("r", encoding="utf-8") as handle:
+            lines = handle.read().split("\n")
+        header_seen = False
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # Truncated or torn line — the tail of a killed append.
+                continue
+            if not header_seen:
+                header_seen = True
+                logged_key = record.get("run_key")
+                if logged_key != self.run_key:
+                    raise CheckpointMismatchError(
+                        f"checkpoint log {self.path} belongs to run "
+                        f"{logged_key!r}, not {self.run_key!r}; refusing "
+                        "to mix results (delete it to start over)"
+                    )
+                continue
+            key = record.get("key")
+            if isinstance(key, str):
+                self.completed[key] = record.get("result", {})
+        if OBS.enabled and self.completed:
+            OBS.registry.counter(
+                "runtime.checkpoint_replayed",
+                "completed cases skipped thanks to a WAL replay",
+            ).inc(len(self.completed))
+        return self.completed
+
+    # -- appending -----------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._handle is not None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._handle = self.path.open("a", encoding="utf-8")
+        if fresh:
+            self._append_line({"run_key": self.run_key})
+
+    def _append_line(self, record: dict) -> None:
+        # Key order is preserved (no sort_keys): a replayed result must
+        # serialize byte-identically to the freshly computed one, and
+        # the caller's dicts are already built in deterministic order.
+        self._handle.write(
+            json.dumps(record, separators=(",", ":")) + "\n"
+        )
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record(self, key: str, result: dict) -> None:
+        """Durably mark one work unit complete."""
+        self._ensure_open()
+        self._append_line({"key": key, "result": result})
+        self.completed[key] = result
+        if OBS.enabled:
+            OBS.registry.counter(
+                "runtime.checkpoint_appends", "WAL records written"
+            ).inc()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.completed
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

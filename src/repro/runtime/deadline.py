@@ -1,0 +1,88 @@
+"""Per-task wall-clock deadlines that cover the serial path too.
+
+The process pool already bounds a case with ``future.result(timeout)``
+— but when the pool downgrades to serial execution that bound used to
+vanish, and one hung case could stall the whole campaign (the exact
+bug this module exists to fix).
+
+:func:`run_with_deadline` enforces a deadline on a plain function
+call.  On a Unix main thread it uses ``SIGALRM``/``setitimer`` — a
+genuine asynchronous interrupt that can break out of a hung pure-Python
+loop.  Anywhere else (worker threads, non-Unix platforms) it falls
+back to running the call in a daemon thread and abandoning it on
+timeout; the abandoned thread cannot be killed, but the campaign moves
+on, which is the property that matters.
+
+:class:`DeadlineExceeded` deliberately inherits from
+:class:`BaseException`, *not* :class:`Exception` (and not
+:class:`~repro.errors.ReproError`): campaign case runners classify
+``ReproError`` as a *detected* fault and ``Exception`` as a *crash* —
+a timeout must not masquerade as either, it has to fly past those
+handlers to the harness that knows it is a timeout.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+
+class DeadlineExceeded(BaseException):
+    """A deadline-guarded call ran out of wall-clock budget.
+
+    BaseException on purpose — see the module docstring."""
+
+    def __init__(self, seconds: float, what: str = "call"):
+        super().__init__(f"{what} exceeded its {seconds:g}s deadline")
+        self.seconds = seconds
+
+
+def _sigalrm_usable() -> bool:
+    return hasattr(signal, "setitimer") and (
+        threading.current_thread() is threading.main_thread()
+    )
+
+
+def _run_with_sigalrm(fn, seconds: float, what: str):
+    def _on_alarm(signum, frame):
+        raise DeadlineExceeded(seconds, what)
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _run_with_watchdog(fn, seconds: float, what: str):
+    outcome: dict = {}
+
+    def _target():
+        try:
+            outcome["value"] = fn()
+        except BaseException as err:  # propagate into the caller
+            outcome["error"] = err
+
+    worker = threading.Thread(target=_target, daemon=True)
+    worker.start()
+    worker.join(seconds)
+    if worker.is_alive():
+        # The thread is abandoned (daemonic); the campaign moves on.
+        raise DeadlineExceeded(seconds, what)
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome.get("value")
+
+
+def run_with_deadline(fn, seconds: float | None, what: str = "call"):
+    """Run ``fn()`` with at most ``seconds`` of wall clock.
+
+    ``seconds=None`` (or <= 0) means no deadline.  Raises
+    :class:`DeadlineExceeded` on expiry."""
+    if seconds is None or seconds <= 0:
+        return fn()
+    if _sigalrm_usable():
+        return _run_with_sigalrm(fn, seconds, what)
+    return _run_with_watchdog(fn, seconds, what)

@@ -1,0 +1,132 @@
+"""Retry with deterministic backoff, and a pool circuit breaker.
+
+Campaign results must be reproducible byte-for-byte, so the jitter
+that decorrelates retry storms cannot come from ``random`` global
+state or the clock: :class:`BackoffPolicy` derives it from a caller
+seed, making every delay schedule a pure function of
+``(seed, attempt)``.
+
+:class:`CircuitBreaker` is the pool-health half: each worker failure
+feeds :meth:`CircuitBreaker.record_failure`, each success resets the
+streak, and once ``threshold`` *consecutive* failures accumulate the
+breaker trips — the campaign runner reacts by downgrading from the
+process pool to deadline-guarded serial execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+from repro.obs import OBS
+
+
+def _unit_interval(seed: str, attempt: int) -> float:
+    """Deterministic stand-in for ``random.random()``: a uniform
+    [0, 1) value derived from the seed and the attempt number."""
+    digest = hashlib.sha256(f"{seed}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with seeded full jitter.
+
+    Delay for attempt ``n`` (0-based) is uniform in
+    ``[0, min(cap, base * factor**n))`` — AWS-style "full jitter",
+    with the uniform draw seeded so reruns reproduce it exactly.
+    """
+
+    base: float = 0.05
+    factor: float = 2.0
+    cap: float = 2.0
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.factor < 1.0 or self.cap < 0:
+            raise ValueError("backoff parameters out of range")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def delay(self, attempt: int, seed: str = "") -> float:
+        """Jittered sleep before retry ``attempt`` (0-based)."""
+        ceiling = min(self.cap, self.base * self.factor**attempt)
+        return ceiling * _unit_interval(seed, attempt)
+
+
+def retry_call(
+    fn,
+    *,
+    policy: BackoffPolicy | None = None,
+    seed: str = "",
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    sleep=time.sleep,
+    on_retry=None,
+):
+    """Call ``fn()`` up to ``policy.max_attempts`` times.
+
+    Exceptions matching ``retry_on`` trigger a jittered backoff sleep
+    and another attempt; anything else (and the final failure)
+    propagates.  ``on_retry(attempt, delay, error)`` is invoked before
+    each sleep — campaign code uses it to log and count retries.
+    """
+    policy = policy or BackoffPolicy()
+    last: BaseException | None = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn()
+        except retry_on as err:  # noqa: PERF203 - retry loop by design
+            last = err
+            if attempt == policy.max_attempts - 1:
+                raise
+            pause = policy.delay(attempt, seed)
+            if on_retry is not None:
+                on_retry(attempt, pause, err)
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "runtime.retries",
+                    "retried calls after a transient failure",
+                    error=type(err).__name__,
+                ).inc()
+            if pause > 0:
+                sleep(pause)
+    raise last  # pragma: no cover - unreachable (loop raises first)
+
+
+@dataclass
+class CircuitBreaker:
+    """Trip after ``threshold`` *consecutive* failures.
+
+    The campaign runner polls :attr:`tripped` after each completed
+    case; once open, the pool is torn down and the remaining cases run
+    serially (each still under its own deadline).  The breaker stays
+    open — a downgrade is one-way within a run.
+    """
+
+    threshold: int = 3
+    consecutive_failures: int = field(default=0, init=False)
+    failures_total: int = field(default=0, init=False)
+    tripped: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> bool:
+        """Count one failure; returns True if this one tripped the
+        breaker."""
+        self.failures_total += 1
+        self.consecutive_failures += 1
+        if not self.tripped and self.consecutive_failures >= self.threshold:
+            self.tripped = True
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "runtime.breaker_trips",
+                    "circuit-breaker trips (pool downgraded to serial)",
+                ).inc()
+            return True
+        return False

@@ -1,0 +1,185 @@
+"""Kill/resume determinism: a campaign SIGKILLed mid-run and then
+resumed from its write-ahead log must produce a FAULTS_report.json
+byte-identical to an uninterrupted run."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.faults import CampaignConfig, MODELS_BY_NAME, run_campaign
+from repro.runtime.checkpoint import CheckpointMismatchError
+
+from tests.faults.test_campaign import _synthetic_target
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Slowdown per case inside the driver subprocess, so the parent can
+#: reliably SIGKILL it mid-campaign.
+CASE_DELAY = 0.05
+
+_DRIVER = """
+import sys, time
+from repro.faults import campaign as campaign_module
+from tests.faults.test_resume import _config
+from tests.faults.test_campaign import _synthetic_target
+
+_real_run_case = campaign_module.run_case
+
+def _slow_run_case(*args, **kwargs):
+    time.sleep({delay})
+    return _real_run_case(*args, **kwargs)
+
+campaign_module.run_case = _slow_run_case
+campaign_module.run_campaign(
+    _config(), targets=[_synthetic_target()], wal_path=sys.argv[1]
+)
+"""
+
+
+def _config() -> CampaignConfig:
+    models = tuple(
+        MODELS_BY_NAME[name]
+        for name in (
+            "tt_selector_flip",
+            "tt_double_bit_flip",
+            "bbit_wrong_tt_index",
+        )
+    )
+    return CampaignConfig(
+        workloads=("synthetic",), trials=2, seed=99, models=models
+    )
+
+
+def _wal_data_lines(path: Path) -> int:
+    if not path.exists():
+        return 0
+    lines = [l for l in path.read_text().splitlines() if l.strip()]
+    return max(0, len(lines) - 1)  # minus the run_key header
+
+
+def _spawn_driver(wal: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{REPO_ROOT / 'src'}:{REPO_ROOT}"
+    return subprocess.Popen(
+        [sys.executable, "-c", _DRIVER.format(delay=CASE_DELAY), str(wal)],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+class TestKillResumeDeterminism:
+    def test_sigkilled_campaign_resumes_byte_identical(self, tmp_path):
+        config = _config()
+        total_cases = (
+            len(config.models) * config.trials * len(config.modes)
+        )
+        kill_after = 4
+        assert kill_after < total_cases
+
+        wal = tmp_path / "campaign.wal"
+        driver = _spawn_driver(wal)
+        deadline = time.monotonic() + 60.0
+        try:
+            while _wal_data_lines(wal) < kill_after:
+                if driver.poll() is not None:
+                    pytest.fail(
+                        "driver finished before it could be killed "
+                        f"(rc={driver.returncode})"
+                    )
+                if time.monotonic() > deadline:
+                    pytest.fail("driver never reached the kill point")
+                time.sleep(0.01)
+            driver.send_signal(signal.SIGKILL)
+            driver.wait(timeout=30.0)
+        finally:
+            if driver.poll() is None:  # pragma: no cover - cleanup
+                driver.kill()
+                driver.wait()
+
+        journaled = _wal_data_lines(wal)
+        assert kill_after <= journaled < total_cases
+
+        resumed = run_campaign(
+            config,
+            targets=[_synthetic_target()],
+            wal_path=wal,
+            resume=True,
+        )
+        assert len(resumed.cases) == total_cases
+
+        uninterrupted = run_campaign(
+            config, targets=[_synthetic_target()]
+        )
+        resumed_path = resumed.write(
+            tmp_path / "FAULTS_resumed.json", deterministic=True
+        )
+        reference_path = uninterrupted.write(
+            tmp_path / "FAULTS_reference.json", deterministic=True
+        )
+        assert resumed_path.read_bytes() == reference_path.read_bytes()
+
+    def test_resume_skips_journaled_cases(self, tmp_path, monkeypatch):
+        from repro.faults import campaign as campaign_module
+
+        config = _config()
+        wal = tmp_path / "campaign.wal"
+        first = run_campaign(
+            config, targets=[_synthetic_target()], wal_path=wal
+        )
+        executed = {"n": 0}
+        real_run_case = campaign_module.run_case
+
+        def counting_run_case(*args, **kwargs):
+            executed["n"] += 1
+            return real_run_case(*args, **kwargs)
+
+        monkeypatch.setattr(campaign_module, "run_case", counting_run_case)
+        second = run_campaign(
+            config,
+            targets=[_synthetic_target()],
+            wal_path=wal,
+            resume=True,
+        )
+        assert executed["n"] == 0  # everything replayed from the WAL
+        assert len(second.cases) == len(first.cases)
+        assert [c.to_dict() for c in second.cases] == [
+            c.to_dict() for c in first.cases
+        ]
+
+    def test_resume_with_different_config_refuses(self, tmp_path):
+        wal = tmp_path / "campaign.wal"
+        run_campaign(
+            _config(), targets=[_synthetic_target()], wal_path=wal
+        )
+        changed = CampaignConfig(
+            workloads=("synthetic",),
+            trials=3,  # different case population
+            seed=99,
+            models=_config().models,
+        )
+        with pytest.raises(CheckpointMismatchError, match="refusing"):
+            run_campaign(
+                changed,
+                targets=[_synthetic_target()],
+                wal_path=wal,
+                resume=True,
+            )
+
+    def test_fresh_run_discards_stale_wal(self, tmp_path):
+        wal = tmp_path / "campaign.wal"
+        wal.write_text('{"run_key":"stale"}\n{"key":"x","result":{}}\n')
+        report = run_campaign(
+            _config(), targets=[_synthetic_target()], wal_path=wal
+        )
+        config = _config()
+        assert len(report.cases) == (
+            len(config.models) * config.trials * len(config.modes)
+        )
+        assert '"stale"' not in wal.read_text()

@@ -1,0 +1,191 @@
+"""Degraded-mode FetchDecoder tests: golden-image service after an
+unrecoverable table fault keeps the decoded stream bit-identical."""
+
+import random
+
+import pytest
+
+from repro.core.program_codec import encode_basic_block
+from repro.hw.bbit import BasicBlockIdentificationTable, BBITEntry
+from repro.hw.fetch_decoder import FetchDecoder
+from repro.hw.tt import TransformationTable, TTEntry
+
+BASE = 0x400000
+K = 5
+
+
+def _setup(num_words=13, seed=3):
+    rng = random.Random(seed)
+    words = [rng.getrandbits(32) for _ in range(num_words)]
+    encoding = encode_basic_block(words, K)
+    tt = TransformationTable(capacity=16, parity=True)
+    bbit = BasicBlockIdentificationTable(capacity=16, parity=True)
+    index = tt.allocate(encoding)
+    bbit.install(
+        BBITEntry(pc=BASE, tt_index=index, num_instructions=num_words)
+    )
+    stored = {
+        BASE + 4 * i: w for i, w in enumerate(encoding.encoded_words)
+    }
+    golden = {BASE + 4 * i: w for i, w in enumerate(words)}
+    region = set(golden)
+    return words, tt, bbit, stored, golden, region
+
+
+def _corrupt_tt_double_bit(tt, index):
+    """In-place double-bit row corruption (stale check word)."""
+    entry = tt.entries[index]
+    tt.entries[index] = TTEntry(
+        selectors=entry.selectors, end=entry.end, count=entry.count ^ 0b11
+    )
+
+
+def _run(decoder, addresses, stored):
+    return [decoder.fetch(pc, stored[pc]) for pc in addresses]
+
+
+class TestConstruction:
+    def test_degraded_requires_golden_lookup(self):
+        _, tt, bbit, _, _, _ = _setup()
+        with pytest.raises(ValueError, match="golden_lookup"):
+            FetchDecoder(tt, bbit, K, mode="degraded")
+
+    def test_unknown_mode_rejected(self):
+        _, tt, bbit, _, _, _ = _setup()
+        with pytest.raises(ValueError, match="mode"):
+            FetchDecoder(tt, bbit, K, mode="lenient")
+
+
+class TestTTFaultDegradation:
+    def test_output_bit_identical_under_tt_corruption(self):
+        words, tt, bbit, stored, golden, region = _setup()
+        _corrupt_tt_double_bit(tt, 1)
+        decoder = FetchDecoder(
+            tt,
+            bbit,
+            K,
+            encoded_region=region,
+            mode="degraded",
+            golden_lookup=golden.get,
+        )
+        addresses = sorted(stored)
+        assert _run(decoder, addresses, stored) == words
+        assert decoder.degradations == 1
+        assert decoder.golden_served_instructions > 0
+        assert len(decoder.recovery_events) == 1
+        assert decoder.recovery_events[0]["kind"] == "tt_integrity"
+        # The whole block demoted at once (extent known from the BBIT).
+        assert decoder.degraded_region == set(golden)
+        assert not (decoder.encoded_region & decoder.degraded_region)
+
+    def test_demoted_block_served_golden_on_reentry(self):
+        words, tt, bbit, stored, golden, region = _setup()
+        _corrupt_tt_double_bit(tt, 0)
+        decoder = FetchDecoder(
+            tt,
+            bbit,
+            K,
+            encoded_region=region,
+            mode="degraded",
+            golden_lookup=golden.get,
+        )
+        addresses = sorted(stored)
+        _run(decoder, addresses, stored)
+        served_after_first = decoder.golden_served_instructions
+        # Second pass: every fetch short-circuits to the golden image
+        # without another degradation event.
+        assert _run(decoder, addresses, stored) == words
+        assert decoder.degradations == 1
+        assert (
+            decoder.golden_served_instructions
+            == served_after_first + len(words)
+        )
+
+    def test_stats_surface_degradation_counters(self):
+        words, tt, bbit, stored, golden, region = _setup()
+        _corrupt_tt_double_bit(tt, 1)
+        decoder = FetchDecoder(
+            tt,
+            bbit,
+            K,
+            encoded_region=region,
+            mode="degraded",
+            golden_lookup=golden.get,
+        )
+        _run(decoder, sorted(stored), stored)
+        stats = decoder.stats()
+        assert stats["degradations"] == 1
+        assert stats["degraded_addresses"] == len(words)
+        assert stats["golden_served_instructions"] > 0
+        assert stats["ecc_double_faults"] >= 1
+
+
+class TestBBITFaultDegradation:
+    def test_bbit_quarantine_serves_golden(self):
+        words, tt, bbit, stored, golden, region = _setup()
+        victim = bbit.peek(BASE)
+        bbit._by_pc[BASE] = BBITEntry(
+            pc=victim.pc,
+            tt_index=victim.tt_index ^ 0b11,
+            num_instructions=victim.num_instructions,
+        )
+        decoder = FetchDecoder(
+            tt,
+            bbit,
+            K,
+            encoded_region=region,
+            mode="degraded",
+            golden_lookup=golden.get,
+        )
+        addresses = sorted(stored)
+        assert _run(decoder, addresses, stored) == words
+        assert decoder.degradations >= 1
+        assert decoder.recovery_events[0]["kind"] == "bbit_integrity"
+        # Only faulting addresses demote (block extent unknown), but
+        # the output stays bit-identical throughout.
+        assert decoder.degraded_region <= set(golden)
+
+
+class TestRestore:
+    def test_restore_degraded_rearms_decoding(self):
+        words, tt, bbit, stored, golden, region = _setup()
+        _corrupt_tt_double_bit(tt, 1)
+        decoder = FetchDecoder(
+            tt,
+            bbit,
+            K,
+            encoded_region=region,
+            mode="degraded",
+            golden_lookup=golden.get,
+        )
+        addresses = sorted(stored)
+        _run(decoder, addresses, stored)
+        assert decoder.degraded_region
+        # Repair the row (what the scrubber's golden path does) and
+        # re-arm.
+        good = encode_basic_block(words, K)
+        tt.clear()
+        tt.allocate(good)
+        restored = decoder.restore_degraded()
+        assert restored == len(words)
+        assert not decoder.degraded_region
+        decoder.reset()
+        assert _run(decoder, addresses, stored) == words
+        assert decoder.golden_served_instructions == 0  # decoding again
+
+    def test_reset_preserves_degraded_region(self):
+        words, tt, bbit, stored, golden, region = _setup()
+        _corrupt_tt_double_bit(tt, 1)
+        decoder = FetchDecoder(
+            tt,
+            bbit,
+            K,
+            encoded_region=region,
+            mode="degraded",
+            golden_lookup=golden.get,
+        )
+        _run(decoder, sorted(stored), stored)
+        demoted = set(decoder.degraded_region)
+        decoder.reset()
+        assert decoder.degraded_region == demoted
+        assert decoder.degradations == 0  # statistics do reset

@@ -1,0 +1,195 @@
+"""TableScrubber tests: cadence, in-place correction, quarantine,
+golden-bundle repair, BBIT cross-check, and decoder re-arming."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import TableIntegrityError
+from repro.hw.bbit import BasicBlockIdentificationTable, BBITEntry
+from repro.hw.scrubber import TableScrubber
+from repro.hw.tt import TransformationTable, TTEntry
+
+BASE = 0x400000
+
+
+def _tables(num_rows=3):
+    """A parity-armed TT/BBIT pair plus a matching golden 'bundle'
+    (the scrubber only touches ``tt_entries`` / ``bbit_entries``)."""
+    tt = TransformationTable(capacity=8, parity=True)
+    bbit = BasicBlockIdentificationTable(capacity=8, parity=True)
+    tt_entries, bbit_entries = [], []
+    for i in range(num_rows):
+        selectors = tuple((i + j) % 8 for j in range(32))
+        end = i == num_rows - 1
+        count = 4 if end else 0
+        tt.install(TTEntry(selectors=selectors, end=end, count=count))
+        tt_entries.append(
+            {"selectors": list(selectors), "end": end, "count": count}
+        )
+        pc = BASE + 0x40 * i
+        bbit.install(BBITEntry(pc=pc, tt_index=i, num_instructions=6))
+        bbit_entries.append(
+            {"pc": pc, "tt_index": i, "num_instructions": 6}
+        )
+    bundle = SimpleNamespace(tt_entries=tt_entries, bbit_entries=bbit_entries)
+    return tt, bbit, bundle
+
+
+def _flip_tt_count_bits(tt, index, *bits):
+    """Corrupt a stored TT row in place (stale check word), like a
+    fault injector would."""
+    entry = tt.entries[index]
+    count = entry.count
+    for bit in bits:
+        count ^= 1 << bit
+    tt.entries[index] = TTEntry(
+        selectors=entry.selectors, end=entry.end, count=count
+    )
+
+
+def _flip_bbit_index_bits(bbit, pc, *bits):
+    entry = bbit._by_pc[pc]
+    tt_index = entry.tt_index
+    for bit in bits:
+        tt_index ^= 1 << bit
+    bbit._by_pc[pc] = BBITEntry(
+        pc=entry.pc, tt_index=tt_index, num_instructions=entry.num_instructions
+    )
+
+
+class TestCadence:
+    def test_tick_fires_on_cadence(self):
+        tt, bbit, _ = _tables()
+        scrubber = TableScrubber(tt, bbit, cadence=10)
+        assert scrubber.tick(9) is None
+        report = scrubber.tick(1)
+        assert report is not None and scrubber.sweeps == 1
+        assert report.rows_checked == len(tt.entries) + len(bbit._by_pc)
+
+    def test_tick_merges_multiple_elapsed_sweeps(self):
+        tt, bbit, _ = _tables(num_rows=2)
+        scrubber = TableScrubber(tt, bbit, cadence=5)
+        report = scrubber.tick(10)
+        assert scrubber.sweeps == 2
+        assert report.rows_checked == 2 * (len(tt.entries) + len(bbit._by_pc))
+
+    def test_invalid_cadence_rejected(self):
+        tt, bbit, _ = _tables(num_rows=1)
+        with pytest.raises(ValueError, match="cadence"):
+            TableScrubber(tt, bbit, cadence=0)
+
+
+class TestSweepCorrection:
+    def test_single_bit_tt_upset_corrected_in_place(self):
+        tt, bbit, _ = _tables()
+        _flip_tt_count_bits(tt, 2, 3)
+        report = TableScrubber(tt, bbit).sweep()
+        assert report.corrected == 1 and report.quarantined == 0
+        assert tt.entries[2].count == 4
+        assert tt.ecc_corrections == 1
+        # The repaired row reads cleanly afterwards.
+        assert TableScrubber(tt, bbit).sweep().corrected == 0
+
+    def test_single_bit_bbit_upset_corrected_in_place(self):
+        tt, bbit, _ = _tables()
+        _flip_bbit_index_bits(bbit, BASE, 0)
+        report = TableScrubber(tt, bbit).sweep()
+        assert report.corrected == 1
+        assert bbit.peek(BASE).tt_index == 0
+        assert bbit.ecc_corrections == 1
+
+    def test_double_bit_without_bundle_stays_quarantined(self):
+        tt, bbit, _ = _tables()
+        _flip_tt_count_bits(tt, 1, 0, 5)
+        report = TableScrubber(tt, bbit).sweep()
+        assert report.quarantined == 1 and report.repaired == 0
+        assert 1 in tt.quarantined
+        with pytest.raises(TableIntegrityError, match="SEC-DED"):
+            tt.read(1)
+
+    def test_double_bit_repaired_from_golden_bundle(self):
+        tt, bbit, bundle = _tables()
+        _flip_tt_count_bits(tt, 2, 0, 5)
+        scrubber = TableScrubber(tt, bbit, bundle=bundle)
+        report = scrubber.sweep()
+        assert report.quarantined == 1 and report.repaired == 1
+        assert not tt.quarantined
+        assert tt.read(2).count == 4
+        assert tt.repairs == 1
+
+    def test_bbit_double_bit_repaired_from_golden_bundle(self):
+        tt, bbit, bundle = _tables()
+        _flip_bbit_index_bits(bbit, BASE + 0x40, 0, 4)
+        report = TableScrubber(tt, bbit, bundle=bundle).sweep()
+        assert report.repaired == 1
+        assert not bbit.quarantined
+        assert bbit.lookup(BASE + 0x40).tt_index == 1
+
+
+class TestCrossCheck:
+    def test_stale_row_caught_by_golden_cross_check(self):
+        # An aliased corruption can leave a row that satisfies its own
+        # check word but differs from the golden image; the cross-check
+        # rewrites it.
+        tt, bbit, bundle = _tables()
+        bbit.install(BBITEntry(pc=BASE + 0x1000, tt_index=7, num_instructions=3))
+        wrong = BBITEntry(pc=BASE, tt_index=5, num_instructions=6)
+        bbit._by_pc[BASE] = wrong
+        bbit._parity[BASE] = bbit._row_ecc(wrong)  # self-consistent lie
+        report = TableScrubber(tt, bbit, bundle=bundle).sweep()
+        assert report.dropped == 1  # the phantom row not in the bundle
+        assert report.repaired == 1
+        assert bbit.peek(BASE).tt_index == 0
+        assert bbit.peek(BASE + 0x1000) is None
+
+    def test_quarantined_phantom_tag_dropped(self):
+        tt, bbit, bundle = _tables(num_rows=1)
+        phantom = BASE + 0x2000
+        bbit.install(BBITEntry(pc=phantom, tt_index=3, num_instructions=2))
+        _flip_bbit_index_bits(bbit, phantom, 0, 4)
+        report = TableScrubber(tt, bbit, bundle=bundle).sweep()
+        assert report.dropped == 1
+        assert bbit.peek(phantom) is None
+        assert phantom not in bbit.quarantined
+        assert bbit.lookup(phantom) is None  # misses instead of raising
+
+
+class TestDecoderRestore:
+    def test_clean_repairing_sweep_rearms_decoder(self):
+        tt, bbit, bundle = _tables()
+
+        class _Decoder:
+            def __init__(self):
+                self.restored = 0
+
+            def restore_degraded(self):
+                self.restored += 1
+                return 6
+
+        decoder = _Decoder()
+        _flip_tt_count_bits(tt, 2, 0, 5)
+        scrubber = TableScrubber(tt, bbit, bundle=bundle, decoder=decoder)
+        report = scrubber.sweep()
+        assert report.repaired == 1
+        assert decoder.restored == 1
+        assert report.restored_addresses == 6
+
+    def test_no_rearm_while_quarantine_persists(self):
+        tt, bbit, bundle = _tables()
+
+        class _Decoder:
+            def restore_degraded(self):  # pragma: no cover - must not run
+                raise AssertionError("restore with quarantined rows")
+
+        # A row the golden bundle knows nothing about: its quarantine
+        # cannot be repaired, so the decoder must stay demoted.
+        extra = len(bundle.tt_entries)
+        tt.install(TTEntry(selectors=(1,) * 32))
+        _flip_tt_count_bits(tt, extra, 0, 5)
+        scrubber = TableScrubber(tt, bbit, bundle=bundle)
+        scrubber.attach_decoder(_Decoder())
+        report = scrubber.sweep()
+        assert report.quarantined == 1 and report.repaired == 0
+        assert report.restored_addresses == 0
+        assert extra in tt.quarantined

@@ -1,0 +1,101 @@
+"""CheckpointLog / atomic_write_text tests: WAL replay, run-key
+mismatch, torn-line tolerance, and crash-safe artifact writes."""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime import CheckpointLog, atomic_write_text
+from repro.runtime.checkpoint import CheckpointMismatchError
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, '{"ok": true}\n')
+        assert target.read_text() == '{"ok": true}\n'
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(target, "deep")
+        assert target.read_text() == "deep"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "x")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+
+class TestCheckpointLog:
+    def test_record_then_replay(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with CheckpointLog(path, run_key="k1") as log:
+            log.record("case-a", {"outcome": "detected"})
+            log.record("case-b", {"outcome": "masked"})
+        replay = CheckpointLog(path, run_key="k1")
+        completed = replay.load()
+        assert completed == {
+            "case-a": {"outcome": "detected"},
+            "case-b": {"outcome": "masked"},
+        }
+        assert "case-a" in replay and "case-c" not in replay
+
+    def test_result_dicts_roundtrip_key_order(self, tmp_path):
+        # Byte-identical resume relies on the WAL preserving the
+        # caller's key order, not canonicalising it.
+        path = tmp_path / "run.wal"
+        record = {"z": 1, "a": {"nested_z": 2, "nested_a": 3}}
+        with CheckpointLog(path, run_key="k") as log:
+            log.record("case", record)
+        loaded = CheckpointLog(path, run_key="k").load()["case"]
+        assert json.dumps(loaded) == json.dumps(record)
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        log = CheckpointLog(tmp_path / "absent.wal", run_key="k")
+        assert log.load() == {}
+
+    def test_run_key_mismatch_refuses(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with CheckpointLog(path, run_key="old-config") as log:
+            log.record("case", {})
+        with pytest.raises(CheckpointMismatchError, match="old-config"):
+            CheckpointLog(path, run_key="new-config").load()
+
+    def test_torn_trailing_line_ignored(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with CheckpointLog(path, run_key="k") as log:
+            log.record("done", {"outcome": "masked"})
+        with path.open("a") as handle:
+            handle.write('{"key": "torn", "resu')  # killed mid-append
+        completed = CheckpointLog(path, run_key="k").load()
+        assert completed == {"done": {"outcome": "masked"}}
+
+    def test_append_after_resume_continues_log(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with CheckpointLog(path, run_key="k") as log:
+            log.record("first", {})
+        with CheckpointLog(path, run_key="k") as log:
+            log.load()
+            log.record("second", {})
+        completed = CheckpointLog(path, run_key="k").load()
+        assert set(completed) == {"first", "second"}
+        # Exactly one header line.
+        lines = path.read_text().strip().splitlines()
+        assert sum(1 for l in lines if "run_key" in l) == 1
+
+    def test_appends_survive_without_close(self, tmp_path):
+        # fsync-per-append: the record is on disk even if the process
+        # is killed before close() runs.
+        path = tmp_path / "run.wal"
+        log = CheckpointLog(path, run_key="k")
+        log.record("durable", {"outcome": "detected"})
+        completed = CheckpointLog(path, run_key="k").load()
+        assert "durable" in completed
+        log.close()

@@ -1,0 +1,84 @@
+"""run_with_deadline tests: enforcement, pass-through, and the
+exception-hierarchy contract the campaign classifier relies on."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime import DeadlineExceeded, run_with_deadline
+
+
+class TestDeadlineEnforcement:
+    def test_fast_call_returns_value(self):
+        assert run_with_deadline(lambda: 42, seconds=5.0) == 42
+
+    def test_hung_call_raises_deadline_exceeded(self):
+        with pytest.raises(DeadlineExceeded, match="deadline"):
+            run_with_deadline(
+                lambda: time.sleep(5.0), seconds=0.05, what="hung case"
+            )
+
+    def test_message_names_the_task(self):
+        with pytest.raises(DeadlineExceeded, match="case x:3"):
+            run_with_deadline(
+                lambda: time.sleep(5.0), seconds=0.05, what="case x:3"
+            )
+
+    def test_no_deadline_means_direct_call(self):
+        assert run_with_deadline(lambda: "direct", seconds=None) == "direct"
+        assert run_with_deadline(lambda: "direct", seconds=0) == "direct"
+
+    def test_callee_exception_propagates(self):
+        def boom():
+            raise ValueError("from callee")
+
+        with pytest.raises(ValueError, match="from callee"):
+            run_with_deadline(boom, seconds=5.0)
+
+    def test_timer_disarmed_after_success(self):
+        # A completed call must not leave a pending alarm behind.
+        run_with_deadline(lambda: None, seconds=0.05)
+        time.sleep(0.1)  # an un-disarmed SIGALRM would fire here
+
+    def test_watchdog_path_in_worker_thread(self):
+        # Off the main thread SIGALRM is unusable; the daemon-thread
+        # watchdog must enforce the deadline instead.
+        outcome = {}
+
+        def probe():
+            try:
+                run_with_deadline(
+                    lambda: time.sleep(5.0), seconds=0.05, what="threaded"
+                )
+            except DeadlineExceeded as err:
+                outcome["error"] = err
+
+        worker = threading.Thread(target=probe)
+        worker.start()
+        worker.join(timeout=2.0)
+        assert isinstance(outcome.get("error"), DeadlineExceeded)
+
+
+class TestExceptionContract:
+    def test_flies_past_exception_handlers(self):
+        """The campaign classifies ReproError as *detected* and
+        Exception as *crashed*; a timeout must be neither."""
+        assert not issubclass(DeadlineExceeded, Exception)
+        assert not issubclass(DeadlineExceeded, ReproError)
+        assert issubclass(DeadlineExceeded, BaseException)
+
+    def test_except_exception_does_not_catch_it(self):
+        caught = None
+        try:
+            try:
+                run_with_deadline(
+                    lambda: time.sleep(5.0), seconds=0.05
+                )
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("DeadlineExceeded was swallowed as Exception")
+        except DeadlineExceeded as err:
+            caught = err
+        assert caught is not None
+        assert caught.seconds == pytest.approx(0.05)

@@ -1,0 +1,155 @@
+"""BackoffPolicy / retry_call / CircuitBreaker tests — all timing is
+seeded and injected, so nothing here sleeps for real."""
+
+import pytest
+
+from repro.runtime import BackoffPolicy, CircuitBreaker, retry_call
+
+
+class TestBackoffPolicy:
+    def test_delays_are_deterministic_per_seed(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, cap=5.0)
+        first = [policy.delay(n, seed="case:7") for n in range(4)]
+        second = [policy.delay(n, seed="case:7") for n in range(4)]
+        assert first == second
+
+    def test_different_seeds_decorrelate(self):
+        policy = BackoffPolicy()
+        assert [policy.delay(n, "a") for n in range(3)] != [
+            policy.delay(n, "b") for n in range(3)
+        ]
+
+    def test_delay_bounded_by_exponential_ceiling(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, cap=0.35)
+        for attempt in range(6):
+            ceiling = min(0.35, 0.1 * 2.0**attempt)
+            delay = policy.delay(attempt, seed="x")
+            assert 0 <= delay < ceiling
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=-1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(max_attempts=0)
+
+
+class TestRetryCall:
+    def test_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+        slept = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        result = retry_call(
+            flaky,
+            policy=BackoffPolicy(max_attempts=3),
+            seed="s",
+            retry_on=(OSError,),
+            sleep=slept.append,
+        )
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert len(slept) == 2
+
+    def test_final_failure_propagates(self):
+        def always_fails():
+            raise OSError("still broken")
+
+        with pytest.raises(OSError, match="still broken"):
+            retry_call(
+                always_fails,
+                policy=BackoffPolicy(max_attempts=2),
+                retry_on=(OSError,),
+                sleep=lambda _: None,
+            )
+
+    def test_unmatched_exception_is_not_retried(self):
+        calls = {"n": 0}
+
+        def wrong_kind():
+            calls["n"] += 1
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            retry_call(
+                wrong_kind,
+                policy=BackoffPolicy(max_attempts=5),
+                retry_on=(OSError,),
+                sleep=lambda _: None,
+            )
+        assert calls["n"] == 1
+
+    def test_on_retry_hook_sees_each_attempt(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise ValueError("again")
+            return 1
+
+        retry_call(
+            flaky,
+            policy=BackoffPolicy(max_attempts=3),
+            seed="hook",
+            retry_on=(ValueError,),
+            sleep=lambda _: None,
+            on_retry=lambda attempt, delay, err: seen.append(
+                (attempt, type(err).__name__)
+            ),
+        )
+        assert seen == [(0, "ValueError"), (1, "ValueError")]
+
+    def test_sleep_schedule_is_reproducible(self):
+        def run_once():
+            slept = []
+            calls = {"n": 0}
+
+            def flaky():
+                calls["n"] += 1
+                if calls["n"] < 4:
+                    raise OSError()
+                return None
+
+            retry_call(
+                flaky,
+                policy=BackoffPolicy(max_attempts=4),
+                seed="sched",
+                retry_on=(OSError,),
+                sleep=slept.append,
+            )
+            return slept
+
+        assert run_once() == run_once()
+
+
+class TestCircuitBreaker:
+    def test_trips_on_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3)
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        assert breaker.record_failure()  # the tripping one
+        assert breaker.tripped
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        assert not breaker.record_failure()
+        assert not breaker.tripped
+        assert breaker.failures_total == 2
+
+    def test_trip_reported_only_once(self):
+        breaker = CircuitBreaker(threshold=1)
+        assert breaker.record_failure()
+        assert not breaker.record_failure()
+        assert breaker.tripped
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            CircuitBreaker(threshold=0)

@@ -22,11 +22,18 @@ command        what it prints
 ``metrics``    metric families from a RUN_report.json (``--check``
                gates on the expected encode families)
 ``trace``      span timings from a RUN_report.json (``--top N``)
+``verify``     the differential verification campaign: seeded inputs
+               through every decode path plus exhaustive sweeps,
+               written to VERIFY_report.json (``--check`` gates on
+               zero mismatches and 100% gated coverage;
+               ``--replay`` reproduces a recorded counterexample)
 =============  =====================================================
 
-``encode`` and ``faults`` accept ``--metrics``: the run is executed
-with the observability layer on and a machine-readable snapshot
-(metrics + spans + provenance) is written to ``RUN_report.json``.
+``encode``, ``faults`` and ``verify`` accept ``--metrics``: the run
+is executed with the observability layer on and a machine-readable
+snapshot (metrics + spans + provenance) is written to
+``RUN_report.json`` (``verify`` names it ``--run-report``, since its
+``--report`` is the verification report itself).
 """
 
 from __future__ import annotations
@@ -452,6 +459,101 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.verify import (
+        MUTATIONS,
+        VerifyConfig,
+        apply_mutation,
+        load_verify_report,
+        replay_counterexample,
+        run_verify,
+    )
+
+    if args.replay is not None:
+        try:
+            data = load_verify_report(args.replay)
+        except FileNotFoundError:
+            print(f"no verify report at {args.replay}", file=sys.stderr)
+            return 2
+        records = data.get("counterexamples", [])
+        if not records:
+            print(
+                f"{args.replay} records no counterexamples; nothing to replay",
+                file=sys.stderr,
+            )
+            return 2
+        if not 0 <= args.replay_index < len(records):
+            print(
+                f"--replay-index {args.replay_index} out of range "
+                f"[0, {len(records)})",
+                file=sys.stderr,
+            )
+            return 2
+        record = records[args.replay_index]
+        for name in record.get("mutations", []):
+            apply_mutation(name)
+        observed = replay_counterexample(record)
+        print(
+            f"counterexample {args.replay_index}: kind={record['kind']} "
+            f"seed={record.get('seed_key', '?')} "
+            f"recorded mismatch={record['mismatch']['kind']}"
+        )
+        if observed is None:
+            print(
+                "replay: divergence did NOT reproduce (fixed code, or a "
+                "mutation that is no longer armed)"
+            )
+            return 3
+        print(f"replay: reproduced -> {json.dumps(observed)}")
+        return 0
+
+    if args.mutation is not None and args.mutation not in MUTATIONS:
+        print(
+            f"unknown mutation {args.mutation!r}; "
+            f"available: {', '.join(MUTATIONS)}",
+            file=sys.stderr,
+        )
+        return 2
+    config = VerifyConfig(
+        cases=args.cases,
+        seed=args.seed,
+        bias=tuple(args.bias),
+        block_sizes=tuple(args.block_sizes),
+        sweeps=not args.no_sweeps,
+        workers=args.workers or 0,
+        chunk_timeout=args.timeout,
+        mutation=args.mutation,
+    )
+    observed = _obs_begin(args)
+    report = run_verify(config)
+    print(report.format_summary())
+    path = report.write(args.report, deterministic=args.deterministic)
+    print(f"wrote {path}")
+    if observed:
+        _obs_finish_to(args.run_report, command="repro verify", seed=config.seed)
+    if args.check and not report.check_ok:
+        print(
+            f"FAIL: {report.mismatch_count} differential mismatch(es), "
+            f"{len(report.gate_problems)} coverage gate problem(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _obs_finish_to(path: str, command: str, seed: int | None = None) -> None:
+    """Like :func:`_obs_finish` but with an explicit report path, for
+    commands whose ``--report`` means something else."""
+    from repro import obs
+
+    report = obs.collect_report(command=command, seed=seed)
+    written = report.write(path)
+    obs.OBS.tracer.close_jsonl()
+    print(f"wrote {written}")
+
+
 def _add_obs_arguments(p: argparse.ArgumentParser) -> None:
     """The ``--metrics`` family shared by instrumented commands."""
     p.add_argument(
@@ -679,6 +781,106 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay the --wal log and skip already-finished points",
     )
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "verify",
+        help="differential verification of every decode path",
+    )
+    p.add_argument(
+        "--cases",
+        type=int,
+        default=200,
+        help="randomised differential cases to run (plus the sweeps)",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--bias",
+        type=float,
+        nargs="+",
+        default=[0.05, 0.25, 0.5, 0.75, 0.95],
+        metavar="P",
+        help="stream one-bit probabilities cycled across stream cases",
+    )
+    p.add_argument(
+        "--block-sizes", type=int, nargs="+", default=[2, 3, 4, 5, 6, 7]
+    )
+    p.add_argument(
+        "--no-sweeps",
+        action="store_true",
+        help="skip the exhaustive codebook/tau/boundary sweeps "
+        "(the coverage gate will not be reachable)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan case chunks out across N worker processes",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="per-chunk worker timeout in seconds",
+    )
+    p.add_argument(
+        "--report",
+        default="VERIFY_report.json",
+        metavar="PATH",
+        help="where to write the verification report",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless zero mismatches and 100%% gated coverage",
+    )
+    p.add_argument(
+        "--inject-mutation",
+        dest="mutation",
+        default=None,
+        metavar="NAME",
+        help="arm a named decoder mutation (self-test: the campaign "
+        "MUST then report mismatches)",
+    )
+    p.add_argument(
+        "--replay",
+        default=None,
+        metavar="REPORT",
+        help="re-run a counterexample recorded in REPORT instead of "
+        "running a campaign (exit 0 if it reproduces, 3 if stale)",
+    )
+    p.add_argument(
+        "--replay-index",
+        type=int,
+        default=0,
+        metavar="I",
+        help="which counterexample in the report to replay",
+    )
+    p.add_argument(
+        "--deterministic",
+        action="store_true",
+        help="zero wall-clock fields so seed-pinned runs write "
+        "byte-identical reports",
+    )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="run with observability on and write a run report",
+    )
+    p.add_argument(
+        "--run-report",
+        default="RUN_report.json",
+        metavar="PATH",
+        help="where --metrics writes the observability snapshot "
+        "(--report is the verification report)",
+    )
+    p.add_argument(
+        "--trace-jsonl",
+        default=None,
+        metavar="PATH",
+        help="also stream one JSON span event per line to PATH",
+    )
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser(
         "metrics", help="metric families from a RUN_report.json"

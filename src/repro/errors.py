@@ -18,6 +18,7 @@ The hierarchy:
     ``EncodingError``           encoder-internal invariant violated
     ``CampaignError``           fault-injection campaign misconfigured
     ``TableCapacityError``      table programming exceeds physical entries
+    ``VerifyError``             verification campaign misconfigured
 """
 
 from __future__ import annotations
@@ -62,3 +63,10 @@ class CampaignError(ReproError, RuntimeError):
 
 class TableCapacityError(ReproError, ValueError):
     """Raised when a load exceeds the table's physical entry count."""
+
+
+class VerifyError(ReproError, RuntimeError):
+    """The differential verification campaign was misconfigured (an
+    unknown mutation, an unreplayable counterexample, ...).  Actual
+    divergences are never raised — they are recorded as
+    counterexamples and reported."""

@@ -21,6 +21,7 @@ the whole run.  This package holds the harness-independent pieces:
 
 from repro.runtime.checkpoint import (
     CheckpointLog,
+    CheckpointMismatchError,
     atomic_write_text,
 )
 from repro.runtime.deadline import DeadlineExceeded, run_with_deadline
@@ -33,6 +34,7 @@ from repro.runtime.retry import (
 __all__ = [
     "atomic_write_text",
     "CheckpointLog",
+    "CheckpointMismatchError",
     "BackoffPolicy",
     "CircuitBreaker",
     "retry_call",

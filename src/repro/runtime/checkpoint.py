@@ -88,17 +88,23 @@ class CheckpointLog:
         self.completed = {}
         if not self.path.exists():
             return self.completed
-        with self.path.open("r", encoding="utf-8") as handle:
-            lines = handle.read().split("\n")
+        # Bytes, not text: a torn tail can end mid-way through a
+        # multi-byte UTF-8 character, which a text-mode read would
+        # refuse to decode at all.
+        lines = self.path.read_bytes().split(b"\n")
         header_seen = False
-        for line in lines:
-            line = line.strip()
+        for raw in lines:
+            line = raw.decode("utf-8", errors="replace").strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
                 # Truncated or torn line — the tail of a killed append.
+                continue
+            if not isinstance(record, dict):
+                # Valid JSON but not a record (torn bytes that happen
+                # to parse, e.g. a bare number): not ours, skip it.
                 continue
             if not header_seen:
                 header_seen = True
@@ -127,6 +133,18 @@ class CheckpointLog:
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fresh = not self.path.exists() or self.path.stat().st_size == 0
+        if not fresh:
+            # A torn tail means the file doesn't end in a newline; a
+            # plain append would glue the next record onto the torn
+            # bytes and lose it on replay.  Terminate the line first.
+            with self.path.open("rb") as existing:
+                existing.seek(-1, os.SEEK_END)
+                ends_clean = existing.read(1) == b"\n"
+            if not ends_clean:
+                with self.path.open("ab") as repair:
+                    repair.write(b"\n")
+                    repair.flush()
+                    os.fsync(repair.fileno())
         self._handle = self.path.open("a", encoding="utf-8")
         if fresh:
             self._append_line({"run_key": self.run_key})

@@ -1,0 +1,400 @@
+"""The differential verification campaign runner.
+
+A run has two halves:
+
+* **exhaustive sweeps** — per configured block size, every codebook
+  entry against the reference solver (:func:`checks.sweep_codebook`),
+  every τ selector's decode through all its layers
+  (:func:`checks.sweep_tau`), and every boundary/tail class
+  (:func:`checks.sweep_boundary`).  These are what make the coverage
+  gate (100% codebook/τ for k=4..7) *deterministically* reachable —
+  randomised inputs alone cannot promise exhaustion;
+* **randomised cases** — ``cases`` seeded inputs scheduled over the
+  three input families (streams with the configured bias sweep,
+  synthetic instruction blocks, corrupted table states), each fully
+  determined by ``random.Random(f"{seed}:{kind}:{case_id}")``.
+
+Random cases fan out across a process pool in chunks (mirroring the
+fault campaign's runner): chunk timeouts re-run serially, pool breaks
+feed a :class:`repro.runtime.CircuitBreaker` that downgrades the rest
+of the run to serial instead of failing it.  The pool initializer
+re-arms any injected mutation so self-test divergences fire in every
+worker, not just the parent.
+
+Divergences never raise: each is shrunk
+(:mod:`repro.verify.counterexample`) and recorded in the report.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import asdict, dataclass
+
+from repro.obs import OBS
+from repro.runtime import CircuitBreaker
+from repro.verify import checks
+from repro.verify.counterexample import (
+    make_record,
+    shrink_stream,
+    shrink_words,
+)
+from repro.verify.coverage import CoverageTracker
+from repro.verify.generators import (
+    biased_stream,
+    burst_stream,
+    block_words,
+    word_blocks,
+)
+from repro.verify.mutation import apply_mutation, applied_mutations
+from repro.verify.report import VerifyReport
+
+#: Ten-case scheduling cycle: 5 stream, 3 program, 2 tables cases.
+KIND_PATTERN = (
+    "stream",
+    "program",
+    "stream",
+    "tables",
+    "stream",
+    "program",
+    "stream",
+    "tables",
+    "stream",
+    "program",
+)
+
+
+@dataclass(frozen=True)
+class VerifyConfig:
+    """Everything that determines a campaign, and nothing that
+    doesn't: two runs with equal configs generate identical inputs."""
+
+    cases: int = 200
+    seed: int = 7
+    bias: tuple[float, ...] = (0.05, 0.25, 0.5, 0.75, 0.95)
+    block_sizes: tuple[int, ...] = (2, 3, 4, 5, 6, 7)
+    strategies: tuple[str, ...] = ("greedy", "optimal", "disjoint")
+    min_stream_bits: int = 8
+    max_stream_bits: int = 288
+    min_block_words: int = 2
+    max_block_words: int = 28
+    sweeps: bool = True
+    workers: int = 0
+    chunk_size: int = 25
+    chunk_timeout: float = 120.0
+    breaker_threshold: int = 3
+    mutation: str | None = None
+    max_counterexamples: int = 25
+    shrink_budget: int = 300
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+# ----------------------------------------------------------------------
+# Case scheduling: pure functions of (config, case_id)
+# ----------------------------------------------------------------------
+
+
+def case_kind(case_id: int) -> str:
+    return KIND_PATTERN[case_id % len(KIND_PATTERN)]
+
+
+def case_seed_key(config: VerifyConfig, case_id: int) -> str:
+    return f"{config.seed}:{case_kind(case_id)}:{case_id}"
+
+
+def run_case(config: VerifyConfig, case_id: int) -> dict:
+    """Generate and run one randomised differential case.
+
+    The returned dict is picklable and self-describing: kind, seed
+    key, parameters, coverage contribution, and — on divergence — a
+    shrunk, replayable counterexample.
+    """
+    kind = case_kind(case_id)
+    seed_key = case_seed_key(config, case_id)
+    rng = random.Random(seed_key)
+    block_size = config.block_sizes[case_id % len(config.block_sizes)]
+
+    if kind == "stream":
+        strategy = config.strategies[
+            (case_id // len(config.block_sizes)) % len(config.strategies)
+        ]
+        bias = config.bias[case_id % len(config.bias)]
+        length = rng.randint(config.min_stream_bits, config.max_stream_bits)
+        if case_id % 5 == 0:
+            stream = burst_stream(rng, length, flip=max(0.02, 1.0 - bias))
+        else:
+            stream = biased_stream(rng, length, bias)
+        params = {"k": block_size, "strategy": strategy, "bias": bias}
+        result = checks.check_stream(stream, block_size, strategy)
+        input_data: list = stream
+        if not result.ok:
+            input_data = shrink_stream(
+                stream,
+                lambda bits: not checks.check_stream(
+                    bits, block_size, strategy
+                ).ok,
+                budget=config.shrink_budget,
+            )
+    elif kind == "program":
+        sparse = (None, 0.15, 0.85)[case_id % 3]
+        words = block_words(
+            rng,
+            rng.randint(config.min_block_words, config.max_block_words),
+            sparse=sparse,
+        )
+        params = {"k": block_size}
+        result = checks.check_program(words, block_size)
+        input_data = words
+        if not result.ok:
+            input_data = shrink_words(
+                words,
+                lambda ws: not checks.check_program(ws, block_size).ok,
+                budget=config.shrink_budget,
+            )
+    else:  # tables
+        fault = checks.TABLE_FAULTS[(case_id // 5) % len(checks.TABLE_FAULTS)]
+        blocks = word_blocks(
+            rng, 1 + case_id % 3, min_words=2, max_words=12
+        )
+        flip_seed = f"{seed_key}:flip"
+        params = {"k": block_size, "fault": fault, "flip_seed": flip_seed}
+        result = checks.check_tables(blocks, block_size, fault, flip_seed)
+        input_data = blocks  # small; recorded unshrunk
+
+    case = {
+        "case_id": case_id,
+        "kind": kind,
+        "seed_key": seed_key,
+        "params": params,
+        "ok": result.ok,
+        "coverage": result.coverage_lists(),
+        "counterexample": None,
+    }
+    if not result.ok:
+        case["counterexample"] = make_record(
+            kind,
+            seed_key,
+            params,
+            input_data,
+            result.mismatch,
+            applied_mutations(),
+        )
+    return case
+
+
+# ----------------------------------------------------------------------
+# Process fan-out (the fault campaign's pool pattern, chunked)
+# ----------------------------------------------------------------------
+
+_WORKER_CONFIG: VerifyConfig | None = None
+
+
+def _worker_init(config: VerifyConfig) -> None:
+    global _WORKER_CONFIG
+    _WORKER_CONFIG = config
+    # Self-test mutations must corrupt every process that decodes,
+    # or pool runs would report fewer divergences than serial ones.
+    apply_mutation(config.mutation)
+
+
+def _worker_run_chunk(case_ids: list[int]) -> list[dict]:
+    assert _WORKER_CONFIG is not None
+    return [run_case(_WORKER_CONFIG, case_id) for case_id in case_ids]
+
+
+def _run_cases_parallel(config: VerifyConfig) -> list[dict]:
+    chunks = [
+        list(range(start, min(start + config.chunk_size, config.cases)))
+        for start in range(0, config.cases, config.chunk_size)
+    ]
+    breaker = CircuitBreaker(threshold=config.breaker_threshold)
+    results: dict[int, list[dict]] = {}
+    pool = ProcessPoolExecutor(
+        max_workers=config.workers,
+        initializer=_worker_init,
+        initargs=(config,),
+    )
+    downgrade: str | None = None
+    try:
+        futures = {
+            index: pool.submit(_worker_run_chunk, chunk)
+            for index, chunk in enumerate(chunks)
+        }
+        for index, future in futures.items():
+            try:
+                results[index] = future.result(timeout=config.chunk_timeout)
+                breaker.record_success()
+            except FutureTimeoutError:
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "verify.chunk_timeouts",
+                        "verification chunks killed by the timeout",
+                    ).inc()
+                results[index] = [
+                    run_case(config, case_id) for case_id in chunks[index]
+                ]
+                if breaker.record_failure():
+                    downgrade = (
+                        f"{breaker.consecutive_failures} consecutive chunk "
+                        "timeout(s) tripped the circuit breaker"
+                    )
+            except BrokenExecutor as err:
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "verify.pool_breaks",
+                        "worker pools that died under verification",
+                    ).inc()
+                breaker.record_failure()
+                downgrade = f"worker pool broke: {err!r}"
+            if downgrade is not None:
+                break
+    finally:
+        pool.shutdown(wait=downgrade is None, cancel_futures=True)
+    if downgrade is not None:
+        if OBS.enabled:
+            OBS.registry.counter(
+                "verify.pool_downgrades",
+                "verification runs downgraded from parallel to serial",
+            ).inc()
+        warnings.warn(
+            f"verify campaign: {downgrade}; finishing the remaining "
+            f"{len(chunks) - len(results)} chunk(s) serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        for index, chunk in enumerate(chunks):
+            if index not in results:
+                results[index] = [run_case(config, case_id) for case_id in chunk]
+    return [case for index in sorted(results) for case in results[index]]
+
+
+# ----------------------------------------------------------------------
+# The campaign
+# ----------------------------------------------------------------------
+
+
+def _run_sweeps(
+    config: VerifyConfig, tracker: CoverageTracker
+) -> tuple[dict[str, dict[str, int]], list[dict]]:
+    """The deterministic exhaustive half; returns (kind counts,
+    counterexample records)."""
+    kinds: dict[str, dict[str, int]] = {}
+    counterexamples: list[dict] = []
+    sweeps = (
+        ("sweep_codebook", checks.sweep_codebook),
+        ("sweep_tau", checks.sweep_tau),
+        ("sweep_boundary", checks.sweep_boundary),
+    )
+    for name, sweep in sweeps:
+        counts = kinds.setdefault(name, {"run": 0, "failed": 0})
+        for block_size in config.block_sizes:
+            result = sweep(block_size)
+            counts["run"] += 1
+            tracker.merge(result.coverage_lists())
+            if not result.ok:
+                counts["failed"] += 1
+                counterexamples.append(
+                    make_record(
+                        name,
+                        f"{config.seed}:{name}:k={block_size}",
+                        {"k": block_size},
+                        None,
+                        result.mismatch,
+                        applied_mutations(),
+                    )
+                )
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "verify.sweeps",
+                    "exhaustive verification sweeps executed",
+                    sweep=name,
+                    outcome="ok" if result.ok else "mismatch",
+                ).inc()
+    return kinds, counterexamples
+
+
+def run_verify(config: VerifyConfig) -> VerifyReport:
+    """Run the full campaign and aggregate the report (never raises
+    on divergence — only on misconfiguration)."""
+    started = time.perf_counter()
+    apply_mutation(config.mutation)
+    tracker = CoverageTracker(config.block_sizes)
+    kinds: dict[str, dict[str, int]] = {}
+    mismatches: list[dict] = []
+    counterexamples: list[dict] = []
+
+    with OBS.tracer.span(
+        "verify.campaign", cases=config.cases, seed=config.seed
+    ):
+        if config.sweeps:
+            with OBS.tracer.span("verify.sweeps"):
+                kinds, sweep_counterexamples = _run_sweeps(config, tracker)
+            for record in sweep_counterexamples:
+                mismatches.append(
+                    {
+                        "kind": record["kind"],
+                        "seed_key": record["seed_key"],
+                        "mismatch": record["mismatch"]["kind"],
+                    }
+                )
+                counterexamples.append(record)
+
+        with OBS.tracer.span("verify.cases", cases=config.cases):
+            if config.workers > 1 and config.cases > config.chunk_size:
+                cases = _run_cases_parallel(config)
+            else:
+                cases = [
+                    run_case(config, case_id)
+                    for case_id in range(config.cases)
+                ]
+
+    for case in cases:
+        counts = kinds.setdefault(case["kind"], {"run": 0, "failed": 0})
+        counts["run"] += 1
+        tracker.merge(case["coverage"])
+        if OBS.enabled:
+            OBS.registry.counter(
+                "verify.cases",
+                "randomised differential cases executed",
+                kind=case["kind"],
+                outcome="ok" if case["ok"] else "mismatch",
+            ).inc()
+        if not case["ok"]:
+            counts["failed"] += 1
+            mismatches.append(
+                {
+                    "kind": case["kind"],
+                    "seed_key": case["seed_key"],
+                    "mismatch": case["counterexample"]["mismatch"]["kind"],
+                }
+            )
+            if len(counterexamples) < config.max_counterexamples:
+                counterexamples.append(case["counterexample"])
+
+    gate_problems = tracker.gate_problems()
+    if OBS.enabled:
+        OBS.registry.counter(
+            "verify.mismatches", "differential divergences observed"
+        ).inc(len(mismatches))
+        for dimension in ("codebook_entries", "tau_selectors"):
+            OBS.registry.gauge(
+                "verify.coverage_percent",
+                "behaviour-space coverage per dimension",
+                dimension=dimension,
+            ).set(round(tracker.percent(dimension), 2))
+
+    return VerifyReport(
+        config=config.to_dict(),
+        kinds=kinds,
+        mismatches=mismatches,
+        counterexamples=counterexamples,
+        coverage=tracker.snapshot(),
+        gate_problems=gate_problems,
+        mutations=list(applied_mutations()),
+        total_seconds=time.perf_counter() - started,
+    )

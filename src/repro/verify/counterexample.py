@@ -1,0 +1,157 @@
+"""Counterexample minimisation and replay.
+
+When a differential check fires, the campaign does not just log the
+seed: it shrinks the failing input to a locally-minimal form (smaller
+inputs localise the divergence to one codebook entry or one decode
+step) and records a self-contained JSON record — kind, parameters,
+shrunk input, the active mutation — inside ``VERIFY_report.json``.
+``repro verify --replay`` feeds such a record back through
+:func:`replay_counterexample` to reproduce the divergence from the
+report alone, machines and sessions later.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import VerifyError
+from repro.verify import checks
+
+#: Schema version for counterexample records inside VERIFY_report.json.
+RECORD_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+
+
+def _shrink_sequence(
+    items: list, still_fails: Callable[[list], bool], budget: int
+) -> tuple[list, int]:
+    """Greedy ddmin-style chunk removal: repeatedly drop the largest
+    removable chunk, halving the chunk size until single elements."""
+    current = list(items)
+    chunk = max(1, len(current) // 2)
+    while chunk >= 1 and budget > 0:
+        shrunk_this_pass = False
+        start = 0
+        while start < len(current) and budget > 0:
+            candidate = current[:start] + current[start + chunk :]
+            budget -= 1
+            if candidate and still_fails(candidate):
+                current = candidate
+                shrunk_this_pass = True
+            else:
+                start += chunk
+        if not shrunk_this_pass:
+            chunk //= 2
+    return current, budget
+
+
+def shrink_stream(
+    stream: list[int],
+    still_fails: Callable[[list[int]], bool],
+    budget: int = 300,
+) -> list[int]:
+    """Minimise a failing bit stream: drop chunks, then clear 1-bits
+    (an all-zero stream is the 'simplest' input in codebook terms)."""
+    current, budget = _shrink_sequence(stream, still_fails, budget)
+    for position in range(len(current)):
+        if budget <= 0:
+            break
+        if current[position] == 1:
+            candidate = list(current)
+            candidate[position] = 0
+            budget -= 1
+            if still_fails(candidate):
+                current = candidate
+    return current
+
+
+def shrink_words(
+    words: list[int],
+    still_fails: Callable[[list[int]], bool],
+    budget: int = 300,
+) -> list[int]:
+    """Minimise a failing instruction block: drop words, then clear
+    set bits word by word, highest bit first."""
+    current, budget = _shrink_sequence(words, still_fails, budget)
+    for position in range(len(current)):
+        word = current[position]
+        bit = word.bit_length() - 1
+        while bit >= 0 and budget > 0:
+            if (word >> bit) & 1:
+                candidate = list(current)
+                candidate[position] = word & ~(1 << bit)
+                budget -= 1
+                if still_fails(candidate):
+                    current = candidate
+                    word = candidate[position]
+            bit -= 1
+    return current
+
+
+# ----------------------------------------------------------------------
+# Records
+# ----------------------------------------------------------------------
+
+
+def make_record(
+    kind: str,
+    seed_key: str,
+    params: dict,
+    input_data,
+    mismatch: dict,
+    mutations: tuple[str, ...],
+) -> dict:
+    """A self-contained, JSON-serialisable counterexample."""
+    return {
+        "version": RECORD_VERSION,
+        "kind": kind,
+        "seed_key": seed_key,
+        "params": dict(params),
+        "input": input_data,
+        "mismatch": mismatch,
+        "mutations": list(mutations),
+    }
+
+
+def replay_counterexample(record: dict) -> dict | None:
+    """Re-run the exact check a counterexample records.
+
+    Returns the mismatch the replay observed, or ``None`` when the
+    divergence no longer reproduces (fixed code, or the record's
+    mutation was not re-armed).  The caller is responsible for arming
+    ``record["mutations"]`` first — replay itself never mutates.
+    """
+    kind = record.get("kind")
+    params = record.get("params") or {}
+    input_data = record.get("input")
+    try:
+        if kind == "stream":
+            result = checks.check_stream(
+                list(input_data), params["k"], params["strategy"]
+            )
+        elif kind == "program":
+            result = checks.check_program(list(input_data), params["k"])
+        elif kind == "tables":
+            result = checks.check_tables(
+                [list(block) for block in input_data],
+                params["k"],
+                params["fault"],
+                params["flip_seed"],
+            )
+        elif kind == "sweep_codebook":
+            result = checks.sweep_codebook(params["k"])
+        elif kind == "sweep_tau":
+            result = checks.sweep_tau(params["k"])
+        elif kind == "sweep_boundary":
+            result = checks.sweep_boundary(params["k"])
+        else:
+            raise VerifyError(f"counterexample has unknown kind {kind!r}")
+    except (KeyError, TypeError) as err:
+        raise VerifyError(
+            f"counterexample record is malformed: {err!r}"
+        ) from err
+    return None if result.ok else result.mismatch

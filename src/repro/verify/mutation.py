@@ -1,0 +1,104 @@
+"""Deliberate decoder mutations: the harness's self-test.
+
+A differential verifier that never fires is indistinguishable from one
+that cannot fire.  Each named mutation perturbs exactly one decode (or
+encode) path in-process; a campaign run under a mutation MUST produce
+mismatches and replayable counterexamples, and ``repro verify
+--inject-mutation X --check`` MUST exit non-zero.  The e2e CLI test
+and the CI smoke job both lean on this.
+
+Mutations are applied per process (the campaign's pool initializer
+re-applies them in every worker) and recorded in each counterexample,
+so ``repro verify --replay`` can reconstruct the exact faulty world
+that produced a divergence.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VerifyError
+
+#: Mutation registry: name -> (description, apply function).
+_APPLIED: list[str] = []
+
+
+def _mutate_suffix_table() -> None:
+    """Corrupt the compiled suffix-table decode path: the table entry
+    for (history=1, all-ones stored suffix) decodes one bit wrong.
+    Caught by the stream checks (table decode vs bit-serial decode)."""
+    from repro.core import fastpath
+
+    real = fastpath.decode_suffix_table.__wrapped__
+
+    def corrupted(truth_table: int, suffix_len: int) -> tuple:
+        tables = real(truth_table, suffix_len)
+        full = (1 << suffix_len) - 1
+        row = list(tables[1])
+        row[full] ^= 1
+        return (tables[0], tuple(row))
+
+    fastpath.decode_suffix_table = corrupted
+
+
+def _mutate_codebook_entry() -> None:
+    """Flip a stored code bit in one compiled anchored entry (k=5,
+    word 0b10110).  The fast encode path diverges from the reference
+    BlockSolver for exactly that block word — caught by the exhaustive
+    codebook sweep and by any stream that contains the word."""
+    from repro.core.fastpath import get_codebook
+
+    book = get_codebook(5)
+    entry = book.anchored[5][0b10110]
+    if entry is None:  # pragma: no cover - optimal set always expresses it
+        raise VerifyError("mutation target entry is infeasible")
+    code_int, tau, cost = entry
+    # Bit 0 anchors the block (equals the original first bit), so the
+    # flip lands on a body bit and survives re-anchoring.
+    book.anchored[5][0b10110] = (code_int ^ 0b00010, tau, cost)
+
+
+def _mutate_tt_decode() -> None:
+    """XOR bit 0 into every hardware TT-entry decode.  The fetch
+    decoder's restored words diverge from the golden program on every
+    non-anchor instruction — caught by the program/deployment checks."""
+    from repro.hw.tt import TTEntry
+
+    real = TTEntry.decode
+
+    def corrupted(self, stored_word: int, previous_decoded: int) -> int:
+        return real(self, stored_word, previous_decoded) ^ 1
+
+    TTEntry.decode = corrupted
+
+
+MUTATIONS: dict[str, tuple[str, object]] = {
+    "suffix-table": (
+        "compiled suffix-table decode returns one wrong bit",
+        _mutate_suffix_table,
+    ),
+    "codebook-entry": (
+        "one compiled anchored codebook entry stores a flipped code bit",
+        _mutate_codebook_entry,
+    ),
+    "tt-decode": (
+        "hardware TT entry decode XORs bit 0 into every restored word",
+        _mutate_tt_decode,
+    ),
+}
+
+
+def apply_mutation(name: str | None) -> None:
+    """Arm one named mutation in this process (idempotent per name)."""
+    if name is None:
+        return
+    if name not in MUTATIONS:
+        raise VerifyError(
+            f"unknown mutation {name!r}; available: {', '.join(MUTATIONS)}"
+        )
+    if name in _APPLIED:
+        return
+    MUTATIONS[name][1]()
+    _APPLIED.append(name)
+
+
+def applied_mutations() -> tuple[str, ...]:
+    return tuple(_APPLIED)

@@ -1,0 +1,177 @@
+"""``VERIFY_report.json``: the verification campaign's verdict.
+
+The report carries everything needed to (a) trust a green run — the
+coverage block qualifies "zero mismatches" with how much of the
+behaviour space was actually exercised — and (b) act on a red run:
+each mismatch ships as a minimised, replayable counterexample that
+``repro verify --replay`` reproduces from the report alone.
+
+Written through :func:`repro.runtime.atomic_write_text` so a crash
+mid-write never leaves a truncated report, with ``deterministic=True``
+zeroing the wall-clock fields so seed-pinned CI runs are
+byte-comparable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.runtime import atomic_write_text
+
+#: Top-level schema version of VERIFY_report.json.
+REPORT_VERSION = 1
+
+#: Keys every well-formed report must carry (the CI gate refuses a
+#: report missing any of them rather than passing vacuously).
+REQUIRED_KEYS = (
+    "version",
+    "config",
+    "kinds",
+    "mismatches",
+    "counterexamples",
+    "coverage",
+    "gate_problems",
+    "mutations",
+    "check_ok",
+)
+
+
+@dataclass
+class VerifyReport:
+    """Aggregated outcome of one differential verification campaign."""
+
+    config: dict
+    kinds: dict[str, dict[str, int]]  # kind -> {"run": n, "failed": m}
+    mismatches: list[dict]
+    counterexamples: list[dict]
+    coverage: dict
+    gate_problems: list[str]
+    mutations: list[str] = field(default_factory=list)
+    total_seconds: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cases_run(self) -> int:
+        return sum(counts["run"] for counts in self.kinds.values())
+
+    @property
+    def mismatch_count(self) -> int:
+        return len(self.mismatches)
+
+    @property
+    def check_ok(self) -> bool:
+        """The ``--check`` verdict: no divergence anywhere AND the
+        coverage gate (100% codebook/τ for gated block sizes) holds."""
+        return not self.mismatches and not self.gate_problems
+
+    # ------------------------------------------------------------------
+
+    def format_summary(self) -> str:
+        lines = [
+            f"{'kind':<16s} {'run':>6s} {'failed':>7s}",
+            "-" * 31,
+        ]
+        for kind in sorted(self.kinds):
+            counts = self.kinds[kind]
+            lines.append(
+                f"{kind:<16s} {counts['run']:>6d} {counts['failed']:>7d}"
+            )
+        lines.append("-" * 31)
+        lines.append(
+            f"{'total':<16s} {self.cases_run:>6d} {self.mismatch_count:>7d}"
+        )
+        for dimension, entry in sorted(self.coverage.items()):
+            lines.append(
+                f"coverage {dimension}: {entry['covered']}/{entry['universe']}"
+                f" ({entry['percent']:.1f}%)"
+            )
+        for problem in self.gate_problems:
+            lines.append(f"GATE: {problem}")
+        if self.mutations:
+            lines.append(f"armed mutations: {', '.join(self.mutations)}")
+        lines.append(f"check: {'OK' if self.check_ok else 'FAILED'}")
+        return "\n".join(lines)
+
+    def to_dict(self, deterministic: bool = False) -> dict:
+        return {
+            "version": REPORT_VERSION,
+            "config": self.config,
+            "kinds": self.kinds,
+            "mismatches": self.mismatches,
+            "counterexamples": self.counterexamples,
+            "coverage": self.coverage,
+            "gate_problems": list(self.gate_problems),
+            "mutations": list(self.mutations),
+            "check_ok": self.check_ok,
+            "total_seconds": 0.0 if deterministic else self.total_seconds,
+            "meta": {} if deterministic else self.meta,
+        }
+
+    def to_json(self, deterministic: bool = False) -> str:
+        return json.dumps(self.to_dict(deterministic=deterministic), indent=1)
+
+    def write(
+        self,
+        path: str = "VERIFY_report.json",
+        deterministic: bool = False,
+    ) -> Path:
+        target = Path(path)
+        atomic_write_text(target, self.to_json(deterministic=deterministic))
+        return target
+
+
+# ----------------------------------------------------------------------
+# Report-side validation (the CI gate's parsing half)
+# ----------------------------------------------------------------------
+
+
+def load_verify_report(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def verify_report_problems(
+    data: dict, min_coverage: dict[str, float] | None = None
+) -> list[str]:
+    """Structural + threshold validation of a parsed report dict.
+
+    ``min_coverage`` maps dimension name to a minimum percent (e.g.
+    ``{"codebook_entries": 100.0}``) — the CI coverage gate.  Returns
+    human-readable problems; empty means the report passes.
+    """
+    problems = [
+        f"report is missing required key {key!r}"
+        for key in REQUIRED_KEYS
+        if key not in data
+    ]
+    if problems:
+        return problems
+    if data["version"] != REPORT_VERSION:
+        problems.append(
+            f"report version {data['version']!r} != {REPORT_VERSION}"
+        )
+    if not data["check_ok"]:
+        problems.append(
+            f"check failed: {len(data['mismatches'])} mismatch(es), "
+            f"{len(data['gate_problems'])} gate problem(s)"
+        )
+    for dimension, floor in (min_coverage or {}).items():
+        entry = data["coverage"].get(dimension)
+        if entry is None:
+            problems.append(f"coverage block lacks dimension {dimension!r}")
+        elif entry["percent"] < floor:
+            problems.append(
+                f"coverage {dimension} at {entry['percent']:.1f}% "
+                f"is below the {floor:.1f}% threshold"
+            )
+    for record in data["counterexamples"]:
+        for key in ("kind", "params", "mismatch"):
+            if key not in record:
+                problems.append(
+                    f"counterexample record lacks {key!r}: not replayable"
+                )
+                break
+    return problems

@@ -1,0 +1,43 @@
+"""Suite-wide fixtures: deterministic randomness for every test.
+
+The ``rng`` fixture hands each test a :class:`random.Random` seeded
+from the test's own node id — two runs of the same test draw the same
+values, and no test can be perturbed by another test consuming shared
+global random state.  ``seeded_words`` / ``seeded_stream`` expose the
+shared strategies module (:mod:`tests.strategies`) as fixtures for
+tests that just need "some pinned data".
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from tests import strategies
+
+
+@pytest.fixture()
+def rng(request) -> random.Random:
+    """A per-test RNG seeded from the test's node id (deterministic
+    across runs, independent across tests)."""
+    return random.Random(f"test:{request.node.nodeid}")
+
+
+@pytest.fixture()
+def seeded_words():
+    """Factory fixture: ``seeded_words(seed, count, ...)`` pinned
+    instruction words from the shared strategies module."""
+    return strategies.seeded_words
+
+
+@pytest.fixture()
+def seeded_stream():
+    """Factory fixture: ``seeded_stream(seed, length, bias)``."""
+    return strategies.seeded_stream
+
+
+@pytest.fixture()
+def seeded_blocks():
+    """Factory fixture: ``seeded_blocks(seed, num_blocks, ...)``."""
+    return strategies.seeded_blocks

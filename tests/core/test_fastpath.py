@@ -7,11 +7,18 @@ strategy, encoding through the codebook must produce a byte-identical
 plan) to the reference path, and both decoders must round-trip."""
 
 import itertools
-import random
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
+
+from tests.strategies import (
+    bit_streams,
+    encode_strategies,
+    hw_block_sizes,
+    rng_for,
+    seeded_blocks,
+    seeded_words,
+)
 
 from repro.core.bitstream import (
     count_transitions,
@@ -44,9 +51,11 @@ from repro.core.transformations import (
     Transformation,
 )
 
-streams = st.lists(st.integers(min_value=0, max_value=1), min_size=0, max_size=80)
-block_sizes = st.integers(min_value=2, max_value=7)
-strategies = st.sampled_from(("greedy", "optimal", "disjoint"))
+# Shared suite-wide strategies (tests/strategies.py): the same input
+# distributions the `repro verify` differential campaign draws from.
+streams = bit_streams
+block_sizes = hw_block_sizes
+strategies = encode_strategies
 
 
 class TestIntHelpers:
@@ -145,7 +154,7 @@ class TestStreamBitIdentity:
     def test_long_random_streams_all_strategies(self):
         # The satellite regression: random streams, k in 2..7, every
         # strategy, byte-identical encodings plus exact round-trips.
-        rng = random.Random(20030310)
+        rng = rng_for("fastpath-long-streams", 20030310)
         for block_size in range(2, 8):
             for strategy in ("greedy", "optimal", "disjoint"):
                 stream = [rng.randint(0, 1) for _ in range(400)]
@@ -187,9 +196,8 @@ class TestStreamBitIdentity:
 
 class TestProgramBitIdentity:
     def test_basic_block_fast_matches_reference(self):
-        rng = random.Random(99)
         for num_words, block_size in itertools.product((1, 2, 5, 17, 64), (2, 5, 7)):
-            words = [rng.getrandbits(32) for _ in range(num_words)]
+            words = seeded_words((num_words, block_size, 99), num_words)
             fast = encode_basic_block(words, block_size)
             reference = encode_basic_block(
                 words, block_size, use_codebook=False
@@ -199,8 +207,7 @@ class TestProgramBitIdentity:
             assert decode_basic_block(fast, use_tables=False) == words
 
     def test_basic_block_strategies_match(self):
-        rng = random.Random(7)
-        words = [rng.getrandbits(32) for _ in range(20)]
+        words = seeded_words(7, 20)
         for strategy in ("greedy", "optimal"):
             fast = encode_basic_block(words, 5, strategy=strategy)
             reference = encode_basic_block(
@@ -213,21 +220,13 @@ class TestProgramBitIdentity:
             encode_basic_block([1, 2, 3], 5, strategy="magic")
 
     def test_batch_matches_single(self):
-        rng = random.Random(31)
-        blocks = [
-            [rng.getrandbits(32) for _ in range(rng.randint(2, 24))]
-            for _ in range(6)
-        ]
+        blocks = seeded_blocks(31, 6)
         batch = encode_basic_blocks(blocks, 5)
         singles = [encode_basic_block(words, 5) for words in blocks]
         assert batch == singles
 
     def test_parallel_matches_serial(self):
-        rng = random.Random(32)
-        blocks = [
-            [rng.getrandbits(32) for _ in range(rng.randint(2, 16))]
-            for _ in range(4)
-        ]
+        blocks = seeded_blocks(32, 4, max_words=16)
         serial = encode_basic_blocks(blocks, 5)
         try:
             parallel = encode_basic_blocks(blocks, 5, parallel=2)

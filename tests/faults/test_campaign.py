@@ -3,10 +3,11 @@ shape, and the worker-pool downgrade path — driven by a synthetic
 deployment target so no workload simulation runs."""
 
 import json
-import random
 import warnings
 
 import pytest
+
+from tests.strategies import rng_for
 
 from repro.core.program_codec import encode_basic_block
 from repro.faults import (
@@ -22,7 +23,7 @@ from repro.faults.report import OUTCOMES
 
 
 def _synthetic_target(num_blocks=2, block_len=10, block_size=5, seed=11):
-    rng = random.Random(seed)
+    rng = rng_for("synthetic-target", seed)
     base = 0x400000
     original = [rng.getrandbits(32)]
     encoded = list(original)

@@ -2,9 +2,9 @@
 corrupted tables, images and protocol violations — silence would mean
 our "decode verified" claims are vacuous."""
 
-import random
-
 import pytest
+
+from tests.strategies import seeded_words
 
 from repro.core.program_codec import encode_basic_block
 from repro.errors import TableIntegrityError
@@ -30,8 +30,7 @@ def _decode_all(tt, bbit, image, count, block_size=5, base=0x400000):
 
 @pytest.fixture()
 def words():
-    rng = random.Random(77)
-    return [rng.getrandbits(32) for _ in range(14)]
+    return seeded_words(77, 14)
 
 
 class TestTableCorruption:
@@ -106,7 +105,9 @@ def _synthetic_target(
     workload simulation, so per-model sweeps stay fast."""
     from repro.faults.campaign import DeploymentTarget
 
-    rng = random.Random(seed)
+    from tests.strategies import rng_for
+
+    rng = rng_for("fault-injection-target", seed)
     base = 0x400000
     original = [rng.getrandbits(32)]  # one unencoded word (detour target)
     encoded = list(original)

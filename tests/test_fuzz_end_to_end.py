@@ -12,55 +12,15 @@ invariants:
 * the CFG/profile bookkeeping is self-consistent with the trace.
 """
 
-import random
-
 import pytest
+
+from tests.strategies import generate_program
 
 from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.profile import profile_trace
 from repro.isa.assembler import assemble
 from repro.pipeline.flow import EncodingFlow
 from repro.sim.cpu import run_program
-
-ALU_OPS = ("addu", "subu", "and", "or", "xor", "nor", "slt")
-REGS = [f"$t{i}" for i in range(8)]
-
-
-def generate_program(seed: int, num_blocks: int = 8, fuel: int = 400) -> str:
-    """A random terminating program with branchy control flow."""
-    rng = random.Random(seed)
-    lines = [
-        "        .text",
-        f"main:   li $s7, {fuel}",
-        "        li $t0, 3",
-        "        li $t1, 5",
-        "        b b0",
-    ]
-    for block in range(num_blocks):
-        lines.append(f"b{block}:")
-        for _ in range(rng.randint(1, 8)):
-            op = rng.choice(ALU_OPS)
-            rd, rs, rt = (rng.choice(REGS) for _ in range(3))
-            lines.append(f"        {op} {rd}, {rs}, {rt}")
-        # Fuel check keeps every path terminating.
-        lines.append("        addiu $s7, $s7, -1")
-        lines.append("        blez $s7, quit")
-        # Random conditional branch to some block, then fall through
-        # (or jump) to another.
-        target = rng.randrange(num_blocks)
-        cond = rng.choice(("beq", "bne"))
-        lines.append(
-            f"        {cond} {rng.choice(REGS)}, {rng.choice(REGS)}, b{target}"
-        )
-        if rng.random() < 0.5:
-            lines.append(f"        j b{rng.randrange(num_blocks)}")
-        elif block == num_blocks - 1:
-            lines.append("        j b0")
-    lines += [
-        "quit:   li $v0, 10",
-        "        syscall",
-    ]
-    return "\n".join(lines)
 
 
 @pytest.mark.parametrize("seed", range(12))

@@ -1,0 +1,86 @@
+"""Seeded generator contracts: determinism, bias, deployment truth."""
+
+import pytest
+
+from tests.strategies import rng_for
+
+from repro.verify.generators import (
+    biased_stream,
+    burst_stream,
+    block_words,
+    make_deployment,
+    random_deployment,
+    word_blocks,
+)
+
+
+class TestStreams:
+    def test_same_seed_same_stream(self):
+        a = biased_stream(rng_for("gen", 1), 200, 0.3)
+        b = biased_stream(rng_for("gen", 1), 200, 0.3)
+        assert a == b
+
+    def test_bias_extremes(self):
+        rng = rng_for("gen", 2)
+        assert biased_stream(rng, 64, 0.0) == [0] * 64
+        assert biased_stream(rng, 64, 1.0) == [1] * 64
+
+    def test_bias_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            biased_stream(rng_for("gen", 3), 8, 1.5)
+
+    def test_burst_stream_has_long_runs(self):
+        bits = burst_stream(rng_for("gen", 4), 400, flip=0.05)
+        transitions = sum(
+            1 for a, b in zip(bits, bits[1:]) if a != b
+        )
+        # A 5% flip rate keeps the transition density far below the
+        # ~50% a uniform stream would show.
+        assert transitions < 80
+        assert set(bits) <= {0, 1}
+
+
+class TestWords:
+    def test_block_words_width_and_determinism(self):
+        a = block_words(rng_for("gen", 5), 20)
+        b = block_words(rng_for("gen", 5), 20)
+        assert a == b
+        assert all(0 <= word < (1 << 32) for word in a)
+
+    def test_sparse_bias_is_respected(self):
+        dense = block_words(rng_for("gen", 6), 50, sparse=0.9)
+        sparse = block_words(rng_for("gen", 6), 50, sparse=0.1)
+        ones = lambda words: sum(bin(w).count("1") for w in words)
+        assert ones(dense) > 3 * ones(sparse)
+
+    def test_word_blocks_shapes(self):
+        blocks = word_blocks(rng_for("gen", 7), 5, min_words=2, max_words=9)
+        assert len(blocks) == 5
+        assert all(2 <= len(block) <= 9 for block in blocks)
+
+
+class TestDeployment:
+    def test_make_deployment_truth_is_consistent(self):
+        blocks = word_blocks(rng_for("gen", 8), 3, max_words=10)
+        deployment = make_deployment(blocks, block_size=5)
+        assert deployment.blocks == blocks
+        for which, base in enumerate(deployment.bases):
+            golden = deployment.golden_words(which)
+            stored = deployment.stored_words(which)
+            assert len(golden) == len(stored)
+            for i, pc in enumerate(deployment.trace_for(which)):
+                assert pc == base + 4 * i
+                assert deployment.golden_lookup(pc) == golden[i]
+                assert deployment.image[pc] == stored[i]
+                assert pc in deployment.encoded_region
+
+    def test_golden_lookup_outside_blocks_raises(self):
+        deployment = make_deployment([[1, 2, 3]], block_size=4)
+        with pytest.raises(KeyError):
+            deployment.golden_lookup(0x10)
+
+    def test_random_deployment_is_seed_deterministic(self):
+        a = random_deployment(rng_for("gen", 9), 4, num_blocks=2)
+        b = random_deployment(rng_for("gen", 9), 4, num_blocks=2)
+        assert a.blocks == b.blocks
+        assert a.image == b.image

@@ -251,6 +251,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(report.format_table())
     path = report.write(args.json)
     print(f"\nwrote {path}")
+    if args.decode_floor is not None:
+        failures = [
+            case
+            for case in report.cases
+            if "decode" in case.name and case.speedup < args.decode_floor
+        ]
+        for case in failures:
+            print(
+                f"decode floor: {case.name} {case.speedup:.1f}x < "
+                f"required {args.decode_floor:.1f}x",
+                file=sys.stderr,
+            )
+        if failures:
+            return 1
+        print(f"decode floor: all decode rows >= {args.decode_floor:.1f}x")
     return 0
 
 
@@ -675,6 +690,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stream-length", type=int, default=5000)
     p.add_argument("--words", type=int, default=64)
     p.add_argument("-k", "--block-size", type=int, default=5)
+    p.add_argument(
+        "--decode-floor",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 unless every decode row's bitplane speedup is >= X "
+        "(the CI decode-throughput smoke)",
+    )
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core import bitplane
 from repro.core.bitstream import (
     columns_to_words,
     total_word_transitions,
@@ -305,12 +306,37 @@ def encode_basic_blocks(
 
 
 def decode_basic_block(
-    encoding: BlockEncoding, use_tables: bool = True
+    encoding: BlockEncoding,
+    use_tables: bool = True,
+    use_bitplane: bool | None = None,
 ) -> list[int]:
     """Restore the original instruction words from a
-    :class:`BlockEncoding` (software mirror of the fetch hardware)."""
+    :class:`BlockEncoding` (software mirror of the fetch hardware).
+
+    The default decodes all ``width`` vertical streams concurrently
+    through the lane-packed bitplane scan; ``use_bitplane=False``
+    selects the per-line scalar paths (suffix tables or the bit-serial
+    reference, per ``use_tables``).  All paths are bit-identical.
+    """
     if not encoding.encoded_words:
         return []
+    if use_bitplane is None:
+        use_bitplane = use_tables
+    if use_bitplane:
+        length = len(encoding.encoded_words)
+        bounds = _segment_bounds_cached(length, encoding.block_size, True)
+        if len(bounds) != len(encoding.segment_plans):
+            raise ValueError(
+                f"plan length {len(encoding.segment_plans)} does not match "
+                f"{len(bounds)} blocks for a stream of {length} bits"
+            )
+        plans = tuple(
+            tuple(transformation.func.truth_table for transformation in plan)
+            for plan in encoding.segment_plans
+        )
+        return bitplane.decode_block_bitplane(
+            encoding.encoded_words, bounds, plans, width=encoding.width
+        )
     decoded_columns = []
     for line in range(encoding.width):
         stored = word_column(encoding.encoded_words, line)

@@ -32,10 +32,11 @@ cross-validated bit-for-bit in ``tests/core/test_fastpath.py``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Sequence
 
+from repro.core import bitplane
 from repro.core.bitstream import (
     count_transitions,
     count_transitions_int,
@@ -84,13 +85,26 @@ class SegmentEncoding:
 
 @dataclass(frozen=True)
 class StreamEncoding:
-    """A fully encoded bit stream with its block/transformation plan."""
+    """A fully encoded bit stream with its block/transformation plan.
+
+    ``encoded_int`` and ``truth_tables`` are derived decode metadata
+    the compiled encoder already holds (the packed stored bits and the
+    per-segment tau truth tables); carrying them spares the bitplane
+    decoder re-deriving both on every call.  They are excluded from
+    equality/repr — a reference-path encoding (which leaves them
+    ``None``) still compares equal to its fast-path twin, and decode
+    falls back to recomputing them.
+    """
 
     original: tuple[int, ...]
     encoded: tuple[int, ...]
     block_size: int
     segments: tuple[SegmentEncoding, ...]
     overlapped: bool = True
+    encoded_int: int | None = field(default=None, compare=False, repr=False)
+    truth_tables: tuple[int, ...] | None = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def original_transitions(self) -> int:
@@ -237,6 +251,8 @@ class StreamEncoder:
             self.block_size,
             segments,
             overlapped,
+            encoded_int=encoded_int,
+            truth_tables=tuple(tau.func.truth_table for tau in taus),
         )
 
     # ------------------------------------------------------------------
@@ -387,19 +403,52 @@ def encode_stream(
 
 
 def decode_stream(
-    encoding: StreamEncoding, use_tables: bool = True
+    encoding: StreamEncoding,
+    use_tables: bool = True,
+    use_bitplane: bool | None = None,
 ) -> list[int]:
-    """Bit-serial decode of a :class:`StreamEncoding`.
+    """Decode a :class:`StreamEncoding`.
 
     Mirrors the hardware: the stream's first bit passes through
     unchanged; every later bit is ``tau(stored, previous_decoded)``
     with ``tau`` selected by the segment covering that position.
-    ``use_tables`` selects the compiled suffix-table decode (default)
-    or the reference bit-serial loop.
+
+    Three bit-identical implementations back the contract.  The
+    default routes through the vectorized bitplane scan
+    (:mod:`repro.core.bitplane`); ``use_bitplane=False`` selects the
+    scalar paths, where ``use_tables`` picks the compiled suffix-table
+    decode (``True``) or the reference bit-serial loop (``False``).
     """
-    encoded = list(encoding.encoded)
-    if not encoded:
+    if not encoding.encoded:
         return []
+    if use_bitplane is None:
+        use_bitplane = use_tables
+    if use_bitplane:
+        # Segmentation is a pure function of (length, k, overlap), so
+        # the cached uniform bounds are exactly this encoding's layout;
+        # fast-path encodings carry their packed bits and truth tables
+        # already, reference-path ones re-derive both here.
+        length = len(encoding.encoded)
+        packed = encoding.encoded_int
+        if packed is None:
+            packed, length = bitplane.pack_validated(encoding.encoded)
+        truth_tables = encoding.truth_tables
+        if truth_tables is None:
+            truth_tables = tuple(
+                s.transformation.func.truth_table for s in encoding.segments
+            )
+        decoded_int = bitplane.decode_plan_bitplane(
+            packed,
+            length,
+            _segment_bounds_cached(
+                length, encoding.block_size, encoding.overlapped
+            ),
+            (),
+            encoding.overlapped,
+            truth_tables=truth_tables,
+        )
+        return bitplane.bits_list(decoded_int, length)
+    encoded = list(encoding.encoded)
     if use_tables:
         bounds = tuple((s.start, s.length) for s in encoding.segments)
         decoded_int = decode_plan_int(
@@ -435,9 +484,33 @@ def decode_with_plan(
     block_size: int,
     transformations: Sequence[Transformation],
     use_tables: bool = True,
+    use_bitplane: bool | None = None,
 ) -> list[int]:
     """Decode from raw materials (stored bits + per-block tau plan) —
-    exactly the information a Transformation Table holds."""
+    exactly the information a Transformation Table holds.
+
+    Defaults to the vectorized bitplane scan; ``use_bitplane=False``
+    selects the scalar suffix-table (``use_tables=True``) or bit-serial
+    (``use_tables=False``) path.  All three are bit-identical.
+    """
+    if use_bitplane is None:
+        use_bitplane = use_tables
+    if use_bitplane:
+        packed, length = bitplane.pack_validated(encoded)
+        if block_size < 2:
+            raise ValueError(f"block size must be >= 2, got {block_size}")
+        bounds = _segment_bounds_cached(length, block_size, True)
+        if len(bounds) != len(transformations):
+            raise ValueError(
+                f"plan length {len(transformations)} does not match "
+                f"{len(bounds)} blocks for a stream of {length} bits"
+            )
+        if length == 0:
+            return []
+        decoded_int = bitplane.decode_plan_bitplane(
+            packed, length, bounds, transformations, True
+        )
+        return bitplane.bits_list(decoded_int, length)
     encoded = validate_bits(encoded)
     bounds = segment_bounds(len(encoded), block_size, overlapped=True)
     if len(bounds) != len(transformations):

@@ -64,12 +64,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core import bitplane
+from repro.core.stream_codec import _segment_bounds_cached
+from repro.core.transformations import by_selector
 from repro.errors import DecodeFault, TableIntegrityError
 from repro.hw.bbit import BasicBlockIdentificationTable
 from repro.hw.tt import TransformationTable
 from repro.obs import OBS
 
 __all__ = ["FetchDecoder", "DecodeFault", "TableIntegrityError"]
+
+#: Hardware selector code -> tau truth table, for rebuilding a TT
+#: row's per-line decode planes on the bulk bitplane path.
+_SELECTOR_TRUTH_TABLES = tuple(
+    by_selector(selector).func.truth_table for selector in range(8)
+)
 
 #: Retained recover-mode events; older events beyond the cap roll off
 #: (counted in ``recovery_events_dropped``) so a long recover-mode run
@@ -445,21 +454,143 @@ class FetchDecoder:
         addresses: list[int],
         stored_image_lookup,
         finalize: bool = False,
+        use_bitplane: bool = True,
     ) -> list[int]:
         """Decode a full fetch trace.  ``stored_image_lookup`` maps a
         PC to the stored (possibly encoded) word.  ``finalize=True``
         additionally treats end-of-trace as end-of-stream, flagging a
-        truncation that leaves a block half-decoded."""
+        truncation that leaves a block half-decoded.
+
+        In strict mode (with no demoted blocks) full sequential
+        basic-block occurrences decode in bulk through the lane-packed
+        bitplane scan, bit-identical to the per-fetch walk; anything
+        irregular — partial occurrences, BBIT misses, mid-block
+        entries — falls back to :meth:`fetch` so protocol faults and
+        table integrity errors surface exactly as they would
+        instruction by instruction.  ``use_bitplane=False`` (and the
+        recover/degraded modes, whose per-fetch fault contracts are the
+        point) force the scalar walk.  Architectural counters
+        (``decoded_instructions``, ``tt_reads``, BBIT probes) are kept
+        identical on both paths; only the *internal* table-row read
+        volume differs (the bulk path reads each TT row once per block
+        occurrence instead of once per instruction, so
+        ``TransformationTable.parity_checks`` advances more slowly).
+        """
         self.reset()
         baseline = self._table_baseline() if OBS.enabled else None
         with OBS.tracer.span(
             "decoder.decode_trace", mode=self.mode, fetches=len(addresses)
         ):
-            decoded = [
-                self.fetch(pc, stored_image_lookup(pc)) for pc in addresses
-            ]
+            if (
+                use_bitplane
+                and self.mode == "strict"
+                and not self.degraded_region
+            ):
+                decoded = self._decode_trace_bitplane(
+                    addresses, stored_image_lookup
+                )
+            else:
+                decoded = [
+                    self.fetch(pc, stored_image_lookup(pc))
+                    for pc in addresses
+                ]
             if finalize:
                 self.finalize()
         if OBS.enabled:
             self.publish_metrics(baseline)
         return decoded
+
+    def _decode_trace_bitplane(
+        self, addresses: list[int], stored_image_lookup
+    ) -> list[int]:
+        """Strict-mode bulk walk: one bitplane scan per clean
+        sequential block occurrence, scalar :meth:`fetch` for
+        everything else.  Repeated occurrences of an unchanged block
+        (hot loops) reuse the decoded words via a per-trace memo keyed
+        on the stored words themselves."""
+        out: list[int] = []
+        memo: dict[tuple, list[int]] = {}
+        block_size = self.block_size
+        index = 0
+        total = len(addresses)
+        while index < total:
+            pc = addresses[index]
+            if self._active is not None or self._passthrough_run:
+                out.append(self.fetch(pc, stored_image_lookup(pc)))
+                index += 1
+                continue
+            # Engine idle: probe the BBIT exactly as fetch() would
+            # (strict-mode integrity errors propagate from the probe).
+            entry = self.bbit.lookup(pc)
+            if entry is None:
+                if pc in self.encoded_region:
+                    raise DecodeFault(
+                        f"fetch of encoded word at {pc:#010x} without an "
+                        "active basic block (mid-block entry?)"
+                    )
+                self.passthrough_instructions += 1
+                self._expected_pc = None
+                out.append(stored_image_lookup(pc))
+                index += 1
+                continue
+            count = entry.num_instructions
+            if (
+                count < 2
+                or index + count > total
+                or any(
+                    addresses[index + j] != pc + 4 * j
+                    for j in range(1, count)
+                )
+            ):
+                # Partial or truncated occurrence: hand the block to
+                # the scalar engine without re-probing the BBIT.
+                self._passthrough_run = False
+                self._active = _ActiveBlock(
+                    base_tt_index=entry.tt_index,
+                    start_pc=pc,
+                    instructions_total=count,
+                    index=0,
+                )
+                self._expected_pc = pc
+                out.append(self.fetch(pc, stored_image_lookup(pc)))
+                index += 1
+                continue
+            stored = [
+                stored_image_lookup(addresses[index + j])
+                for j in range(count)
+            ]
+            key = (entry.tt_index, pc, tuple(stored))
+            decoded_words = memo.get(key)
+            if decoded_words is None:
+                num_segments = (count - 2) // (block_size - 1) + 1
+                plans = []
+                for segment in range(num_segments):
+                    # Same bounds- and SEC-DED checks, in the same row
+                    # order, as the per-fetch path.
+                    row = self.tt.read(entry.tt_index + segment)
+                    plans.append(
+                        tuple(
+                            _SELECTOR_TRUTH_TABLES[selector]
+                            for selector in row.selectors
+                        )
+                    )
+                with OBS.tracer.span(
+                    "decode.bitplane", words=count, segments=num_segments
+                ):
+                    decoded_words = bitplane.decode_block_bitplane(
+                        stored,
+                        _segment_bounds_cached(count, block_size, True),
+                        tuple(plans),
+                        width=len(plans[0]),
+                    )
+                memo[key] = decoded_words
+            out.extend(decoded_words)
+            # Architectural accounting identical to the per-fetch
+            # walk: one TT read per non-anchor instruction, history =
+            # the last decoded word, engine idle after the block.
+            self.decoded_instructions += count
+            self.tt_reads += count - 1
+            self._history_word = decoded_words[-1]
+            self._expected_pc = None
+            index += count
+        return out

@@ -55,6 +55,7 @@ EXPECTED_ENCODE_FAMILIES = (
     "decoder.decoded_instructions",
     "decoder.tt_reads",
     "decoder.bbit_lookups",
+    "codec.bitplane_words_decoded",
     "bus.transitions_measured",
 )
 

@@ -26,7 +26,11 @@ from repro.core.program_codec import (
     decode_basic_block,
     encode_basic_block,
 )
-from repro.core.stream_codec import StreamEncoder, decode_with_plan
+from repro.core.stream_codec import (
+    StreamEncoder,
+    decode_stream,
+    decode_with_plan,
+)
 from repro.obs.report import run_metadata
 from repro.obs.tracing import Tracer
 
@@ -145,6 +149,94 @@ def _best_time(
             fn()
         best = min(best, span.duration)
     return best
+
+
+def _trace_decode_case(
+    block_size: int, repeats: int, workload_name: str = "conv2d"
+) -> BenchCase:
+    """Full ``decode_trace`` over a workload image: the workload's hot
+    basic blocks encoded and patched into the program image exactly as
+    :class:`~repro.pipeline.flow.EncodingFlow` deploys them, then the
+    *actual* simulator fetch trace replayed through the decoder.  The
+    reference is the same engine forced onto the per-fetch walk
+    (``use_bitplane=False``); the bulk path's per-trace block
+    memoization is in play, as it is in production, because a real
+    trace re-fetches its hot loops."""
+    from repro.cfg.graph import ControlFlowGraph
+    from repro.cfg.hotspot import select_hot_blocks
+    from repro.cfg.loops import find_natural_loops
+    from repro.cfg.profile import profile_trace
+    from repro.core.program_codec import encode_basic_blocks
+    from repro.hw.bbit import BasicBlockIdentificationTable, BBITEntry
+    from repro.hw.fetch_decoder import FetchDecoder
+    from repro.hw.tt import TransformationTable
+    from repro.sim.cpu import run_program
+    from repro.workloads.registry import build_workload
+
+    program = build_workload(workload_name).assemble()
+    _cpu, trace = run_program(program)
+    cfg = ControlFlowGraph.build(program)
+    profile = profile_trace(cfg, trace)
+    plan = select_hot_blocks(
+        profile, block_size, loops=find_natural_loops(cfg)
+    )
+    tt = TransformationTable(max(1, plan.tt_entries_used), parity=True)
+    bbit = BasicBlockIdentificationTable(
+        max(1, len(plan.selected)), parity=True
+    )
+    image = list(program.words)
+    encoded_region: set[int] = set()
+    lengths = {
+        start: plan.encoded_length(start, len(cfg.blocks[start]))
+        for start in plan.selected
+    }
+    encodings = encode_basic_blocks(
+        [cfg.blocks[start].words[: lengths[start]] for start in plan.selected],
+        block_size,
+    )
+    for start, encoding in zip(plan.selected, encodings):
+        length = lengths[start]
+        bbit.install(
+            BBITEntry(
+                pc=start,
+                tt_index=tt.allocate(encoding),
+                num_instructions=length,
+            )
+        )
+        first = program.index_of(start)
+        for offset, word in enumerate(encoding.encoded_words):
+            image[first + offset] = word
+        encoded_region.update(range(start, start + 4 * length, 4))
+
+    base = program.text_base
+    fetches = list(trace)
+
+    def _decode(use_bitplane: bool) -> list[int]:
+        decoder = FetchDecoder(
+            tt, bbit, block_size, encoded_region=encoded_region
+        )
+        return decoder.decode_trace(
+            fetches,
+            lambda pc: image[(pc - base) >> 2],
+            use_bitplane=use_bitplane,
+        )
+
+    if _decode(True) != _decode(False):
+        raise RuntimeError(
+            "trace_decode: bulk bitplane walk diverged from the "
+            "per-fetch walk"
+        )
+    return BenchCase(
+        name="trace_decode",
+        unit="words",
+        units_per_run=len(fetches),
+        reference_seconds=_best_time(
+            lambda: _decode(False), repeats, "bench.trace_decode.reference"
+        ),
+        fast_seconds=_best_time(
+            lambda: _decode(True), repeats, "bench.trace_decode.fast"
+        ),
+    )
 
 
 def run_codec_benchmarks(
@@ -267,6 +359,60 @@ def run_codec_benchmarks(
             ),
         )
     )
+
+    # Per-path decode cases: the same encoded stream through each
+    # scalar decoder as its own reference, with the bitplane doubling
+    # scan as the fast path, so BENCH_codec.json tracks the decode
+    # trajectory per-path (not just the plan aggregate above).
+    decoded_bitplane = decode_stream(stream_encoding)
+    if decoded_bitplane != stream or decoded_bitplane != decode_stream(
+        stream_encoding, use_bitplane=False
+    ):
+        raise RuntimeError(
+            "stream_decode_table: bitplane decode diverged from the "
+            "suffix-table decode"
+        )
+    if decoded_bitplane != decode_stream(stream_encoding, use_tables=False):
+        raise RuntimeError(
+            "stream_decode_serial: bitplane decode diverged from the "
+            "bit-serial decode"
+        )
+    cases.append(
+        BenchCase(
+            name="stream_decode_table",
+            unit="bits",
+            units_per_run=stream_length,
+            reference_seconds=_best_time(
+                lambda: decode_stream(stream_encoding, use_bitplane=False),
+                repeats,
+                "bench.stream_decode_table.reference",
+            ),
+            fast_seconds=_best_time(
+                lambda: decode_stream(stream_encoding),
+                repeats,
+                "bench.stream_decode_table.fast",
+            ),
+        )
+    )
+    cases.append(
+        BenchCase(
+            name="stream_decode_serial",
+            unit="bits",
+            units_per_run=stream_length,
+            reference_seconds=_best_time(
+                lambda: decode_stream(stream_encoding, use_tables=False),
+                repeats,
+                "bench.stream_decode_serial.reference",
+            ),
+            fast_seconds=_best_time(
+                lambda: decode_stream(stream_encoding),
+                repeats,
+                "bench.stream_decode_serial.fast",
+            ),
+        )
+    )
+
+    cases.append(_trace_decode_case(block_size, repeats))
 
     # Provenance stamp (git SHA, platform, timestamp, run id) so
     # BENCH_codec.json files are comparable across PRs and machines.

@@ -4,20 +4,23 @@ Each check runs one input through all independent implementations of
 the same contract and demands bit-identical agreement:
 
 * stream level — compiled fast path vs reference :class:`BlockSolver`
-  encode, suffix-table vs bit-serial decode, plan-based decode
-  (:func:`check_stream`);
-* program level — vertical fast/reference block encode, table decode,
-  and the behavioural :class:`FetchDecoder` in strict, recover and
-  degraded modes against the golden words (:func:`check_program`);
+  encode, then bitplane vs suffix-table vs bit-serial decode (plus the
+  plan-based variants of all three, and every available bitplane
+  backend) (:func:`check_stream`);
+* program level — vertical fast/reference block encode, bitplane /
+  table / bit-serial block decode, the behavioural
+  :class:`FetchDecoder` in strict, recover and degraded modes against
+  the golden words, and the bulk ``decode_trace`` bitplane walk
+  against the per-fetch walk (:func:`check_program`);
 * table-state level — seeded SEC-DED corruption of live TT/BBIT rows,
   checking each decoder mode's *exact* contractual output: strict
   raises, recover serves the documented pass-through region, degraded
   stays bit-identical to the golden image (:func:`check_tables`);
 * exhaustive sweeps — every codebook entry for a block size against
-  the reference solver plus both decode paths
+  the reference solver plus all three decode paths
   (:func:`sweep_codebook`), and every τ selector's decode tables
-  against the bit-serial recurrence and the hardware
-  :class:`TTEntry` gate model (:func:`sweep_tau`), in the
+  against the bit-serial recurrence, the bitplane doubling scan and
+  the hardware :class:`TTEntry` gate model (:func:`sweep_tau`), in the
   exhaustive-enumeration spirit of the bus-encoding literature.
 
 Checks never raise on divergence — they return a
@@ -30,6 +33,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.core import bitplane
 from repro.core.block_solver import BlockSolver
 from repro.core.bitstream import pack_bits
 from repro.core.program_codec import (
@@ -37,6 +41,7 @@ from repro.core.program_codec import (
     encode_basic_block,
 )
 from repro.core.stream_codec import (
+    _segment_bounds_cached,
     decode_stream,
     decode_with_plan,
     encode_stream,
@@ -96,7 +101,10 @@ def check_stream(stream: list[int], block_size: int, strategy: str) -> CheckResu
             detail="compiled codebook encoding != reference BlockSolver "
             "encoding for the same stream",
         )
-    decoded_tables = decode_stream(fast)
+    decoded_bitplane = decode_stream(fast)
+    if decoded_bitplane != list(stream):
+        return result.fail("bitplane_decode_wrong")
+    decoded_tables = decode_stream(fast, use_bitplane=False)
     if decoded_tables != list(stream):
         return result.fail("table_decode_wrong")
     decoded_serial = decode_stream(fast, use_tables=False)
@@ -106,11 +114,27 @@ def check_stream(stream: list[int], block_size: int, strategy: str) -> CheckResu
         plan = fast.transformations()
         stored = list(fast.encoded)
         if decode_with_plan(stored, block_size, plan) != list(stream):
+            return result.fail("plan_bitplane_decode_wrong")
+        if decode_with_plan(
+            stored, block_size, plan, use_bitplane=False
+        ) != list(stream):
             return result.fail("plan_table_decode_wrong")
         if decode_with_plan(
             stored, block_size, plan, use_tables=False
         ) != list(stream):
             return result.fail("plan_bit_serial_decode_wrong")
+        # Every available bitplane backend must agree bit-for-bit (on
+        # a numpy host this runs the pure big-int scan as well).
+        packed, length = bitplane.pack_validated(stored)
+        bounds = _segment_bounds_cached(length, block_size, True)
+        for backend in bitplane.available_backends():
+            scanned = bitplane.decode_plan_bitplane(
+                packed, length, bounds, plan, backend=backend
+            )
+            if bitplane.bits_list(scanned, length) != list(stream):
+                return result.fail(
+                    "bitplane_backend_decode_wrong", backend=backend
+                )
 
     # Coverage footprint: which codebook entries this stream resolved
     # through, which boundary/tail classes it ended on.
@@ -161,6 +185,8 @@ def check_program(words: list[int], block_size: int) -> CheckResult:
     if fast != reference:
         return result.fail("program_encode_paths_diverge")
     if decode_basic_block(fast) != list(words):
+        return result.fail("program_bitplane_decode_wrong")
+    if decode_basic_block(fast, use_bitplane=False) != list(words):
         return result.fail("program_table_decode_wrong")
     if decode_basic_block(fast, use_tables=False) != list(words):
         return result.fail("program_bit_serial_decode_wrong")
@@ -189,6 +215,37 @@ def check_program(words: list[int], block_size: int) -> CheckResult:
         if decoder.recovery_events or decoder.degradations:
             return result.fail("decoder_spurious_recovery", mode=mode)
         result.cover("decoder_transitions", f"clean:{mode}")
+
+    # The bulk decode_trace bitplane walk must match the per-fetch
+    # walk on both output and architectural counters.
+    walks = []
+    for use_bitplane in (True, False):
+        decoder = FetchDecoder(
+            deployment.tt,
+            deployment.bbit,
+            block_size,
+            encoded_region=deployment.encoded_region,
+        )
+        try:
+            decoded = decoder.decode_trace(
+                deployment.trace_for(0),
+                deployment.image.__getitem__,
+                finalize=True,
+                use_bitplane=use_bitplane,
+            )
+        except ReproError as err:
+            return result.fail(
+                "decode_trace_raised",
+                bitplane=use_bitplane,
+                error=repr(err),
+            )
+        walks.append(
+            (decoded, decoder.decoded_instructions, decoder.tt_reads)
+        )
+    if walks[0][0] != list(words):
+        return result.fail("decode_trace_bitplane_output_wrong")
+    if walks[0] != walks[1]:
+        return result.fail("decode_trace_paths_diverge")
     return result
 
 
@@ -362,7 +419,8 @@ def _decode_code_bits(code: list[int], tau, history: int | None) -> list[int]:
 
 def sweep_codebook(block_size: int) -> CheckResult:
     """Every full-width block word through every codebook variant,
-    against the reference solver and both decode directions."""
+    against the reference solver and all three decode directions
+    (bit-serial, suffix table, bitplane scan)."""
     from repro.core.fastpath import decode_suffix_table, get_codebook
 
     result = CheckResult()
@@ -430,6 +488,20 @@ def sweep_codebook(block_size: int) -> CheckResult:
                     variant=variant,
                     word=word_int,
                 )
+            # Bitplane scan leg: the anchor position reproduces the
+            # first decoded bit verbatim, so seeding it with the
+            # overlap history models the constrained protocol exactly.
+            scan_code = (code_int & ~1) | first_decoded
+            scanned = bitplane.decode_plan_bitplane(
+                scan_code, block_size, ((0, block_size),), (tau,)
+            )
+            if scanned != word_int:
+                return result.fail(
+                    "codebook_bitplane_roundtrip_wrong",
+                    k=block_size,
+                    variant=variant,
+                    word=word_int,
+                )
             result.cover(
                 "codebook_entries",
                 codebook_key(block_size, variant, word_int),
@@ -438,10 +510,11 @@ def sweep_codebook(block_size: int) -> CheckResult:
 
 
 def sweep_tau(block_size: int) -> CheckResult:
-    """Every τ selector's decode, exhaustively, through both layers:
-    the compiled suffix tables vs the bit-serial recurrence for every
-    (history, stored suffix), and the hardware :class:`TTEntry` masked
-    gate model vs per-line function application on seeded words."""
+    """Every τ selector's decode, exhaustively, through every layer:
+    the compiled suffix tables and the bitplane doubling scan vs the
+    bit-serial recurrence for every (history, stored suffix), and the
+    hardware :class:`TTEntry` masked gate model vs per-line function
+    application on seeded words."""
     from repro.core.fastpath import decode_suffix_table
 
     result = CheckResult()
@@ -460,6 +533,21 @@ def sweep_tau(block_size: int) -> CheckResult:
                     if table[history][stored] != expected:
                         return result.fail(
                             "suffix_table_diverges",
+                            k=block_size,
+                            selector=selector,
+                            suffix_len=suffix_len,
+                            history=history,
+                            stored=stored,
+                        )
+                    scanned = bitplane.decode_plan_bitplane(
+                        (stored << 1) | history,
+                        suffix_len + 1,
+                        ((0, suffix_len + 1),),
+                        (transformation,),
+                    )
+                    if scanned != (expected << 1) | history:
+                        return result.fail(
+                            "bitplane_scan_diverges",
                             k=block_size,
                             selector=selector,
                             suffix_len=suffix_len,

@@ -56,6 +56,27 @@ def _mutate_codebook_entry() -> None:
     book.anchored[5][0b10110] = (code_int ^ 0b00010, tau, cost)
 
 
+def _mutate_bitplane_scan() -> None:
+    """XOR bit 1 into every bitplane doubling-scan decode of a stream
+    at least two bits long (bit 0 is the anchor, which the scalar
+    paths also reproduce verbatim, so the flip lands on a decoded body
+    bit).  Caught by the stream checks (bitplane vs table/bit-serial)
+    and the exhaustive τ sweep."""
+    from repro.core import bitplane
+
+    real = bitplane.decode_plan_bitplane
+
+    def corrupted(encoded_int, length, bounds, transformations, *args, **kwargs):
+        decoded = real(
+            encoded_int, length, bounds, transformations, *args, **kwargs
+        )
+        if length >= 2:
+            decoded ^= 0b10
+        return decoded
+
+    bitplane.decode_plan_bitplane = corrupted
+
+
 def _mutate_tt_decode() -> None:
     """XOR bit 0 into every hardware TT-entry decode.  The fetch
     decoder's restored words diverge from the golden program on every
@@ -82,6 +103,10 @@ MUTATIONS: dict[str, tuple[str, object]] = {
     "tt-decode": (
         "hardware TT entry decode XORs bit 0 into every restored word",
         _mutate_tt_decode,
+    ),
+    "bitplane-scan": (
+        "bitplane doubling scan XORs bit 1 into every decoded stream",
+        _mutate_bitplane_scan,
     ),
 }
 

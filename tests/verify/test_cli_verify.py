@@ -28,6 +28,7 @@ MUTATION_ARGS = {
     "suffix-table": FAST_ARGS,
     "codebook-entry": ["--cases", "20", "--seed", "7", "--block-sizes", "5"],
     "tt-decode": FAST_ARGS,
+    "bitplane-scan": FAST_ARGS,
 }
 
 
@@ -65,7 +66,8 @@ class TestCleanRun:
 
 
 @pytest.mark.parametrize(
-    "mutation", ["suffix-table", "codebook-entry", "tt-decode"]
+    "mutation",
+    ["suffix-table", "codebook-entry", "tt-decode", "bitplane-scan"],
 )
 class TestMutationSelfTest:
     def test_mutated_decoder_fails_check_and_is_replayable(

@@ -35,6 +35,7 @@ SECTIONS = [
     ("ext_compiled_codegen", "Extension — compiled vs hand-written code"),
     ("ext_compiled_fig6", "Extension — Figure 6 on compiled code"),
     ("ext_regional_reprogramming", "Extension — regional reprogramming"),
+    ("serve_latency", "Engineering — encoding service under chaos load"),
 ]
 
 

@@ -20,20 +20,26 @@ command        what it prints
 ``experiment`` the parameter-sweep grid (workloads x block sizes x TT
                capacities x strategies) as CSV, also resumable
 ``metrics``    metric families from a RUN_report.json (``--check``
-               gates on the expected encode families)
+               gates on the expected encode families, or the serve
+               families with ``--expect serve``)
 ``trace``      span timings from a RUN_report.json (``--top N``)
 ``verify``     the differential verification campaign: seeded inputs
                through every decode path plus exhaustive sweeps,
                written to VERIFY_report.json (``--check`` gates on
                zero mismatches and 100% gated coverage;
                ``--replay`` reproduces a recorded counterexample)
+``serve``      the fault-tolerant async encoding service:
+               ``--selftest`` runs the seeded chaos/load harness
+               (SERVE_report.json + BENCH_serve.json), ``--jobs``
+               serves a batch file; ``--wal``/``--resume`` make a
+               SIGKILLed run replay to byte-identical results
 =============  =====================================================
 
-``encode``, ``faults`` and ``verify`` accept ``--metrics``: the run
-is executed with the observability layer on and a machine-readable
-snapshot (metrics + spans + provenance) is written to
-``RUN_report.json`` (``verify`` names it ``--run-report``, since its
-``--report`` is the verification report itself).
+``encode``, ``faults``, ``verify`` and ``serve`` accept ``--metrics``:
+the run is executed with the observability layer on and a
+machine-readable snapshot (metrics + spans + provenance) is written to
+``RUN_report.json`` (``verify`` and ``serve`` name it ``--run-report``,
+since their ``--report`` is the campaign report itself).
 """
 
 from __future__ import annotations
@@ -112,7 +118,12 @@ def _cmd_streams(args: argparse.Namespace) -> int:
 
 
 def _cmd_encode(args: argparse.Namespace) -> int:
+    import hashlib
+
+    from repro.obs import OBS
+    from repro.pipeline.bundle import EncodingBundle
     from repro.pipeline.flow import EncodingFlow
+    from repro.sim.cpu import run_program
     from repro.workloads.registry import build_workload
 
     name = args.workload_opt or args.workload
@@ -135,13 +146,21 @@ def _cmd_encode(args: argparse.Namespace) -> int:
         return 2
     observed = _obs_begin(args)
     workload = build_workload(name)
+    program = workload.assemble()
+    with OBS.tracer.span("flow.simulate", workload=workload.name):
+        cpu, trace = run_program(program)
+        if workload.verify is not None:
+            workload.verify(cpu)
     flow = EncodingFlow(
         block_size=args.block_size,
         tt_capacity=args.tt_entries,
+        strategy=args.strategy,
         use_codebook=not args.reference,
         parallel=args.parallel,
     )
-    result = flow.run_workload(workload)
+    result = flow.run(program, trace, name=workload.name)
+    bundle_json = EncodingBundle.from_flow_result(program, result).to_json()
+    bundle_digest = hashlib.sha256(bundle_json.encode()).hexdigest()
     print(f"workload:      {workload.description}")
     print(
         f"encoder:       "
@@ -160,6 +179,9 @@ def _cmd_encode(args: argparse.Namespace) -> int:
         f"({result.reduction_percent:.1f}% reduction)"
     )
     print(f"decode:        {'verified bit-exact' if result.decode_verified else 'n/a'}")
+    # The same digest a serve-side encode job reports for this config:
+    # the CLI and the service vouch for each other result-for-result.
+    print(f"bundle:        sha256 {bundle_digest} ({args.strategy} strategy)")
     if observed:
         _obs_finish(args, command=f"repro encode {name}")
     return 0
@@ -375,7 +397,11 @@ def _load_report_or_complain(path: str) -> dict | None:
 def _cmd_metrics(args: argparse.Namespace) -> int:
     import json
 
-    from repro.obs.report import missing_families
+    from repro.obs.report import (
+        EXPECTED_ENCODE_FAMILIES,
+        EXPECTED_SERVE_FAMILIES,
+        missing_families,
+    )
 
     data = _load_report_or_complain(args.report)
     if data is None:
@@ -410,7 +436,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                 f"{len(series):>6d} {total_text:>14s}"
             )
     if args.check:
-        missing = missing_families(data)
+        expected = {
+            "encode": EXPECTED_ENCODE_FAMILIES,
+            "serve": EXPECTED_SERVE_FAMILIES,
+        }[args.expect]
+        missing = missing_families(data, expected=expected)
         if missing:
             print(
                 "FAIL: expected metric families missing from the report: "
@@ -418,7 +448,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
-        print("all expected encode metric families present")
+        print(f"all expected {args.expect} metric families present")
     return 0
 
 
@@ -558,6 +588,160 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import hashlib
+    import json
+
+    from repro.errors import ReproError
+    from repro.faults.service import CHAOS_KINDS, parse_chaos_spec
+
+    if bool(args.selftest) == bool(args.jobs):
+        print(
+            "serve: exactly one of --selftest or --jobs FILE is required",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        chaos = (
+            CHAOS_KINDS
+            if args.chaos is None
+            else parse_chaos_spec(args.chaos)
+        )
+    except ReproError as err:
+        print(f"serve: {err}", file=sys.stderr)
+        return 2
+
+    observed = _obs_begin(args)
+    if args.selftest:
+        from repro.serve import SelftestOptions, run_selftest
+
+        options = SelftestOptions(
+            seed=args.seed,
+            tenants=args.tenants,
+            jobs_per_tenant=args.jobs_per_tenant,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            chaos=chaos,
+            deterministic=args.deterministic,
+            transport=args.transport,
+            default_deadline_s=args.deadline,
+            wal_path=args.wal,
+            resume=args.resume,
+            cache_dir=args.cache_dir,
+            report_path=args.report,
+            bench_path=args.bench_json,
+        )
+        report, problems = run_selftest(options)
+        summary = report["summary"]
+        outcome_text = ", ".join(
+            f"{k}={v}" for k, v in summary["outcomes"].items()
+        )
+        print(
+            f"selftest: {summary['jobs']} jobs, {options.tenants} tenants, "
+            f"{options.transport} transport, chaos "
+            f"{'+'.join(sorted(chaos)) or 'off'}"
+        )
+        print(f"outcomes:  {outcome_text}")
+        ops = report.get("ops")
+        if ops:
+            stats = ops["stats"]
+            print(
+                f"handled:   {stats['shed']} shed, {stats['retried']} retried, "
+                f"{stats['pool_rebuilds']} pool rebuilds, "
+                f"{stats['serial_fallbacks']} serial fallbacks, "
+                f"{stats['replayed']} replayed from WAL "
+                f"(wall {ops['wall_s']:.2f}s)"
+            )
+        print(f"wrote {args.report}")
+        print(f"wrote {args.bench_json}")
+        for problem in problems:
+            print(f"PROBLEM: {problem}", file=sys.stderr)
+        if observed:
+            _obs_finish_to(
+                args.run_report, command="repro serve --selftest", seed=args.seed
+            )
+        if problems:
+            print(
+                f"FAIL: {len(problems)} problem(s) — wrong results or "
+                "taxonomy violations",
+                file=sys.stderr,
+            )
+            return 1 if args.check else 0
+        print("selftest: zero wrong results, taxonomy holds")
+        return 0
+
+    from repro.runtime import atomic_write_text
+    from repro.serve import EncodingServer, ServeConfig
+    from repro.serve.jobs import deterministic_result
+
+    try:
+        with open(args.jobs) as handle:
+            text = handle.read()
+    except OSError as err:
+        print(f"serve: cannot read {args.jobs}: {err}", file=sys.stderr)
+        return 2
+    try:
+        loaded = json.loads(text)
+        requests = loaded if isinstance(loaded, list) else [loaded]
+    except json.JSONDecodeError:
+        # JSONL fallback: one request object per non-blank line.
+        requests = [json.loads(line) for line in text.splitlines() if line.strip()]
+    batch_key = hashlib.sha256(
+        json.dumps(requests, sort_keys=True).encode()
+    ).hexdigest()[:16]
+    config = ServeConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        default_deadline_s=args.deadline,
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+        wal_path=args.wal,
+        resume=args.resume,
+        batch_key=batch_key,
+    )
+
+    async def _run_batch():
+        async with EncodingServer(config) as server:
+            return await server.run_batch(requests), server
+
+    results, server = asyncio.run(_run_batch())
+    outcome_counts: dict[str, int] = {}
+    for result in results:
+        outcome_counts[result["outcome"]] = (
+            outcome_counts.get(result["outcome"], 0) + 1
+        )
+    print(
+        f"batch: {len(results)} jobs, outcomes "
+        + ", ".join(f"{k}={v}" for k, v in sorted(outcome_counts.items()))
+    )
+    ordered = sorted(results, key=lambda r: (r["tenant"], r["job_id"]))
+    if args.deterministic:
+        ordered = [deterministic_result(r) for r in ordered]
+    report = {
+        "schema": "repro.serve.batch/1",
+        "seed": args.seed,
+        "batch_key": batch_key,
+        "deterministic": args.deterministic,
+        "summary": {
+            "jobs": len(results),
+            "outcomes": dict(sorted(outcome_counts.items())),
+        },
+        "jobs": ordered,
+    }
+    if not args.deterministic:
+        report["ops"] = {"stats": dict(server.stats)}
+    atomic_write_text(args.report, json.dumps(report, indent=1) + "\n")
+    print(f"wrote {args.report}")
+    if observed:
+        _obs_finish_to(args.run_report, command="repro serve", seed=args.seed)
+    errors = outcome_counts.get("error", 0)
+    if args.check and errors:
+        print(f"FAIL: {errors} job(s) ended outcome 'error'", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _obs_finish_to(path: str, command: str, seed: int | None = None) -> None:
     """Like :func:`_obs_finish` but with an explicit report path, for
     commands whose ``--report`` means something else."""
@@ -653,6 +837,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed per-block BlockSolver (bit-identical, slower)",
     )
     p.set_defaults(reference=False)
+    p.add_argument(
+        "--strategy",
+        choices=("greedy", "optimal"),
+        default="greedy",
+        help="block-selection strategy (the same two repro serve accepts)",
+    )
     p.add_argument(
         "--parallel",
         type=int,
@@ -906,6 +1096,121 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser(
+        "serve",
+        help="fault-tolerant async encoding service (selftest or batch)",
+    )
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run the seeded chaos/load harness against a live server",
+    )
+    mode.add_argument(
+        "--jobs",
+        default=None,
+        metavar="FILE",
+        help="serve a batch of job requests from FILE (JSON list or JSONL)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--tenants", type=int, default=6, help="selftest: concurrent tenants"
+    )
+    p.add_argument(
+        "--jobs-per-tenant",
+        type=int,
+        default=25,
+        help="selftest: jobs each tenant submits",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2, help="encoding worker processes"
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="admission-control bound; beyond it jobs are shed with "
+        "retry-after",
+    )
+    p.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="selftest chaos models, comma-separated from "
+        "kill,slow,malformed (default all; '' disables)",
+    )
+    p.add_argument(
+        "--transport",
+        choices=("inproc", "tcp"),
+        default="inproc",
+        help="selftest: in-process submits or one TCP client per tenant",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        help="default per-job deadline in seconds",
+    )
+    p.add_argument(
+        "--wal",
+        default=None,
+        metavar="PATH",
+        help="journal finished jobs to a JSONL write-ahead log",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the --wal log and serve already-finished jobs from it",
+    )
+    p.add_argument(
+        "--deterministic",
+        action="store_true",
+        help="zero attempt/latency fields so identical (and resumed) runs "
+        "write byte-identical reports",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="warm-start bundle cache directory shared across runs",
+    )
+    p.add_argument(
+        "--report",
+        default="SERVE_report.json",
+        metavar="PATH",
+        help="where to write the serve report",
+    )
+    p.add_argument(
+        "--bench-json",
+        default="BENCH_serve.json",
+        metavar="PATH",
+        help="selftest: where to write latency/throughput benchmarks",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 on selftest problems (or batch jobs ending 'error')",
+    )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="run with observability on and write a run report",
+    )
+    p.add_argument(
+        "--run-report",
+        default="RUN_report.json",
+        metavar="PATH",
+        help="where --metrics writes the observability snapshot "
+        "(--report is the serve report)",
+    )
+    p.add_argument(
+        "--trace-jsonl",
+        default=None,
+        metavar="PATH",
+        help="also stream one JSON span event per line to PATH",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
         "metrics", help="metric families from a RUN_report.json"
     )
     p.add_argument(
@@ -920,7 +1225,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--check",
         action="store_true",
-        help="exit 1 unless every expected encode metric family is present",
+        help="exit 1 unless every expected metric family is present",
+    )
+    p.add_argument(
+        "--expect",
+        choices=("encode", "serve"),
+        default="encode",
+        help="which family set --check gates on (default: encode)",
     )
     p.set_defaults(func=_cmd_metrics)
 

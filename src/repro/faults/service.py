@@ -1,0 +1,125 @@
+"""Service-level chaos models for the encoding service.
+
+The PR-2 fault models corrupt *deployed state* (tables, images,
+fetch streams); these corrupt the *service* around the computation —
+the failure modes a long-lived multi-tenant server actually meets:
+
+==============  ======================================================
+model           injection
+==============  ======================================================
+``kill``        the codec worker process executing the job dies with
+                ``os._exit`` mid-case (first attempt only — a crash
+                is transient, the retry must succeed)
+``slow``        the worker stalls well past the job's deadline (the
+                job is marked with a tight per-tenant deadline, so
+                the outcome is a deterministic ``deadline_exceeded``)
+``malformed``   the job request itself is corrupted before admission
+                (wrong field type, unknown kind, missing workload);
+                validation must reject it before any work is queued
+==============  ======================================================
+
+Injection is a pure function of ``(seed, tenant, job_id)``, so a
+chaos campaign is exactly reproducible and — crucially for the
+SIGKILL/resume gate — a *resumed* campaign regenerates the same chaos
+plan for the jobs it still has to run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: Chaos model names accepted by ``repro serve --chaos``.
+CHAOS_KINDS = ("kill", "slow", "malformed")
+
+#: How long a ``slow`` worker stalls, and the tight deadline the job
+#: is given so the stall deterministically exceeds it.  The margin is
+#: wide (5x) so scheduler noise cannot flip the outcome.
+SLOW_STALL_S = 2.0
+SLOW_DEADLINE_S = 0.4
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """What (if anything) chaos does to one job."""
+
+    kind: str  # one of CHAOS_KINDS
+    detail: str = ""
+
+
+class ChaosPolicy:
+    """Seeded per-job chaos assignment.
+
+    Each job draws once from ``random.Random(f"{seed}:{tenant}:{job_id}")``;
+    at most one model fires per job so taxonomies stay disjoint
+    (a killed worker that is also past deadline would be ambiguous).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        models: tuple[str, ...] = CHAOS_KINDS,
+        kill_rate: float = 0.06,
+        slow_rate: float = 0.04,
+        malformed_rate: float = 0.05,
+    ):
+        unknown = [name for name in models if name not in CHAOS_KINDS]
+        if unknown:
+            raise ReproError(
+                f"unknown chaos model(s): {', '.join(unknown)}; "
+                f"available: {', '.join(CHAOS_KINDS)}"
+            )
+        self.seed = seed
+        self.models = tuple(models)
+        self.rates = {
+            "kill": kill_rate if "kill" in models else 0.0,
+            "slow": slow_rate if "slow" in models else 0.0,
+            "malformed": malformed_rate if "malformed" in models else 0.0,
+        }
+
+    def plan_for(self, tenant: str, job_id: str) -> ChaosPlan | None:
+        rng = random.Random(f"chaos:{self.seed}:{tenant}:{job_id}")
+        draw = rng.random()
+        threshold = 0.0
+        for kind in CHAOS_KINDS:
+            threshold += self.rates[kind]
+            if draw < threshold:
+                return ChaosPlan(kind=kind, detail=f"draw={draw:.4f}")
+        return None
+
+    def corrupt(self, request: dict, tenant: str, job_id: str) -> dict:
+        """The ``malformed`` injection: break the request the way a
+        buggy client would, deterministically per job."""
+        rng = random.Random(f"corrupt:{self.seed}:{tenant}:{job_id}")
+        broken = dict(request)
+        mutation = rng.choice(
+            ("unknown_kind", "bad_block_size", "missing_workload", "bad_tt")
+        )
+        if mutation == "unknown_kind":
+            broken["kind"] = "frobnicate"
+        elif mutation == "bad_block_size":
+            broken["block_size"] = "five"
+        elif mutation == "missing_workload":
+            broken.pop("workload", None)
+        else:
+            broken["tt_capacity"] = -3
+        broken["_chaos_mutation"] = mutation
+        return broken
+
+
+def parse_chaos_spec(spec: str | None) -> tuple[str, ...]:
+    """``"kill,slow"`` -> ``("kill", "slow")``; validates names."""
+    if not spec:
+        return ()
+    models = tuple(
+        name.strip() for name in spec.split(",") if name.strip()
+    )
+    unknown = [name for name in models if name not in CHAOS_KINDS]
+    if unknown:
+        raise ReproError(
+            f"unknown chaos model(s): {', '.join(unknown)}; "
+            f"available: {', '.join(CHAOS_KINDS)}"
+        )
+    return models

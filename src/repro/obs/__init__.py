@@ -45,6 +45,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.report import (
     EXPECTED_ENCODE_FAMILIES,
+    EXPECTED_SERVE_FAMILIES,
     RunReport,
     git_revision,
     load_run_report,
@@ -70,6 +71,7 @@ __all__ = [
     "new_run_id",
     "RunReport",
     "EXPECTED_ENCODE_FAMILIES",
+    "EXPECTED_SERVE_FAMILIES",
     "git_revision",
     "load_run_report",
     "missing_families",

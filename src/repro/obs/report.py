@@ -31,6 +31,7 @@ from repro.obs.tracing import Tracer
 __all__ = [
     "REPORT_SCHEMA_VERSION",
     "EXPECTED_ENCODE_FAMILIES",
+    "EXPECTED_SERVE_FAMILIES",
     "RunReport",
     "git_revision",
     "load_run_report",
@@ -57,6 +58,20 @@ EXPECTED_ENCODE_FAMILIES = (
     "decoder.bbit_lookups",
     "codec.bitplane_words_decoded",
     "bus.transitions_measured",
+)
+
+#: Metric families a ``repro serve --metrics`` run must populate —
+#: the server pre-registers every one at startup, so even a run with
+#: zero sheds / retries / timeouts exposes the family (a zero is an
+#: answer; an absent family is dropped instrumentation).
+EXPECTED_SERVE_FAMILIES = (
+    "serve.jobs_accepted",
+    "serve.jobs_completed",
+    "serve.jobs_shed",
+    "serve.jobs_retried",
+    "serve.jobs_deadline_exceeded",
+    "serve.queue_depth",
+    "serve.job_seconds",
 )
 
 

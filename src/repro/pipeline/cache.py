@@ -1,0 +1,142 @@
+"""Memoized codebook/bundle cache for the encoding service.
+
+The serve front-end fields many jobs that differ only in tenant and
+job id: the *computation* is keyed by ``(workload-hash, block size,
+TT capacity, strategy)`` and is a pure function of that key, so a
+bounded LRU over finished results turns repeat jobs into dictionary
+lookups.  Two layers:
+
+* an in-memory LRU (:class:`BundleCache`) each codec worker process
+  owns privately, and
+* an optional on-disk mirror (``cache_dir``) written atomically —
+  freshly forked workers (including a pool rebuilt after a crash)
+  warm-start from it, and a restarted server does not recompute what
+  the previous incarnation already paid for.
+
+Entries are JSON dicts (a job result payload, including the bundle
+digests) — deliberately the *deterministic* representation, so a
+cache hit is byte-for-byte the result a cold compute would produce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.obs import OBS
+from repro.runtime import atomic_write_text
+
+
+def workload_fingerprint(words: list[int]) -> str:
+    """Stable identity of an assembled program image (the
+    ``workload-hash`` half of a cache key)."""
+    payload = b"".join(w.to_bytes(4, "little") for w in words)
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def cache_key(
+    workload_hash: str, block_size: int, tt_capacity: int, strategy: str
+) -> str:
+    """The canonical cache key: every parameter that changes the
+    encoded artefact, nothing that does not."""
+    return f"{workload_hash}-k{block_size}-tt{tt_capacity}-{strategy}"
+
+
+class BundleCache:
+    """Bounded LRU of finished encode results with a disk mirror.
+
+    ``get``/``put`` never raise on disk trouble: a cache that can take
+    a service down is worse than no cache, so I/O failures degrade to
+    a miss (and a counter) instead of an exception.
+    """
+
+    def __init__(self, capacity: int = 64, cache_dir: str | Path | None = None):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.disk_loads = 0
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    def _disk_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def _count(self, name: str, help_: str) -> None:
+        if OBS.enabled:
+            OBS.registry.counter(name, help_).inc()
+
+    def get(self, key: str) -> dict | None:
+        """In-memory hit, else disk warm-start, else ``None``."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._count("cache.hits", "bundle-cache lookups served from memory")
+            return entry
+        if self.cache_dir is not None:
+            path = self._disk_path(key)
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                entry = None
+            if isinstance(entry, dict):
+                self.disk_loads += 1
+                self._count(
+                    "cache.disk_loads",
+                    "bundle-cache entries warm-started from disk",
+                )
+                self._install(key, entry, write_disk=False)
+                return entry
+        self.misses += 1
+        self._count("cache.misses", "bundle-cache lookups that must compute")
+        return None
+
+    def put(self, key: str, entry: dict) -> None:
+        self._install(key, entry, write_disk=True)
+
+    def _install(self, key: str, entry: dict, write_disk: bool) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            self._count(
+                "cache.evictions", "bundle-cache LRU evictions (memory only)"
+            )
+        if write_disk and self.cache_dir is not None:
+            try:
+                # Atomic + deterministic content: concurrent workers
+                # writing the same key race benignly (identical bytes).
+                atomic_write_text(
+                    self._disk_path(key),
+                    json.dumps(entry, separators=(",", ":")) + "\n",
+                )
+            except OSError:
+                self._count(
+                    "cache.disk_errors", "bundle-cache disk writes that failed"
+                )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_loads": self.disk_loads,
+        }

@@ -20,6 +20,7 @@ the whole run.  This package holds the harness-independent pieces:
 """
 
 from repro.runtime.checkpoint import (
+    CheckpointLockError,
     CheckpointLog,
     CheckpointMismatchError,
     atomic_write_text,
@@ -29,15 +30,18 @@ from repro.runtime.retry import (
     BackoffPolicy,
     CircuitBreaker,
     retry_call,
+    retry_call_async,
 )
 
 __all__ = [
     "atomic_write_text",
+    "CheckpointLockError",
     "CheckpointLog",
     "CheckpointMismatchError",
     "BackoffPolicy",
     "CircuitBreaker",
     "retry_call",
+    "retry_call_async",
     "DeadlineExceeded",
     "run_with_deadline",
 ]

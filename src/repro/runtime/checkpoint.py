@@ -26,14 +26,29 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import weakref
 from pathlib import Path
 
 from repro.errors import ReproError
 from repro.obs import OBS
 
+try:  # Unix only; Windows falls back to unlocked appends.
+    import fcntl
+except ImportError:  # pragma: no cover - non-Unix platforms
+    fcntl = None  # type: ignore[assignment]
+
 
 class CheckpointMismatchError(ReproError):
     """Resume attempted against a WAL from a different run config."""
+
+
+class CheckpointLockError(ReproError):
+    """A second writer tried to append to an already-locked WAL.
+
+    Two writers interleaving records on one log would corrupt the
+    replay silently (each believes every record is its own), so the
+    first append takes an exclusive advisory lock on the file and any
+    other opener fails loudly instead."""
 
 
 def atomic_write_text(path: Path | str, content: str) -> None:
@@ -128,11 +143,35 @@ class CheckpointLog:
 
     # -- appending -----------------------------------------------------
 
+    def open_for_append(self) -> None:
+        """Eagerly take the WAL lock (normally taken lazily by the
+        first :meth:`record`), so a process that must not share the
+        log — a resumed server — fails fast at startup instead of
+        mid-dispatch."""
+        self._ensure_open()
+
     def _ensure_open(self) -> None:
         if self._handle is not None:
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        # The lock must be taken *before* the torn-tail repair below:
+        # two writers racing that repair could each append a newline.
+        # flock is per open file description, so a second CheckpointLog
+        # in the same process conflicts just like one in another
+        # process (exactly what the contention test exercises).
+        lock_handle = self.path.open("a", encoding="utf-8")
+        if fcntl is not None:
+            try:
+                fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                lock_handle.close()
+                raise CheckpointLockError(
+                    f"checkpoint log {self.path} is already locked by "
+                    "another writer; two writers on one WAL would "
+                    "interleave records (resume the existing run or "
+                    "point this one at its own --wal path)"
+                ) from None
+        fresh = self.path.stat().st_size == 0
         if not fresh:
             # A torn tail means the file doesn't end in a newline; a
             # plain append would glue the next record onto the torn
@@ -145,7 +184,10 @@ class CheckpointLog:
                     repair.write(b"\n")
                     repair.flush()
                     os.fsync(repair.fileno())
-        self._handle = self.path.open("a", encoding="utf-8")
+        # The locked handle doubles as the append handle (append mode
+        # positions every write at EOF, so the repair above is seen).
+        self._handle = lock_handle
+        _OPEN_LOGS.add(self)
         if fresh:
             self._append_line({"run_key": self.run_key})
 
@@ -176,9 +218,38 @@ class CheckpointLog:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+        _OPEN_LOGS.discard(self)
 
     def __enter__(self) -> "CheckpointLog":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+#: Logs currently holding the append lock, so fork children can be
+#: scrubbed of them (weak: a dropped log must not be kept alive).
+_OPEN_LOGS: "weakref.WeakSet[CheckpointLog]" = weakref.WeakSet()
+
+
+def _release_inherited_locks() -> None:
+    """Drop WAL handles in a freshly forked child.
+
+    ``flock`` belongs to the open file *description*, which fork
+    children share — a pool worker that inherits a locked WAL keeps it
+    locked even after the parent is SIGKILLed (orphaned workers made a
+    resumed server hang on ``CheckpointLockError`` forever).  Closing
+    the child's copy leaves the parent as the description's only
+    holder, so the lock dies exactly when the parent does."""
+    for log in list(_OPEN_LOGS):
+        handle, log._handle = log._handle, None
+        _OPEN_LOGS.discard(log)
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:  # pragma: no cover - best-effort scrub
+                pass
+
+
+if hasattr(os, "register_at_fork"):  # Unix; a no-op elsewhere
+    os.register_at_fork(after_in_child=_release_inherited_locks)

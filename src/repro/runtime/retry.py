@@ -4,20 +4,37 @@ Campaign results must be reproducible byte-for-byte, so the jitter
 that decorrelates retry storms cannot come from ``random`` global
 state or the clock: :class:`BackoffPolicy` derives it from a caller
 seed, making every delay schedule a pure function of
-``(seed, attempt)``.
+``(seed, attempt)``.  :func:`retry_call` is the synchronous harness;
+:func:`retry_call_async` is the same loop for coroutines (the serve
+front-end), sleeping through ``asyncio`` so the event loop keeps
+running — and staying cancellable mid-backoff.
 
 :class:`CircuitBreaker` is the pool-health half: each worker failure
 feeds :meth:`CircuitBreaker.record_failure`, each success resets the
 streak, and once ``threshold`` *consecutive* failures accumulate the
-breaker trips — the campaign runner reacts by downgrading from the
-process pool to deadline-guarded serial execution.
+breaker opens — the campaign runner reacts by downgrading from the
+process pool to deadline-guarded serial execution.  With a
+``cooldown_s`` the breaker additionally implements the classic
+three-state machine: after the cooldown one *probe* call is let
+through (half-open); its success closes the breaker, its failure
+re-opens it for another cooldown.  Without a cooldown (the campaign
+default) an open breaker stays open — a downgrade is one-way within
+a run.
+
+One deliberate non-feature: the breaker never *catches* anything.
+:class:`~repro.runtime.deadline.DeadlineExceeded` inherits from
+``BaseException`` precisely so that breaker/retry plumbing written
+against ``Exception`` can record a timeout as a failure yet can never
+swallow it (see ``tests/runtime/test_breaker_halfopen.py``).
 """
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.obs import OBS
 
@@ -94,39 +111,133 @@ def retry_call(
     raise last  # pragma: no cover - unreachable (loop raises first)
 
 
+async def retry_call_async(
+    fn,
+    *,
+    policy: BackoffPolicy | None = None,
+    seed: str = "",
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    sleep=asyncio.sleep,
+    on_retry=None,
+):
+    """Async twin of :func:`retry_call`: ``fn()`` must return an
+    awaitable; backoff sleeps go through ``asyncio.sleep`` so the
+    event loop stays live and a ``Task.cancel()`` lands mid-backoff
+    (``CancelledError`` is a ``BaseException``, so it can never match
+    ``retry_on`` tuples written against ``Exception`` — cancellation
+    always wins over another attempt)."""
+    policy = policy or BackoffPolicy()
+    last: BaseException | None = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return await fn()
+        except retry_on as err:  # noqa: PERF203 - retry loop by design
+            last = err
+            if attempt == policy.max_attempts - 1:
+                raise
+            pause = policy.delay(attempt, seed)
+            if on_retry is not None:
+                on_retry(attempt, pause, err)
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "runtime.retries",
+                    "retried calls after a transient failure",
+                    error=type(err).__name__,
+                ).inc()
+            if pause > 0:
+                await sleep(pause)
+    raise last  # pragma: no cover - unreachable (loop raises first)
+
+
+#: CircuitBreaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
 @dataclass
 class CircuitBreaker:
-    """Trip after ``threshold`` *consecutive* failures.
+    """Open after ``threshold`` *consecutive* failures.
 
     The campaign runner polls :attr:`tripped` after each completed
     case; once open, the pool is torn down and the remaining cases run
-    serially (each still under its own deadline).  The breaker stays
-    open — a downgrade is one-way within a run.
+    serially (each still under its own deadline).  With the default
+    ``cooldown_s=None`` the breaker stays open — a downgrade is
+    one-way within a run.
+
+    A long-lived service wants the third state: pass ``cooldown_s``
+    and gate work on :meth:`allow`.  Once the cooldown has elapsed the
+    next :meth:`allow` moves the breaker to half-open and admits
+    exactly one probe; :meth:`record_success` then closes it,
+    :meth:`record_failure` re-opens it for a fresh cooldown.  The
+    ``clock`` is injectable so the transition logic is testable
+    without real sleeps.
     """
 
     threshold: int = 3
+    cooldown_s: float | None = None
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+    state: str = field(default=CLOSED, init=False)
     consecutive_failures: int = field(default=0, init=False)
     failures_total: int = field(default=0, init=False)
-    tripped: bool = field(default=False, init=False)
+    opened_at: float | None = field(default=None, init=False)
 
     def __post_init__(self) -> None:
         if self.threshold < 1:
             raise ValueError("breaker threshold must be >= 1")
+        if self.cooldown_s is not None and self.cooldown_s < 0:
+            raise ValueError("breaker cooldown must be >= 0")
+
+    @property
+    def tripped(self) -> bool:
+        """True while the breaker is not closed (legacy campaign API)."""
+        return self.state != CLOSED
+
+    def allow(self) -> bool:
+        """May the next call go down the protected (pool) path?
+
+        Closed: yes.  Open: only once ``cooldown_s`` has elapsed — that
+        admission *is* the transition to half-open, and it admits one
+        probe.  Half-open: no (the outstanding probe decides first).
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN and self.cooldown_s is not None:
+            if self.clock() - self.opened_at >= self.cooldown_s:
+                self.state = HALF_OPEN
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "runtime.breaker_probes",
+                        "half-open probe calls admitted after a cooldown",
+                    ).inc()
+                return True
+        return False
 
     def record_success(self) -> None:
+        if self.state == HALF_OPEN:
+            # The probe came back healthy: close and forget the streak.
+            self.state = CLOSED
+            self.opened_at = None
         self.consecutive_failures = 0
 
+    def _open(self) -> None:
+        self.state = OPEN
+        self.opened_at = self.clock()
+        if OBS.enabled:
+            OBS.registry.counter(
+                "runtime.breaker_trips",
+                "circuit-breaker trips (pool downgraded to serial)",
+            ).inc()
+
     def record_failure(self) -> bool:
-        """Count one failure; returns True if this one tripped the
-        breaker."""
+        """Count one failure; returns True if this one moved the
+        breaker into the open state (a fresh trip or a failed
+        half-open probe)."""
         self.failures_total += 1
         self.consecutive_failures += 1
-        if not self.tripped and self.consecutive_failures >= self.threshold:
-            self.tripped = True
-            if OBS.enabled:
-                OBS.registry.counter(
-                    "runtime.breaker_trips",
-                    "circuit-breaker trips (pool downgraded to serial)",
-                ).inc()
+        if self.state == HALF_OPEN:
+            # The probe failed: back to open for a fresh cooldown.
+            self._open()
+            return True
+        if self.state == CLOSED and self.consecutive_failures >= self.threshold:
+            self._open()
             return True
         return False

@@ -1,0 +1,551 @@
+"""The asyncio encoding server: admission, dispatch, degradation, WAL.
+
+One :class:`EncodingServer` owns four pieces of machinery:
+
+* a **bounded queue** (``queue_depth``) between admission and
+  dispatch — when it is full, :meth:`submit` sheds the job with an
+  explicit ``retry_after_s`` instead of queueing unboundedly or
+  slowing everyone down (load is shed loudly, never silently);
+* a **process pool** of codec workers the dispatchers fan jobs over,
+  each attempt bounded by the job's own deadline (enforced in-worker,
+  backstopped by ``asyncio.wait_for``);
+* a **circuit breaker + retry loop** around each attempt: a broken
+  pool (worker crash) is rebuilt and the job retried with seeded
+  backoff; a failure streak opens the breaker and routes jobs through
+  a serial in-process fallback until a half-open probe heals it;
+* a **write-ahead log** (:class:`~repro.runtime.CheckpointLog`) of
+  final results in deterministic form — a server killed mid-queue and
+  restarted with ``resume=True`` answers finished jobs from the WAL,
+  byte-identically, before any new work is admitted.
+
+The invariant tying it together: *nothing on the failure path can
+change a job's final result* — crashes and stalls change which path a
+job takes, never what it returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.obs import OBS
+from repro.runtime import (
+    BackoffPolicy,
+    CheckpointLog,
+    CircuitBreaker,
+    retry_call_async,
+)
+from repro.serve.jobs import (
+    JobRequest,
+    JobValidationError,
+    deterministic_result,
+    fallback_identity,
+    make_result,
+    parse_request,
+)
+from repro.serve.worker import pool_execute, pool_worker_init, serial_execute
+
+#: Metric families the server guarantees exist after a run (the
+#: ``repro metrics --check --expect serve`` gate).
+SERVE_METRIC_FAMILIES = (
+    ("serve.jobs_accepted", "counter", "jobs admitted to the queue"),
+    ("serve.jobs_completed", "counter", "jobs finished, by outcome"),
+    ("serve.jobs_shed", "counter", "jobs refused: queue at depth limit"),
+    ("serve.jobs_retried", "counter", "attempt retries after worker trouble"),
+    (
+        "serve.jobs_deadline_exceeded",
+        "counter",
+        "jobs that ran out of their wall-clock budget",
+    ),
+    ("serve.queue_depth", "gauge", "jobs waiting for a dispatcher"),
+    ("serve.job_seconds", "histogram", "admission-to-completion latency"),
+)
+
+
+@dataclass
+class ServeConfig:
+    """Service tuning knobs.
+
+    Only ``seed`` and ``batch_key`` enter the WAL ``run_key``:
+    execution knobs (workers, queue depth, retries) may differ between
+    a run and its resume without invalidating the journal — the same
+    rule the fault campaign established in PR 4.
+    """
+
+    workers: int = 2
+    queue_depth: int = 32
+    default_deadline_s: float = 30.0
+    #: Extra slack the event-loop backstop allows past the in-worker
+    #: deadline before declaring the worker hung.
+    deadline_grace_s: float = 2.0
+    retry_attempts: int = 4
+    #: How many pool breakages one job will ride out before it stops
+    #: waiting for a healthy pool and runs on the serial path.  A
+    #: break is *infrastructure* failing, not the job, so it has its
+    #: own budget and does not consume ``retry_attempts``.
+    pool_break_retries: int = 10
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 2.0
+    seed: int = 0
+    #: Shared on-disk bundle-cache directory (warm-starts fresh
+    #: workers and resumed servers); ``None`` = memory-only caches.
+    cache_dir: str | None = None
+    wal_path: str | None = None
+    resume: bool = False
+    #: Caller-supplied batch identity folded into the WAL run key
+    #: (the selftest passes a digest of its generation parameters).
+    batch_key: str = ""
+    backoff: BackoffPolicy = field(
+        default_factory=lambda: BackoffPolicy(
+            base=0.02, factor=2.0, cap=0.25, max_attempts=4
+        )
+    )
+
+    def run_key(self) -> str:
+        identity = json.dumps(
+            {"serve_wal": 1, "seed": self.seed, "batch": self.batch_key},
+            sort_keys=True,
+        )
+        return "serve:" + hashlib.sha256(identity.encode()).hexdigest()[:16]
+
+
+@dataclass
+class _QueuedJob:
+    request: JobRequest
+    future: asyncio.Future
+    admitted_at: float
+
+
+class EncodingServer:
+    """See the module docstring; use as ``async with EncodingServer(cfg)``."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        if self.config.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.config.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self._queue: asyncio.Queue[_QueuedJob] | None = None
+        self._dispatchers: list[asyncio.Task] = []
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_generation = 0
+        self._breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+        )
+        self._wal: CheckpointLog | None = None
+        self._started = False
+        #: Plain operational counters, kept independently of the obs
+        #: switch so the bench report exists even without --metrics.
+        self.stats = {
+            "accepted": 0,
+            "completed": 0,
+            "shed": 0,
+            "retried": 0,
+            "deadline_exceeded": 0,
+            "malformed": 0,
+            "errors": 0,
+            "replayed": 0,
+            "pool_rebuilds": 0,
+            "serial_fallbacks": 0,
+            "breaker_opens": 0,
+        }
+        #: Admission-to-completion latencies (seconds) for the bench
+        #: summary; mirrors the serve.job_seconds histogram.
+        self.latencies: list[float] = []
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> "EncodingServer":
+        if self._started:
+            return self
+        self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
+        self._register_metric_families()
+        if self.config.wal_path is not None:
+            self._wal = CheckpointLog(
+                self.config.wal_path, run_key=self.config.run_key()
+            )
+            if self.config.resume:
+                replayed = self._wal.load()
+                self.stats["replayed_available"] = len(replayed)
+            # Take the append lock now, not at the first journal write:
+            # a WAL another live server owns must refuse *here*, before
+            # any job is admitted, not mid-dispatch.
+            self._wal.open_for_append()
+        self._build_pool()
+        self._dispatchers = [
+            asyncio.ensure_future(self._dispatch_loop())
+            for _ in range(self.config.workers)
+        ]
+        self._started = True
+        return self
+
+    async def stop(self) -> None:
+        for task in self._dispatchers:
+            task.cancel()
+        for task in self._dispatchers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._dispatchers = []
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        if self._wal is not None:
+            self._wal.close()
+        self._started = False
+
+    async def __aenter__(self) -> "EncodingServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    def _register_metric_families(self) -> None:
+        """Pre-register every serve.* family so a quiet run (zero
+        sheds, zero retries) still passes the expected-family gate."""
+        if not OBS.enabled:
+            return
+        for name, type_, help_ in SERVE_METRIC_FAMILIES:
+            getattr(OBS.registry, type_)(name, help_)
+
+    def _count(self, name: str, help_: str, **labels) -> None:
+        if OBS.enabled:
+            OBS.registry.counter(name, help_, **labels).inc()
+
+    # -- process pool --------------------------------------------------
+
+    def _build_pool(self) -> None:
+        # Plain fork, explicitly: spawn/forkserver re-prepare the
+        # parent's __main__ in each worker, which breaks under
+        # embedded/stdin entry points; fork is what the campaign
+        # pools already use and workers here are pure-compute.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = (
+            multiprocessing.get_context("fork") if "fork" in methods else None
+        )
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.config.workers,
+            mp_context=ctx,
+            initializer=pool_worker_init,
+            initargs=(os.getpid(),),
+        )
+
+    def _rebuild_pool(self, seen_generation: int) -> None:
+        """Replace a broken pool exactly once per breakage: dispatchers
+        all see the same BrokenProcessPool, only the first rebuilds."""
+        if self._pool_generation != seen_generation:
+            return
+        self._pool_generation += 1
+        old = self._pool
+        self._build_pool()
+        self.stats["pool_rebuilds"] += 1
+        self._count("serve.pool_rebuilds", "worker pools replaced after a crash")
+        if old is not None:
+            old.shutdown(wait=False, cancel_futures=True)
+
+    # -- admission -----------------------------------------------------
+
+    async def submit(self, raw: object) -> dict:
+        """Admit one request; resolves to its final result wire dict
+        (or an immediate ``shed``/``malformed`` response)."""
+        if not self._started:
+            raise RuntimeError("server not started")
+        try:
+            request = parse_request(raw)
+        except JobValidationError as err:
+            tenant, job_id, key = fallback_identity(raw)
+            kind = ""
+            if isinstance(raw, dict) and isinstance(raw.get("kind"), str):
+                kind = raw["kind"]
+            if self._wal is not None and key in self._wal:
+                self.stats["replayed"] += 1
+                return dict(self._wal.completed[key])
+            result = make_result(
+                tenant=tenant,
+                job_id=job_id,
+                kind=kind,
+                outcome="malformed",
+                error=str(err),
+            )
+            self.stats["malformed"] += 1
+            self._count(
+                "serve.jobs_malformed", "requests rejected by validation"
+            )
+            self._finish(key, result, admitted_at=None)
+            return result
+
+        key = request.key
+        if self._wal is not None and key in self._wal:
+            self.stats["replayed"] += 1
+            self._count("serve.jobs_replayed", "results answered from the WAL")
+            return dict(self._wal.completed[key])
+
+        if self._queue.full():
+            self.stats["shed"] += 1
+            self._count("serve.jobs_shed", "jobs refused: queue at depth limit")
+            retry_after = round(
+                0.05 * (1.0 + self._queue.qsize() / self.config.workers), 3
+            )
+            return {
+                "tenant": request.tenant,
+                "job_id": request.job_id,
+                "kind": request.kind,
+                "outcome": "shed",
+                "payload": {},
+                "error": "queue full",
+                "attempts": 0,
+                "duration_s": 0.0,
+                "retry_after_s": retry_after,
+            }
+
+        future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait(
+            _QueuedJob(
+                request=request,
+                future=future,
+                admitted_at=time.monotonic(),
+            )
+        )
+        self.stats["accepted"] += 1
+        self._count("serve.jobs_accepted", "jobs admitted to the queue")
+        if OBS.enabled:
+            OBS.registry.gauge(
+                "serve.queue_depth", "jobs waiting for a dispatcher"
+            ).set(self._queue.qsize())
+        return await future
+
+    # -- dispatch ------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            job = await self._queue.get()
+            if OBS.enabled:
+                OBS.registry.gauge(
+                    "serve.queue_depth", "jobs waiting for a dispatcher"
+                ).set(self._queue.qsize())
+            try:
+                result = await self._execute(job)
+            except asyncio.CancelledError:
+                if not job.future.done():
+                    job.future.cancel()
+                raise
+            except BaseException as err:  # a dispatcher must never die
+                result = make_result(
+                    tenant=job.request.tenant,
+                    job_id=job.request.job_id,
+                    kind=job.request.kind,
+                    outcome="error",
+                    error=f"{type(err).__name__}: {err}",
+                )
+            try:
+                self._finish(
+                    job.request.key, result, admitted_at=job.admitted_at
+                )
+            except Exception as err:
+                # Journalling failed (WAL lock lost, disk full): the
+                # caller must hear about it — a dispatcher dying here
+                # silently would stall the queue forever.
+                if not job.future.done():
+                    job.future.set_exception(err)
+            else:
+                if not job.future.done():
+                    job.future.set_result(result)
+            self._queue.task_done()
+
+    async def _execute(self, job: _QueuedJob) -> dict:
+        request = job.request
+        wire = request.wire()
+        loop = asyncio.get_running_loop()
+        attempt_box = {"n": 0}
+        deadline = request.deadline_s
+        if deadline is None:
+            deadline = self.config.default_deadline_s
+            wire["deadline_s"] = deadline
+        backstop = deadline + self.config.deadline_grace_s
+
+        pool_breaks = {"n": 0}
+
+        async def attempt_once() -> dict:
+            while True:
+                # Every dispatch advances the attempt number — a job
+                # whose own worker crashed must not replay its
+                # attempt-0 behaviour (the kill chaos model) forever.
+                attempt = attempt_box["n"]
+                attempt_box["n"] += 1
+                use_pool = (
+                    self._breaker.allow()
+                    and pool_breaks["n"] < self.config.pool_break_retries
+                )
+                generation = self._pool_generation
+                try:
+                    if use_pool and self._pool is not None:
+                        outcome = await asyncio.wait_for(
+                            loop.run_in_executor(
+                                self._pool,
+                                pool_execute,
+                                wire,
+                                attempt,
+                                self.config.cache_dir,
+                            ),
+                            timeout=backstop,
+                        )
+                    else:
+                        # Degraded mode: in-process, serial, kill-chaos
+                        # disarmed; the in-worker watchdog still
+                        # enforces the job deadline.
+                        self.stats["serial_fallbacks"] += 1
+                        self._count(
+                            "serve.serial_fallbacks",
+                            "jobs run on the in-process fallback path",
+                        )
+                        outcome = await asyncio.wait_for(
+                            asyncio.to_thread(
+                                serial_execute,
+                                wire,
+                                attempt,
+                                self.config.cache_dir,
+                            ),
+                            timeout=backstop,
+                        )
+                except asyncio.TimeoutError:
+                    # The in-worker guard should have fired first;
+                    # getting here means the worker is truly wedged.
+                    # The job's outcome is still a clean timeout.
+                    if use_pool and self._breaker.record_failure():
+                        self.stats["breaker_opens"] += 1
+                    return {
+                        "outcome": "deadline_exceeded",
+                        "error": (
+                            f"job {request.key} exceeded its {deadline:g}s "
+                            "deadline"
+                        ),
+                    }
+                except BrokenProcessPool:
+                    # The pool died under this attempt — maybe this
+                    # job's own worker crashed, maybe it was collateral
+                    # damage from a neighbour's.  Either way the *pool*
+                    # failed, not the job, so this has its own budget
+                    # (pool_break_retries) and, once that is spent, the
+                    # job stops waiting for healthy infrastructure and
+                    # takes the serial path above.
+                    if self._breaker.record_failure():
+                        self.stats["breaker_opens"] += 1
+                    self._rebuild_pool(generation)
+                    pool_breaks["n"] += 1
+                    self.stats["retried"] += 1
+                    self._count(
+                        "serve.jobs_retried",
+                        "attempt retries after worker trouble",
+                    )
+                    await asyncio.sleep(
+                        self.config.backoff.delay(
+                            min(pool_breaks["n"] - 1, 6),
+                            seed=f"pool:{self.config.seed}:{request.key}",
+                        )
+                    )
+                    continue
+                except Exception:
+                    if use_pool and self._breaker.record_failure():
+                        self.stats["breaker_opens"] += 1
+                    raise
+                if use_pool:
+                    self._breaker.record_success()
+                return outcome
+
+        def on_retry(attempt: int, delay: float, err: BaseException) -> None:
+            self.stats["retried"] += 1
+            self._count(
+                "serve.jobs_retried", "attempt retries after worker trouble"
+            )
+
+        policy = self.config.backoff
+        if policy.max_attempts != self.config.retry_attempts:
+            policy = BackoffPolicy(
+                base=policy.base,
+                factor=policy.factor,
+                cap=policy.cap,
+                max_attempts=self.config.retry_attempts,
+            )
+        try:
+            outcome = await retry_call_async(
+                attempt_once,
+                policy=policy,
+                seed=f"serve:{self.config.seed}:{request.key}",
+                retry_on=(Exception,),
+                on_retry=on_retry,
+            )
+        except Exception as err:
+            outcome = {
+                "outcome": "error",
+                "error": f"{type(err).__name__}: {err}",
+            }
+        duration = time.monotonic() - job.admitted_at
+        return make_result(
+            tenant=request.tenant,
+            job_id=request.job_id,
+            kind=request.kind,
+            outcome=outcome.get("outcome", "error"),
+            payload=outcome.get("payload"),
+            error=outcome.get("error", ""),
+            attempts=attempt_box["n"],
+            duration_s=round(duration, 6),
+        )
+
+    # -- completion ----------------------------------------------------
+
+    def _finish(
+        self, key: str, result: dict, admitted_at: float | None
+    ) -> None:
+        outcome = result["outcome"]
+        self.stats["completed"] += 1
+        if outcome == "deadline_exceeded":
+            self.stats["deadline_exceeded"] += 1
+            self._count(
+                "serve.jobs_deadline_exceeded",
+                "jobs that ran out of their wall-clock budget",
+            )
+        elif outcome == "error":
+            self.stats["errors"] += 1
+        self._count(
+            "serve.jobs_completed", "jobs finished, by outcome", outcome=outcome
+        )
+        if admitted_at is not None:
+            latency = time.monotonic() - admitted_at
+            self.latencies.append(latency)
+            if OBS.enabled:
+                OBS.registry.histogram(
+                    "serve.job_seconds",
+                    "admission-to-completion latency",
+                    kind=result.get("kind") or "unknown",
+                ).observe(latency)
+        if self._wal is not None:
+            self._wal.record(key, deterministic_result(result))
+
+    # -- batch helper --------------------------------------------------
+
+    async def run_batch(
+        self, requests: list[dict], max_shed_retries: int = 200
+    ) -> list[dict]:
+        """Submit many requests concurrently with client-side
+        backpressure: a shed response waits ``retry_after_s`` and
+        resubmits, so every job eventually gets a final answer.
+        Results come back in input order."""
+
+        async def one(raw: dict) -> dict:
+            for _ in range(max_shed_retries):
+                result = await self.submit(raw)
+                if result["outcome"] != "shed":
+                    return result
+                await asyncio.sleep(result.get("retry_after_s", 0.05))
+            return result
+
+        return list(await asyncio.gather(*(one(raw) for raw in requests)))

@@ -1,0 +1,103 @@
+"""BundleCache: LRU bounds, disk warm-start, graceful disk failure."""
+
+import json
+
+import pytest
+
+from repro.pipeline.cache import BundleCache, cache_key, workload_fingerprint
+
+
+class TestKeys:
+    def test_fingerprint_is_stable_and_content_sensitive(self):
+        words = [0x12345678, 0x9ABCDEF0]
+        assert workload_fingerprint(words) == workload_fingerprint(list(words))
+        assert workload_fingerprint(words) != workload_fingerprint(words[::-1])
+        assert len(workload_fingerprint(words)) == 16
+
+    def test_cache_key_carries_every_artefact_parameter(self):
+        key = cache_key("abcd", 5, 16, "greedy")
+        assert key == "abcd-k5-tt16-greedy"
+        assert cache_key("abcd", 4, 16, "greedy") != key
+        assert cache_key("abcd", 5, 8, "greedy") != key
+        assert cache_key("abcd", 5, 16, "optimal") != key
+
+
+class TestLru:
+    def test_capacity_bounds_and_evicts_oldest(self):
+        cache = BundleCache(capacity=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.put("c", {"v": 3})
+        assert len(cache) == 2
+        assert cache.get("a") is None
+        assert cache.get("c") == {"v": 3}
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = BundleCache(capacity=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.get("a")  # 'b' is now the eviction candidate
+        cache.put("c", {"v": 3})
+        assert cache.get("a") == {"v": 1}
+        assert cache.get("b") is None
+
+    def test_hit_miss_accounting(self):
+        cache = BundleCache(capacity=4)
+        cache.put("a", {"v": 1})
+        cache.get("a")
+        cache.get("nope")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["size"] == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BundleCache(capacity=0)
+
+
+class TestDiskMirror:
+    def test_fresh_cache_warm_starts_from_disk(self, tmp_path):
+        first = BundleCache(capacity=4, cache_dir=tmp_path)
+        first.put("k", {"bundle_digest": "abc"})
+        # A rebuilt pool's worker starts with an empty memory LRU but
+        # the same cache_dir.
+        second = BundleCache(capacity=4, cache_dir=tmp_path)
+        assert second.get("k") == {"bundle_digest": "abc"}
+        assert second.disk_loads == 1
+        assert second.hits == 0  # disk load, not a memory hit
+        assert second.get("k") == {"bundle_digest": "abc"}
+        assert second.hits == 1  # now resident
+
+    def test_memory_only_cache_touches_no_disk(self, tmp_path):
+        cache = BundleCache(capacity=4, cache_dir=None)
+        cache.put("k", {"v": 1})
+        assert list(tmp_path.iterdir()) == []
+
+    def test_corrupt_disk_entry_degrades_to_a_miss(self, tmp_path):
+        (tmp_path / "k.json").write_text("{torn")
+        cache = BundleCache(capacity=4, cache_dir=tmp_path)
+        assert cache.get("k") is None
+        assert cache.misses == 1
+
+    def test_disk_write_failure_never_raises(self, tmp_path):
+        cache = BundleCache(capacity=4, cache_dir=tmp_path)
+        # Replace the directory with a file: every write now fails.
+        for child in tmp_path.iterdir():
+            child.unlink()
+        tmp_path.rmdir()
+        tmp_path.write_text("not a directory")
+        cache.put("k", {"v": 1})  # must not raise
+        assert cache.get("k") == {"v": 1}  # memory layer still serves
+
+    def test_disk_entry_is_deterministic_json(self, tmp_path):
+        cache = BundleCache(capacity=4, cache_dir=tmp_path)
+        entry = {"b": 2, "a": 1}
+        cache.put("k", entry)
+        on_disk = (tmp_path / "k.json").read_text()
+        assert json.loads(on_disk) == entry
+        # Concurrent writers of the same key must race benignly:
+        # identical input, identical bytes.
+        cache.put("k", {"b": 2, "a": 1})
+        assert (tmp_path / "k.json").read_text() == on_disk

@@ -1,0 +1,246 @@
+"""CircuitBreaker three-state semantics: open -> half-open -> closed.
+
+All clock movement is injected (no real sleeps), and the property
+tests drive seeded random operation sequences against an independent
+reference model of the state machine — the implementation must agree
+with the model on every step.
+
+The deadline-interaction tests pin the contract the serve path leans
+on: a breaker (or a retry loop) written against ``Exception`` can
+*record* a :class:`DeadlineExceeded` but can never swallow it,
+because timeouts deliberately derive from ``BaseException``.
+"""
+
+import pytest
+
+from repro.runtime import (
+    BackoffPolicy,
+    CircuitBreaker,
+    DeadlineExceeded,
+    retry_call,
+)
+from repro.runtime.retry import CLOSED, HALF_OPEN, OPEN
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(threshold=3, cooldown=10.0):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        threshold=threshold, cooldown_s=cooldown, clock=clock
+    )
+    return breaker, clock
+
+
+class TestTransitions:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _ = make_breaker(threshold=3)
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        assert breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.tripped
+
+    def test_open_rejects_until_cooldown_elapses(self):
+        breaker, clock = make_breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(9.999)
+        assert not breaker.allow()
+        clock.advance(0.001)
+        assert breaker.allow()
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = make_breaker(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # no second concurrent probe
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self):
+        breaker, clock = make_breaker(threshold=2, cooldown=5.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert not breaker.tripped
+        assert breaker.consecutive_failures == 0
+        # A fresh streak is needed to open again.
+        assert not breaker.record_failure()
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker, clock = make_breaker(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        assert breaker.record_failure()  # failed probe re-trips
+        assert breaker.state == OPEN
+        assert not breaker.allow()  # cooldown restarted
+        clock.advance(4.5)
+        assert not breaker.allow()
+        clock.advance(0.5)
+        assert breaker.allow()
+
+    def test_without_cooldown_open_is_permanent(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, clock=clock)
+        breaker.record_failure()
+        clock.advance(1e9)
+        assert not breaker.allow()
+        assert breaker.state == OPEN
+
+    def test_closed_always_allows(self):
+        breaker, _ = make_breaker()
+        for _ in range(10):
+            assert breaker.allow()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker(cooldown_s=-1.0)
+
+
+class _ModelBreaker:
+    """Independent reference model of the documented state machine."""
+
+    def __init__(self, threshold: int, cooldown: float):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = CLOSED
+        self.streak = 0
+        self.opened_at = None
+
+    def allow(self, now: float) -> bool:
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN and now - self.opened_at >= self.cooldown:
+            self.state = HALF_OPEN
+            return True
+        return False
+
+    def success(self) -> None:
+        if self.state == HALF_OPEN:
+            self.state = CLOSED
+            self.opened_at = None
+        self.streak = 0
+
+    def failure(self, now: float) -> None:
+        self.streak += 1
+        if self.state == HALF_OPEN or (
+            self.state == CLOSED and self.streak >= self.threshold
+        ):
+            self.state = OPEN
+            self.opened_at = now
+
+
+class TestProperties:
+    @pytest.mark.parametrize("case", range(20))
+    def test_agrees_with_reference_model(self, case, rng):
+        threshold = rng.randint(1, 4)
+        cooldown = rng.choice([0.0, 1.0, 7.5])
+        breaker, clock = make_breaker(threshold=threshold, cooldown=cooldown)
+        model = _ModelBreaker(threshold, cooldown)
+        for _ in range(200):
+            op = rng.choice(("allow", "success", "failure", "advance"))
+            if op == "advance":
+                clock.advance(rng.choice([0.1, 0.5, 1.0, 8.0]))
+            elif op == "allow":
+                assert breaker.allow() == model.allow(clock.now)
+            elif op == "success":
+                breaker.record_success()
+                model.success()
+            else:
+                breaker.record_failure()
+                model.failure(clock.now)
+            assert breaker.state == model.state
+
+    @pytest.mark.parametrize("case", range(10))
+    def test_closed_only_reachable_through_half_open_success(self, case, rng):
+        breaker, clock = make_breaker(threshold=2, cooldown=3.0)
+        was_open = False
+        for _ in range(300):
+            op = rng.choice(("allow", "success", "failure", "advance"))
+            before = breaker.state
+            if op == "advance":
+                clock.advance(1.0)
+            elif op == "allow":
+                breaker.allow()
+            elif op == "success":
+                breaker.record_success()
+            else:
+                breaker.record_failure()
+            if before == OPEN:
+                was_open = True
+            if was_open and breaker.state == CLOSED:
+                # The only legal closing edge is half_open --success-->
+                assert before == HALF_OPEN and op == "success"
+                was_open = False
+
+
+class TestDeadlineInteraction:
+    def test_breaker_bookkeeping_never_swallows_deadline(self):
+        """A serve-style guard records the failure but re-raises."""
+        breaker, _ = make_breaker(threshold=1)
+
+        def guarded():
+            try:
+                raise DeadlineExceeded(0.5, "probe")
+            except Exception:  # the breaker-plumbing idiom under test
+                breaker.record_success()  # must never run
+                raise
+
+        with pytest.raises(DeadlineExceeded):
+            try:
+                guarded()
+            except DeadlineExceeded:
+                breaker.record_failure()
+                raise
+        assert breaker.state == OPEN
+
+    def test_retry_on_exception_does_not_retry_deadline(self):
+        calls = {"n": 0}
+
+        def timed_out():
+            calls["n"] += 1
+            raise DeadlineExceeded(1.0, "case")
+
+        with pytest.raises(DeadlineExceeded):
+            retry_call(
+                timed_out,
+                policy=BackoffPolicy(max_attempts=5),
+                retry_on=(Exception,),
+                sleep=lambda _: None,
+            )
+        assert calls["n"] == 1  # BaseException flies past retry_on
+
+    def test_half_open_probe_timeout_reopens(self):
+        breaker, clock = make_breaker(threshold=1, cooldown=2.0)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()
+
+        def probe():
+            raise DeadlineExceeded(0.1, "probe")
+
+        with pytest.raises(DeadlineExceeded):
+            try:
+                probe()
+            except DeadlineExceeded:
+                breaker.record_failure()
+                raise
+        assert breaker.state == OPEN
+        assert not breaker.allow()

@@ -1,0 +1,165 @@
+"""retry_call_async under a real event loop.
+
+Three contracts: the jitter schedule is a pure function of the seed
+(identical to the synchronous path's), a task cancelled during the
+backoff sleep stops immediately (no further attempts), and plain
+coroutines are retried/returned like callables are in retry_call.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.runtime import BackoffPolicy, retry_call, retry_call_async
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAsyncRetry:
+    def test_wraps_coroutines(self):
+        calls = {"n": 0}
+
+        async def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        async def main():
+            return await retry_call_async(
+                flaky,
+                policy=BackoffPolicy(max_attempts=3, base=0.0),
+                seed="s",
+                retry_on=(OSError,),
+            )
+
+        assert run(main()) == "ok"
+        assert calls["n"] == 3
+
+    def test_final_failure_propagates(self):
+        async def always_fails():
+            raise OSError("still broken")
+
+        async def main():
+            await retry_call_async(
+                always_fails,
+                policy=BackoffPolicy(max_attempts=2, base=0.0),
+                retry_on=(OSError,),
+            )
+
+        with pytest.raises(OSError, match="still broken"):
+            run(main())
+
+    def test_unmatched_exception_is_not_retried(self):
+        calls = {"n": 0}
+
+        async def wrong_kind():
+            calls["n"] += 1
+            raise KeyError("not transient")
+
+        async def main():
+            await retry_call_async(
+                wrong_kind,
+                policy=BackoffPolicy(max_attempts=5, base=0.0),
+                retry_on=(OSError,),
+            )
+
+        with pytest.raises(KeyError):
+            run(main())
+        assert calls["n"] == 1
+
+    def test_jitter_schedule_matches_sync_path_per_seed(self):
+        policy = BackoffPolicy(base=0.05, factor=2.0, cap=1.0, max_attempts=4)
+
+        def sync_schedule():
+            slept, calls = [], {"n": 0}
+
+            def flaky():
+                calls["n"] += 1
+                if calls["n"] < 4:
+                    raise OSError()
+
+            retry_call(
+                flaky,
+                policy=policy,
+                seed="case:9",
+                retry_on=(OSError,),
+                sleep=slept.append,
+            )
+            return slept
+
+        def async_schedule():
+            slept, calls = [], {"n": 0}
+
+            async def flaky():
+                calls["n"] += 1
+                if calls["n"] < 4:
+                    raise OSError()
+
+            async def fake_sleep(seconds):
+                slept.append(seconds)
+
+            async def main():
+                await retry_call_async(
+                    flaky,
+                    policy=policy,
+                    seed="case:9",
+                    retry_on=(OSError,),
+                    sleep=fake_sleep,
+                )
+
+            run(main())
+            return slept
+
+        schedule = async_schedule()
+        assert len(schedule) == 3
+        assert schedule == sync_schedule()
+        assert schedule == async_schedule()  # deterministic rerun
+
+    def test_cancellation_during_backoff_sleep(self):
+        calls = {"n": 0}
+
+        async def flaky():
+            calls["n"] += 1
+            raise OSError("again")
+
+        async def main():
+            task = asyncio.ensure_future(
+                retry_call_async(
+                    flaky,
+                    # A backoff long enough that the cancel always
+                    # lands inside the first sleep.
+                    policy=BackoffPolicy(base=30.0, cap=30.0, max_attempts=5),
+                    seed="cancel",
+                    retry_on=(OSError,),
+                )
+            )
+            await asyncio.sleep(0.05)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+
+        run(main())
+        assert calls["n"] == 1  # no attempt after the cancel
+
+    def test_on_retry_hook_sees_each_attempt(self):
+        seen = []
+
+        async def flaky():
+            if len(seen) < 2:
+                raise ValueError("again")
+            return 1
+
+        async def main():
+            return await retry_call_async(
+                flaky,
+                policy=BackoffPolicy(max_attempts=3, base=0.0),
+                seed="hook",
+                retry_on=(ValueError,),
+                on_retry=lambda attempt, delay, err: seen.append(attempt),
+            )
+
+        assert run(main()) == 1
+        assert seen == [0, 1]

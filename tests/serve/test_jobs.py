@@ -1,0 +1,169 @@
+"""Job model: validation closes the door, identities stay stable."""
+
+import pytest
+
+from repro.serve.jobs import (
+    JOB_KINDS,
+    OUTCOMES,
+    SERVE_STRATEGIES,
+    JobValidationError,
+    deterministic_result,
+    fallback_identity,
+    make_result,
+    parse_request,
+)
+
+
+def _raw(**overrides) -> dict:
+    raw = {
+        "tenant": "t0",
+        "job_id": "j0",
+        "kind": "encode",
+        "workload": "fir",
+        "block_size": 5,
+        "tt_capacity": 16,
+        "strategy": "greedy",
+        "workload_params": {"taps": 8, "samples": 48},
+    }
+    raw.update(overrides)
+    return raw
+
+
+class TestParseRequest:
+    def test_roundtrips_through_wire(self):
+        request = parse_request(_raw())
+        again = parse_request(request.wire())
+        assert again == request
+        assert again.key == request.key
+
+    def test_defaults(self):
+        request = parse_request(
+            {"tenant": "t", "job_id": "j", "kind": "deploy", "workload": "mmul"}
+        )
+        assert request.block_size == 5
+        assert request.tt_capacity == 16
+        assert request.strategy == "greedy"
+        assert request.deadline_s is None
+        assert request.chaos == ""
+
+    @pytest.mark.parametrize("kind", JOB_KINDS)
+    def test_every_kind_admits(self, kind):
+        assert parse_request(_raw(kind=kind)).kind == kind
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            _raw(kind="transcode"),
+            _raw(workload="nonesuch"),
+            _raw(strategy="disjoint"),  # stream-codec only, no decode
+            _raw(block_size=1),
+            _raw(block_size=99),
+            _raw(tt_capacity=0),
+            _raw(tenant=""),
+            _raw(job_id=7),
+            _raw(workload_params={"taps": "many"}),
+            _raw(workload_params={"taps": 0}),
+            _raw(workload_params={"taps": 10**9}),
+            _raw(deadline_s=0),
+            _raw(deadline_s=7200),
+            _raw(deadline_s="soon"),
+            _raw(chaos="explode"),
+            _raw(surprise=1),  # unknown field
+            "not a dict",
+            None,
+            [1, 2],
+        ],
+    )
+    def test_rejects_naming_the_problem(self, bad):
+        with pytest.raises(JobValidationError, match="malformed job request"):
+            parse_request(bad)
+
+    def test_disjoint_is_not_a_serve_strategy(self):
+        assert "disjoint" not in SERVE_STRATEGIES
+
+    def test_underscore_keys_tolerated_and_identity_neutral(self):
+        plain = parse_request(_raw())
+        tagged = parse_request(_raw(_seq=41, _chaos_mutation="x"))
+        assert tagged.key == plain.key
+
+    def test_key_tracks_semantic_fields(self):
+        base = parse_request(_raw())
+        assert parse_request(_raw(block_size=4)).key != base.key
+        assert parse_request(_raw(strategy="optimal")).key != base.key
+        assert (
+            parse_request(_raw(workload_params={"taps": 8, "samples": 49})).key
+            != base.key
+        )
+        # ...but param insertion order does not matter.
+        reordered = parse_request(
+            _raw(workload_params={"samples": 48, "taps": 8})
+        )
+        assert reordered.key == base.key
+
+
+class TestFallbackIdentity:
+    def test_recovers_tenant_and_job_id(self):
+        tenant, job_id, key = fallback_identity(_raw(kind="transcode"))
+        assert (tenant, job_id) == ("t0", "j0")
+        assert key.startswith("t0|j0|malformed-")
+
+    def test_underscore_keys_do_not_perturb_identity(self):
+        bad = _raw(kind="transcode")
+        _, _, key_a = fallback_identity(bad)
+        _, _, key_b = fallback_identity({**bad, "_seq": 997})
+        assert key_a == key_b
+
+    def test_survives_garbage(self):
+        tenant, job_id, key = fallback_identity(["not", "a", "dict"])
+        assert (tenant, job_id) == ("?", "?")
+        assert "malformed-" in key
+
+
+class TestResults:
+    def test_make_result_fixed_key_order(self):
+        result = make_result(
+            tenant="t", job_id="j", kind="encode", outcome="ok"
+        )
+        assert list(result) == [
+            "tenant",
+            "job_id",
+            "kind",
+            "outcome",
+            "payload",
+            "error",
+            "attempts",
+            "duration_s",
+        ]
+
+    def test_make_result_refuses_unknown_outcome(self):
+        with pytest.raises(ValueError, match="unknown outcome"):
+            make_result(
+                tenant="t", job_id="j", kind="encode", outcome="mystery"
+            )
+
+    def test_outcome_taxonomy_is_closed(self):
+        assert OUTCOMES == (
+            "ok",
+            "malformed",
+            "deadline_exceeded",
+            "error",
+            "shed",
+        )
+
+    def test_deterministic_result_zeroes_path_dependent_fields(self):
+        result = make_result(
+            tenant="t",
+            job_id="j",
+            kind="encode",
+            outcome="ok",
+            payload={"bundle_digest": "abc"},
+            attempts=3,
+            duration_s=1.5,
+        )
+        clean = deterministic_result(result)
+        assert clean["attempts"] == 0
+        assert clean["duration_s"] == 0.0
+        assert clean["payload"] == {"bundle_digest": "abc"}
+        # Original untouched; key order preserved.
+        assert result["attempts"] == 3
+        assert list(clean) == list(result)

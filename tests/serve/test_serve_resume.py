@@ -1,0 +1,126 @@
+"""Kill/resume determinism for the serve queue: a server SIGKILLed
+mid-batch and resumed from its WAL must write a SERVE_report.json
+byte-identical to an uninterrupted run's."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve.selftest import SelftestOptions, run_selftest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Harness options shared by the killed run, the resumed run, and the
+#: uninterrupted reference.  No slow chaos: the batch must stay quick
+#: enough that three runs of it fit in a unit test.
+OPTIONS = dict(
+    seed=17,
+    tenants=3,
+    jobs_per_tenant=8,
+    workers=2,
+    chaos=("kill", "malformed"),
+    deterministic=True,
+)
+
+_DRIVER = """
+import sys
+from repro.serve.selftest import SelftestOptions, run_selftest
+
+run_selftest(
+    SelftestOptions(
+        wal_path=sys.argv[1], report_path=sys.argv[2], **{options!r}
+    )
+)
+"""
+
+
+def _wal_data_lines(path: Path) -> int:
+    if not path.exists():
+        return 0
+    lines = [l for l in path.read_text().splitlines() if l.strip()]
+    return max(0, len(lines) - 1)  # minus the run_key header
+
+
+def _spawn_driver(wal: Path, report: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{REPO_ROOT / 'src'}:{REPO_ROOT}"
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            _DRIVER.format(options=OPTIONS),
+            str(wal),
+            str(report),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+class TestServeKillResume:
+    def test_sigkilled_server_resumes_byte_identical(self, tmp_path):
+        total_jobs = OPTIONS["tenants"] * OPTIONS["jobs_per_tenant"]
+        kill_after = 5
+        wal = tmp_path / "serve.wal"
+        killed_report = tmp_path / "SERVE_killed.json"
+
+        driver = _spawn_driver(wal, killed_report)
+        deadline = time.monotonic() + 120.0
+        try:
+            while _wal_data_lines(wal) < kill_after:
+                if driver.poll() is not None:
+                    pytest.fail(
+                        "driver finished before it could be killed "
+                        f"(rc={driver.returncode})"
+                    )
+                if time.monotonic() > deadline:
+                    pytest.fail("driver never reached the kill point")
+                time.sleep(0.01)
+            driver.send_signal(signal.SIGKILL)
+            driver.wait(timeout=30.0)
+        finally:
+            if driver.poll() is None:  # pragma: no cover - cleanup
+                driver.kill()
+                driver.wait()
+
+        journaled = _wal_data_lines(wal)
+        assert kill_after <= journaled < total_jobs
+
+        resumed_report = tmp_path / "SERVE_resumed.json"
+        report, problems = run_selftest(
+            SelftestOptions(
+                wal_path=str(wal),
+                resume=True,
+                report_path=str(resumed_report),
+                **OPTIONS,
+            )
+        )
+        assert problems == []
+        assert report["summary"]["jobs"] == total_jobs
+
+        reference_report = tmp_path / "SERVE_reference.json"
+        _, reference_problems = run_selftest(
+            SelftestOptions(report_path=str(reference_report), **OPTIONS)
+        )
+        assert reference_problems == []
+        assert (
+            resumed_report.read_bytes() == reference_report.read_bytes()
+        )
+
+    def test_resume_against_a_different_batch_refuses(self, tmp_path):
+        from repro.runtime.checkpoint import CheckpointMismatchError
+
+        wal = tmp_path / "serve.wal"
+        run_selftest(SelftestOptions(wal_path=str(wal), **OPTIONS))
+        changed = dict(OPTIONS, seed=OPTIONS["seed"] + 1)
+        with pytest.raises(CheckpointMismatchError):
+            run_selftest(
+                SelftestOptions(wal_path=str(wal), resume=True, **changed)
+            )

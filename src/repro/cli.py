@@ -407,7 +407,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     if data is None:
         return 2
     metrics = data["metrics"]
-    if args.json:
+    if getattr(args, "openmetrics", False):
+        from repro.obs.export import render_openmetrics
+
+        print(render_openmetrics(metrics), end="")
+    elif args.json:
         print(json.dumps(metrics, indent=1))
     else:
         meta = data.get("meta", {})
@@ -631,6 +635,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             report_path=args.report,
             bench_path=args.bench_json,
+            openmetrics_path=args.openmetrics,
+            flight_path=args.flight_record,
+            rebuild_storm_threshold=args.flight_threshold,
+            slo_latency_target_s=args.slo_target,
         )
         report, problems = run_selftest(options)
         summary = report["summary"]
@@ -655,6 +663,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         print(f"wrote {args.report}")
         print(f"wrote {args.bench_json}")
+        if args.openmetrics:
+            print(f"wrote {args.openmetrics}")
         for problem in problems:
             print(f"PROBLEM: {problem}", file=sys.stderr)
         if observed:
@@ -699,6 +709,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         wal_path=args.wal,
         resume=args.resume,
         batch_key=batch_key,
+        flight_path=args.flight_record,
+        rebuild_storm_threshold=args.flight_threshold,
+        slo_latency_target_s=args.slo_target,
     )
 
     async def _run_batch():
@@ -740,6 +753,55 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"FAIL: {errors} job(s) ended outcome 'error'", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serve.client import ServeClient
+    from repro.serve.server import format_status
+
+    host, _, port_text = args.connect.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(
+            f"top: --connect must be HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    async def watch() -> int:
+        shown = 0
+        async with ServeClient(host, port) as client:
+            while True:
+                response = await client.control("status")
+                status = response.get("status")
+                if not isinstance(status, dict):
+                    print(
+                        f"top: unexpected response: {json.dumps(response)}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                if not args.no_clear and shown:
+                    # ANSI clear+home, plain text otherwise: works in
+                    # any terminal and stays pipe-friendly.
+                    print("\x1b[2J\x1b[H", end="")
+                print(format_status(status), end="", flush=True)
+                shown += 1
+                if args.iterations and shown >= args.iterations:
+                    return 0
+                await asyncio.sleep(args.interval)
+
+    try:
+        return asyncio.run(watch())
+    except KeyboardInterrupt:
+        return 0
+    except (ConnectionError, OSError) as err:
+        print(f"top: cannot reach {host}:{port}: {err}", file=sys.stderr)
+        return 2
 
 
 def _obs_finish_to(path: str, command: str, seed: int | None = None) -> None:
@@ -1208,7 +1270,67 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also stream one JSON span event per line to PATH",
     )
+    p.add_argument(
+        "--openmetrics",
+        default=None,
+        metavar="PATH",
+        help="selftest: scrape the live /metrics endpoint (or the "
+        "in-process equivalent) once and write the exposition to PATH",
+    )
+    p.add_argument(
+        "--flight-record",
+        default="FLIGHT_serve.jsonl",
+        metavar="PATH",
+        help="flight-recorder dump file for breaker/rebuild/SIGTERM "
+        "incidents (appended, one JSON event per line)",
+    )
+    p.add_argument(
+        "--flight-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="pool rebuilds within the storm window that trigger a "
+        "flight dump",
+    )
+    p.add_argument(
+        "--slo-target",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="per-job latency target the SLO tracker counts against",
+    )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="live status view of a running serve endpoint",
+    )
+    p.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="serve endpoint to poll (e.g. 127.0.0.1:7521)",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh interval",
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N refreshes (0 = run until interrupted)",
+    )
+    p.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append refreshes instead of clearing the screen",
+    )
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser(
         "metrics", help="metric families from a RUN_report.json"
@@ -1221,6 +1343,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--json", action="store_true", help="dump the raw metrics object"
+    )
+    p.add_argument(
+        "--openmetrics",
+        action="store_true",
+        help="render the families as OpenMetrics text exposition",
     )
     p.add_argument(
         "--check",

@@ -58,6 +58,7 @@ from repro.faults.report import (
     CaseResult,
     FaultCampaignReport,
 )
+import repro.obs as obs
 from repro.hw.fetch_decoder import FetchDecoder
 from repro.obs import OBS
 from repro.runtime import (
@@ -324,8 +325,19 @@ def _worker_init(targets: list[DeploymentTarget]) -> None:
 
 def _worker_run_case(
     target_name: str, model: FaultModel, seed: str, mode: str
-) -> CaseResult:
-    return run_case(_WORKER_TARGETS[target_name], model, seed, mode)
+) -> tuple[CaseResult, dict | None]:
+    """Pool entry point: the case result plus (when instrumented) the
+    per-case telemetry delta from this worker's process-local
+    registry.  Without the delta, decoder/integrity metrics observed
+    inside pool workers die with the worker — the parent merges it so
+    ``repro faults --workers N --metrics`` reports the same families a
+    serial run would."""
+    capture = OBS.enabled
+    if capture:
+        obs.reset()
+    result = run_case(_WORKER_TARGETS[target_name], model, seed, mode)
+    delta = OBS.registry.export_delta() if capture else None
+    return result, delta
 
 
 def case_key(target_name: str, model: FaultModel, seed: str, mode: str) -> str:
@@ -401,7 +413,10 @@ def _run_parallel(
         for index, future in futures.items():
             target_name, model, seed, mode = tasks[index]
             try:
-                results[index] = future.result(timeout=case_timeout)
+                case_result, delta = future.result(timeout=case_timeout)
+                results[index] = case_result
+                if OBS.enabled and delta is not None:
+                    OBS.registry.merge_delta(delta)
                 breaker.record_success()
             except FutureTimeoutError:
                 if OBS.enabled:

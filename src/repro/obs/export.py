@@ -1,0 +1,153 @@
+"""OpenMetrics / Prometheus text rendering of a metrics snapshot.
+
+Input is the JSON-ready snapshot form produced by
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` (also embedded in
+``RUN_report.json`` under ``"metrics"``), so the renderer serves both
+the live ``/metrics`` endpoint of the serve TCP transport and the
+one-shot ``repro metrics --openmetrics`` dump from a report file.
+
+Rendering follows the OpenMetrics text format:
+
+* metric names are sanitised to ``[a-zA-Z0-9_:]`` (the repo's dotted
+  family names become underscored: ``codec.words_encoded`` →
+  ``codec_words_encoded``);
+* counters gain the ``_total`` suffix;
+* histograms emit *cumulative* ``_bucket{le=...}`` series (the
+  registry stores per-bucket counts) plus ``_sum`` and ``_count``;
+* label values are escaped per spec and the exposition ends with
+  ``# EOF``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_openmetrics", "synthetic_gauge_family"]
+
+_NAME_OK = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def _sanitize_name(name: str) -> str:
+    out = "".join(ch if ch in _NAME_OK else "_" for ch in name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels_text(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_sanitize_name(str(k))}="{_escape_label(v)}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _merge_labels(labels: dict, extra: dict | None = None) -> str:
+    if extra:
+        merged = dict(labels)
+        merged.update(extra)
+        return _labels_text(merged)
+    return _labels_text(labels)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return "NaN"
+
+
+def synthetic_gauge_family(
+    series: list[tuple[dict, float]], help_: str = ""
+) -> dict:
+    """Snapshot-form gauge family from ``[(labels, value), ...]`` —
+    how the server folds windowed rates and SLO burns (which live
+    outside the registry) into one exposition."""
+    return {
+        "type": "gauge",
+        "help": help_,
+        "series": [
+            {"labels": dict(labels), "value": value}
+            for labels, value in series
+        ],
+    }
+
+
+def _render_histogram(name: str, entry: dict, lines: list[str]) -> None:
+    labels = entry.get("labels") or {}
+    cumulative = 0
+    rendered_inf = False
+    for bucket in entry.get("buckets") or ():
+        le = bucket.get("le")
+        cumulative += int(bucket.get("count", 0) or 0)
+        if le == "+Inf" or le is None:
+            le_text = "+Inf"
+            rendered_inf = True
+        else:
+            le_text = _fmt(float(le))
+        lines.append(
+            f"{name}_bucket"
+            f"{_merge_labels(labels, {'le': le_text})} {cumulative}"
+        )
+    count = int(entry.get("count", 0) or 0)
+    if not rendered_inf:
+        lines.append(
+            f"{name}_bucket{_merge_labels(labels, {'le': '+Inf'})} {count}"
+        )
+    lines.append(f"{name}_sum{_labels_text(labels)} {_fmt(entry.get('sum', 0.0))}")
+    lines.append(f"{name}_count{_labels_text(labels)} {count}")
+
+
+def render_openmetrics(snapshot: dict) -> str:
+    """Render a metrics snapshot to OpenMetrics exposition text."""
+    lines: list[str] = []
+    for raw_name in sorted(snapshot):
+        family = snapshot[raw_name]
+        if not isinstance(family, dict):
+            continue
+        type_ = family.get("type")
+        if type_ not in ("counter", "gauge", "histogram"):
+            continue
+        name = _sanitize_name(raw_name)
+        lines.append(f"# TYPE {name} {type_}")
+        help_ = family.get("help")
+        if help_:
+            lines.append(f"# HELP {name} {_escape_label(help_)}")
+        for entry in family.get("series") or ():
+            if not isinstance(entry, dict):
+                continue
+            labels = entry.get("labels") or {}
+            if type_ == "counter":
+                lines.append(
+                    f"{name}_total{_labels_text(labels)} "
+                    f"{_fmt(entry.get('value', 0))}"
+                )
+            elif type_ == "gauge":
+                lines.append(
+                    f"{name}{_labels_text(labels)} "
+                    f"{_fmt(entry.get('value', 0))}"
+                )
+            else:
+                _render_histogram(name, entry, lines)
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

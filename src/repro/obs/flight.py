@@ -1,0 +1,121 @@
+"""Always-on flight recorder: a bounded ring of recent events.
+
+The chaos selftest taught PR 7's serve path to survive crashes; this
+module makes those crashes *diagnosable*.  A :class:`FlightRecorder`
+is cheap enough to run unconditionally (one deque append per event,
+no formatting until a dump), holds the last ``capacity`` events, and
+writes them out as a JSONL *flight record* when something goes wrong —
+the server triggers dumps on breaker-open, pool-rebuild storms, and
+SIGTERM.
+
+Each event carries a monotonic timestamp and a sequence number; the
+dump header records the trigger reason and how much of history the
+ring still held, so a reader knows whether the record is complete.
+Dumps are rate-limited per reason (a breaker flapping open every
+cooldown must not rewrite the record in a loop and bury the first,
+most interesting, occurrence).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable
+
+__all__ = ["FlightRecorder"]
+
+DEFAULT_CAPACITY = 4096
+
+#: Minimum spacing between two dumps for the *same* reason.
+DEFAULT_MIN_DUMP_INTERVAL_S = 5.0
+
+
+class FlightRecorder:
+    """Bounded in-memory event ring with JSONL dump-on-trigger."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        clock: Callable[[], float] = time.monotonic,
+        min_dump_interval_s: float = DEFAULT_MIN_DUMP_INTERVAL_S,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("flight recorder capacity must be positive")
+        self.capacity = capacity
+        self._clock = clock
+        self.min_dump_interval_s = min_dump_interval_s
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._seq = 0
+        self._last_dump: dict[str, float] = {}
+        self.events_recorded = 0
+        self.dumps_written = 0
+        self.dumps_suppressed = 0
+
+    def record(self, kind: str, **fields) -> None:
+        """Append one event; O(1), never raises on weird field values
+        (serialisation is deferred — and fenced — until dump time)."""
+        self._seq += 1
+        self.events_recorded += 1
+        self._ring.append(
+            {"seq": self._seq, "t_mono": self._clock(), "kind": kind, **fields}
+        )
+
+    def dump(
+        self,
+        path: str | Path,
+        reason: str,
+        extra: dict | None = None,
+    ) -> bool:
+        """Write the ring to ``path`` as JSONL; returns True if written.
+
+        Rate-limited per ``reason``; appends, so successive distinct
+        triggers accumulate in one record file in order.
+        """
+        now = self._clock()
+        last = self._last_dump.get(reason)
+        if last is not None and now - last < self.min_dump_interval_s:
+            self.dumps_suppressed += 1
+            return False
+        self._last_dump[reason] = now
+        header = {
+            "event": "flight_dump",
+            "reason": reason,
+            "t_mono": now,
+            "t_unix": time.time(),
+            "events_retained": len(self._ring),
+            "events_recorded": self.events_recorded,
+            "seq_first": self._ring[0]["seq"] if self._ring else None,
+            "seq_last": self._ring[-1]["seq"] if self._ring else None,
+        }
+        if extra:
+            header["extra"] = extra
+        lines = [json.dumps(header, default=repr)]
+        lines.extend(json.dumps(event, default=repr) for event in self._ring)
+        path = Path(path)
+        if path.parent and not path.parent.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+        # Append (not atomic-replace): a record that already holds the
+        # breaker-open dump must keep it when the SIGTERM dump lands.
+        with open(path, "a") as handle:
+            handle.write("\n".join(lines) + "\n")
+            handle.flush()
+        self.dumps_written += 1
+        return True
+
+    def snapshot(self) -> dict:
+        """JSON-ready health block for ``status()`` views."""
+        return {
+            "capacity": self.capacity,
+            "events_recorded": self.events_recorded,
+            "events_retained": len(self._ring),
+            "dumps_written": self.dumps_written,
+            "dumps_suppressed": self.dumps_suppressed,
+        }
+
+    def tail(self, n: int = 32) -> list[dict]:
+        """The most recent ``n`` events (for `repro top` style views)."""
+        if n <= 0:
+            return []
+        return list(self._ring)[-n:]

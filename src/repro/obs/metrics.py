@@ -25,6 +25,7 @@ the JSON-ready structure ``RUN_report.json`` embeds.
 
 from __future__ import annotations
 
+import math
 import threading
 from bisect import bisect_left
 
@@ -81,6 +82,14 @@ class Counter:
     def to_dict(self) -> dict:
         return {"labels": dict(self.labels), "value": self.value}
 
+    def export_data(self) -> dict:
+        return {"value": self.value}
+
+    def merge_data(self, data: dict) -> None:
+        value = data.get("value", 0)
+        if isinstance(value, (int, float)) and value > 0:
+            self.value += value
+
 
 class Gauge:
     """A value that can go up and down (capacities, coverage, sizes)."""
@@ -102,6 +111,16 @@ class Gauge:
 
     def to_dict(self) -> dict:
         return {"labels": dict(self.labels), "value": self.value}
+
+    def export_data(self) -> dict:
+        return {"value": self.value}
+
+    def merge_data(self, data: dict) -> None:
+        # Last-writer-wins: a gauge is a level, not a flow, and the
+        # freshest worker observation is the best estimate we have.
+        value = data.get("value")
+        if isinstance(value, (int, float)):
+            self.value = value
 
 
 class Histogram:
@@ -162,14 +181,27 @@ class Histogram:
         return self.total / self.count if self.count else None
 
     def quantile(self, q: float) -> float | None:
-        """Summary quantile from the retained sample (nearest-rank)."""
+        """Summary quantile from the retained sample (nearest-rank).
+
+        The extremes are served from the *tracked* min/max rather than
+        the sample, so q=0.0/q=1.0 stay exact even after the sample
+        truncates; interior ranks use the textbook nearest-rank index
+        ``ceil(q*n) - 1`` (the previous ``round``-based index suffered
+        banker's rounding and could return the wrong neighbour).
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return None
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
         if not self._sample:
             return None
         ordered = sorted(self._sample)
-        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-        return ordered[rank]
+        rank = math.ceil(q * len(ordered)) - 1
+        return ordered[min(len(ordered) - 1, max(0, rank))]
 
     def to_dict(self) -> dict:
         return {
@@ -192,6 +224,70 @@ class Histogram:
             ],
             "sample_dropped": self.sample_dropped,
         }
+
+    def export_data(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "bounds": list(self.buckets),
+            "bucket_counts": list(self.bucket_counts),
+            "sample": list(self._sample),
+            "sample_dropped": self.sample_dropped,
+        }
+
+    def merge_data(self, data: dict) -> None:
+        """Fold another histogram's exported state into this one.
+
+        Counter-like fields (count/sum/buckets) add; min/max take the
+        extreme; the bounded sample absorbs the remote sample up to
+        the cap, counting overflow in ``sample_dropped``.  Mismatched
+        bucket bounds fall back to re-observing the remote sample so a
+        merge never raises — at the cost of bucket fidelity for the
+        values the remote side had already dropped.
+        """
+        count = data.get("count")
+        if not isinstance(count, int) or count <= 0:
+            return
+        bounds = data.get("bounds")
+        bucket_counts = data.get("bucket_counts")
+        sample = [
+            float(v)
+            for v in data.get("sample", ())
+            if isinstance(v, (int, float))
+        ]
+        if (
+            isinstance(bounds, list)
+            and tuple(bounds) == self.buckets
+            and isinstance(bucket_counts, list)
+            and len(bucket_counts) == len(self.bucket_counts)
+        ):
+            for i, n in enumerate(bucket_counts):
+                self.bucket_counts[i] += int(n)
+        else:
+            # Foreign bucket layout: keep the distribution approximately
+            # by re-binning the retained sample.
+            for value in sample:
+                self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self.count += count
+        self.total += float(data.get("sum", 0.0) or 0.0)
+        for bound_attr, pick in (("min", min), ("max", max)):
+            remote = data.get(bound_attr)
+            if isinstance(remote, (int, float)):
+                mine = getattr(self, bound_attr)
+                setattr(
+                    self,
+                    bound_attr,
+                    remote if mine is None else pick(mine, remote),
+                )
+        room = _SAMPLE_CAP - len(self._sample)
+        self._sample.extend(sample[:room])
+        overflow = max(0, len(sample) - room)
+        dropped = data.get("sample_dropped", 0)
+        self.sample_dropped += overflow + (
+            dropped if isinstance(dropped, int) and dropped > 0 else 0
+        )
 
 
 _TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -316,3 +412,87 @@ class MetricsRegistry:
         with self._lock:
             self._families.clear()
             self._interned.clear()
+
+    # ------------------------------------------------------------------
+    # Cross-process telemetry deltas
+    # ------------------------------------------------------------------
+
+    def export_delta(self, max_series: int = 512) -> dict:
+        """Wire-ready dump of this registry for piggybacking on a job
+        result.
+
+        A worker that calls :meth:`reset` per job and exports at the
+        end produces a true *delta*: everything here happened during
+        that one job.  The series count is bounded so a pathological
+        label explosion cannot bloat every result envelope; what was
+        cut is visible in ``series_dropped``.
+        """
+        with self._lock:
+            families: dict[str, dict] = {}
+            emitted = 0
+            dropped = 0
+            for name, family in sorted(self._families.items()):
+                series = []
+                for label_key, metric in family._series.items():
+                    if emitted >= max_series:
+                        dropped += 1
+                        continue
+                    series.append(
+                        {"labels": list(label_key), "data": metric.export_data()}
+                    )
+                    emitted += 1
+                if series:
+                    families[name] = {"type": family.type, "series": series}
+        delta: dict = {"v": 1, "families": families}
+        if dropped:
+            delta["series_dropped"] = dropped
+        return delta
+
+    def merge_delta(self, delta: object) -> int:
+        """Fold a worker's :meth:`export_delta` into this registry.
+
+        Returns the number of series merged.  Malformed input and
+        per-family type conflicts are skipped, never raised — a
+        telemetry envelope from a crashed or skewed worker must not be
+        able to take the server down.
+        """
+        if not isinstance(delta, dict) or delta.get("v") != 1:
+            return 0
+        families = delta.get("families")
+        if not isinstance(families, dict):
+            return 0
+        merged = 0
+        for name, payload in families.items():
+            if not isinstance(payload, dict):
+                continue
+            type_ = payload.get("type")
+            series = payload.get("series")
+            if type_ not in _TYPES or not isinstance(series, list):
+                continue
+            for entry in series:
+                if not isinstance(entry, dict):
+                    continue
+                data = entry.get("data")
+                if not isinstance(data, dict):
+                    continue
+                try:
+                    labels = {
+                        str(k): str(v) for k, v in entry.get("labels", ())
+                    }
+                    if type_ == "counter":
+                        metric = self.counter(name, **labels)
+                    elif type_ == "gauge":
+                        metric = self.gauge(name, **labels)
+                    else:
+                        bounds = data.get("bounds")
+                        buckets = (
+                            tuple(bounds)
+                            if isinstance(bounds, list) and bounds
+                            else DEFAULT_BUCKETS
+                        )
+                        metric = self.histogram(name, buckets=buckets, **labels)
+                except (TypeError, ValueError):
+                    continue
+                metric.merge_data(data)
+                merged += 1
+        return merged

@@ -72,6 +72,13 @@ EXPECTED_SERVE_FAMILIES = (
     "serve.jobs_deadline_exceeded",
     "serve.queue_depth",
     "serve.job_seconds",
+    # PR 8 telemetry plane: cross-process delta merge + SLO layer.
+    "serve.telemetry_deltas_merged",
+    "serve.worker_spans_adopted",
+    "serve.pool_rebuilds",
+    "slo.jobs_observed",
+    "slo.bad_jobs",
+    "slo.burn_rate",
 )
 
 

@@ -1,0 +1,173 @@
+"""Per-tenant SLO tracking: latency/error budgets and burn rates.
+
+An SLO here is the operational contract the serve path offers each
+tenant: *"at least ``latency_objective`` of your jobs finish under
+``latency_target_s``, and at most ``error_budget`` of them fail"*.
+The tracker grades recent traffic (the rolling windows from
+:mod:`repro.obs.window`) against that contract and reports **burn
+rate** — the classic SRE ratio of observed badness to budgeted
+badness, where 1.0 means the budget is being consumed exactly as fast
+as it accrues:
+
+* ``error_burn  = error_rate / error_budget``
+* ``latency_burn = slow_rate / (1 - latency_objective)``
+* ``burn_rate   = max`` of the two, worst window wins.
+
+Verdicts: ``idle`` (no traffic in any window), ``ok`` (burn below
+``warn_burn``), ``warn``, and ``breach`` (burn at or above
+``breach_burn``).  These surface in ``repro top``, the OpenMetrics
+endpoint (``slo.burn_rate`` gauges), and ``BENCH_serve.json`` v2.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.obs.window import WINDOW_SPECS, RollingCounter, RollingHistogram
+
+__all__ = ["SLOPolicy", "SLOTracker"]
+
+#: Tenant label applied to jobs that did not declare one.
+DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """The budgets one tenant's traffic is graded against."""
+
+    #: A job slower than this is "slow" for the latency objective.
+    latency_target_s: float = 2.0
+    #: Fraction of jobs that must beat the latency target.
+    latency_objective: float = 0.95
+    #: Fraction of jobs allowed to fail outright.
+    error_budget: float = 0.05
+    #: Burn thresholds for the warn / breach verdicts.
+    warn_burn: float = 0.5
+    breach_burn: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.latency_objective < 1.0:
+            raise ValueError("latency_objective must be in (0, 1)")
+        if not 0.0 < self.error_budget < 1.0:
+            raise ValueError("error_budget must be in (0, 1)")
+        if self.latency_target_s <= 0:
+            raise ValueError("latency_target_s must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "latency_target_s": self.latency_target_s,
+            "latency_objective": self.latency_objective,
+            "error_budget": self.error_budget,
+            "warn_burn": self.warn_burn,
+            "breach_burn": self.breach_burn,
+        }
+
+
+class _TenantState:
+    __slots__ = ("jobs", "bad", "slow", "latency")
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self.jobs = RollingCounter(clock=clock)
+        self.bad = RollingCounter(clock=clock)
+        self.slow = RollingCounter(clock=clock)
+        self.latency = RollingHistogram(clock=clock)
+
+
+class SLOTracker:
+    """Grades per-tenant traffic against an :class:`SLOPolicy`.
+
+    One policy for every tenant keeps the accounting simple (the serve
+    path has no per-tenant contracts yet); the per-tenant *state* is
+    where the isolation matters — one tenant's chaos jobs must not
+    burn another's budget.
+    """
+
+    def __init__(
+        self,
+        policy: SLOPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy or SLOPolicy()
+        self._clock = clock
+        self._tenants: dict[str, _TenantState] = {}
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = self._tenants[tenant] = _TenantState(self._clock)
+        return state
+
+    def observe(self, tenant: str, latency_s: float, ok: bool) -> None:
+        tenant = tenant or DEFAULT_TENANT
+        state = self._state(tenant)
+        state.jobs.inc()
+        state.latency.observe(latency_s)
+        if not ok:
+            state.bad.inc()
+        if latency_s > self.policy.latency_target_s:
+            state.slow.inc()
+
+    def tenants(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def verdict(self, tenant: str) -> dict:
+        """The graded view of one tenant: per-window burns plus the
+        overall status (worst window wins)."""
+        state = self._state(tenant)
+        policy = self.policy
+        windows: dict = {}
+        worst_burn = 0.0
+        any_traffic = False
+        for label, seconds in WINDOW_SPECS:
+            jobs = state.jobs.total(seconds)
+            if not jobs:
+                windows[label] = {
+                    "jobs": 0.0,
+                    "error_rate": 0.0,
+                    "slow_rate": 0.0,
+                    "error_burn": 0.0,
+                    "latency_burn": 0.0,
+                    "burn_rate": 0.0,
+                }
+                continue
+            any_traffic = True
+            error_rate = state.bad.total(seconds) / jobs
+            slow_rate = state.slow.total(seconds) / jobs
+            error_burn = error_rate / policy.error_budget
+            latency_burn = slow_rate / (1.0 - policy.latency_objective)
+            burn = max(error_burn, latency_burn)
+            worst_burn = max(worst_burn, burn)
+            p99 = state.latency.quantile(0.99, seconds)
+            windows[label] = {
+                "jobs": jobs,
+                "error_rate": round(error_rate, 6),
+                "slow_rate": round(slow_rate, 6),
+                "error_burn": round(error_burn, 4),
+                "latency_burn": round(latency_burn, 4),
+                "burn_rate": round(burn, 4),
+                "p99_ms": None if p99 is None else round(p99 * 1000.0, 3),
+            }
+        if not any_traffic:
+            status = "idle"
+        elif worst_burn >= policy.breach_burn:
+            status = "breach"
+        elif worst_burn >= policy.warn_burn:
+            status = "warn"
+        else:
+            status = "ok"
+        return {
+            "tenant": tenant,
+            "status": status,
+            "burn_rate": round(worst_burn, 4),
+            "windows": windows,
+        }
+
+    def verdicts(self) -> dict[str, dict]:
+        """``{tenant: verdict}`` for every tenant seen so far."""
+        return {tenant: self.verdict(tenant) for tenant in self.tenants()}
+
+    def snapshot(self) -> dict:
+        """JSON-ready policy + verdicts block for reports."""
+        return {"policy": self.policy.to_dict(), "tenants": self.verdicts()}

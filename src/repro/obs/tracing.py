@@ -27,9 +27,10 @@ import json
 import threading
 import time
 import uuid
+from dataclasses import dataclass
 from typing import IO
 
-__all__ = ["Span", "Tracer", "NOOP_SPAN", "new_run_id"]
+__all__ = ["Span", "TraceContext", "Tracer", "NOOP_SPAN", "new_run_id"]
 
 #: Retained finished spans per tracer; older spans beyond the cap are
 #: dropped (counted in :attr:`Tracer.spans_dropped`) so week-long runs
@@ -72,6 +73,7 @@ class Span:
         "attrs",
         "span_id",
         "parent_id",
+        "trace_id",
         "depth",
         "start_unix",
         "_tracer",
@@ -87,12 +89,14 @@ class Span:
         attrs: dict,
         parent_id: str | None,
         depth: int,
+        trace_id: str | None = None,
     ) -> None:
         self._tracer = tracer
         self.name = name
         self.attrs = attrs
         self.span_id = uuid.uuid4().hex[:12]
         self.parent_id = parent_id
+        self.trace_id = trace_id or tracer.run_id
         self.depth = depth
         self.start_unix = time.time()
         self.duration = 0.0
@@ -120,12 +124,104 @@ class Span:
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
             "depth": self.depth,
             "start_unix": self.start_unix,
             "duration_s": self.duration,
             "status": self.status,
             "attrs": self.attrs,
         }
+
+    @classmethod
+    def from_dict(cls, tracer: "Tracer", data: dict) -> "Span | None":
+        """Rebuild a finished span from :meth:`to_dict` output,
+        preserving its identity (ids, depth, timing) so a span that
+        crossed a process boundary still stitches under its parent."""
+        name = data.get("name")
+        span_id = data.get("span_id")
+        if not isinstance(name, str) or not isinstance(span_id, str):
+            return None
+        span = cls.__new__(cls)
+        span._tracer = tracer
+        span.name = name
+        span.span_id = span_id
+        parent = data.get("parent_id")
+        span.parent_id = parent if isinstance(parent, str) else None
+        trace = data.get("trace_id")
+        span.trace_id = trace if isinstance(trace, str) else tracer.run_id
+        depth = data.get("depth")
+        span.depth = depth if isinstance(depth, int) and depth >= 0 else 0
+        start = data.get("start_unix")
+        span.start_unix = float(start) if isinstance(start, (int, float)) else 0.0
+        duration = data.get("duration_s")
+        span.duration = (
+            float(duration) if isinstance(duration, (int, float)) else 0.0
+        )
+        status = data.get("status")
+        span.status = status if isinstance(status, str) else "ok"
+        attrs = data.get("attrs")
+        span.attrs = dict(attrs) if isinstance(attrs, dict) else {}
+        span._start = 0.0
+        return span
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The serializable identity of an open span, carried across a
+    process boundary so remote work stitches under it.
+
+    ``to_wire``/``from_wire`` round-trip through plain JSON-safe dicts;
+    ``from_wire`` answers ``None`` for anything malformed — a junk
+    envelope must degrade to "no propagation", never to an exception
+    on the serve path.
+    """
+
+    trace_id: str
+    span_id: str
+    depth: int = 0
+    tenant: str = ""
+    job_id: str = ""
+
+    def to_wire(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "depth": self.depth,
+            "tenant": self.tenant,
+            "job_id": self.job_id,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: object) -> "TraceContext | None":
+        if not isinstance(wire, dict):
+            return None
+        trace_id = wire.get("trace_id")
+        span_id = wire.get("span_id")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        if not trace_id or not span_id:
+            return None
+        depth = wire.get("depth")
+        return cls(
+            trace_id=trace_id,
+            span_id=span_id,
+            depth=depth if isinstance(depth, int) and depth >= 0 else 0,
+            tenant=str(wire.get("tenant", "") or ""),
+            job_id=str(wire.get("job_id", "") or ""),
+        )
+
+
+class _RemoteAnchor:
+    """A stack placeholder impersonating a span that lives in another
+    process: it has just enough surface (``span_id``, ``depth``,
+    ``trace_id``) for :meth:`Tracer.span` to parent new spans under it."""
+
+    __slots__ = ("span_id", "depth", "trace_id")
+
+    def __init__(self, ctx: TraceContext) -> None:
+        self.span_id = ctx.span_id
+        self.depth = ctx.depth
+        self.trace_id = ctx.trace_id
 
 
 class Tracer:
@@ -172,9 +268,64 @@ class Tracer:
             attrs,
             parent.span_id if parent else None,
             parent.depth + 1 if parent else 0,
+            parent.trace_id if parent else None,
         )
         stack.append(span)
         return span
+
+    def begin(self, name: str, **attrs) -> Span | None:
+        """Open a *detached* span: timed and recorded like any other,
+        but never pushed on the thread-local stack.
+
+        This is the span shape for cooperatively-scheduled work — an
+        asyncio server interleaves many jobs on one thread, so stack
+        nesting would attribute children to whichever job happens to
+        be mid-await.  Close with :meth:`end`.  Returns ``None`` when
+        disabled (callers guard, the same as a falsy check on
+        :data:`NOOP_SPAN` would not be)."""
+        if not self.enabled:
+            return None
+        span = Span(self, name, attrs, None, 0)
+        span._start = time.perf_counter()
+        return span
+
+    def end(self, span: Span | None, status: str | None = None) -> None:
+        """Finish a span opened with :meth:`begin`."""
+        if span is None:
+            return
+        span.duration = time.perf_counter() - span._start
+        if status is not None:
+            span.status = status
+        self._finish(span)
+
+    def context(
+        self, span: Span, tenant: str = "", job_id: str = ""
+    ) -> TraceContext:
+        """The wire-serializable :class:`TraceContext` for ``span``."""
+        return TraceContext(
+            trace_id=span.trace_id,
+            span_id=span.span_id,
+            depth=span.depth,
+            tenant=tenant,
+            job_id=job_id,
+        )
+
+    def push_remote(self, ctx: TraceContext) -> _RemoteAnchor:
+        """Anchor this thread's span stack under a remote parent: until
+        the matching :meth:`pop_remote`, new spans parent under
+        ``ctx.span_id`` and inherit its trace id."""
+        anchor = _RemoteAnchor(ctx)
+        self._stack().append(anchor)
+        return anchor
+
+    def pop_remote(self, anchor: _RemoteAnchor) -> None:
+        stack = self._stack()
+        if anchor in stack:
+            # Unwind to (and including) the anchor; anything above it
+            # is an unclosed span abandoned by an error path.
+            while stack:
+                if stack.pop() is anchor:
+                    break
 
     def _finish(self, span: Span) -> None:
         stack = self._stack()
@@ -243,6 +394,31 @@ class Tracer:
                 row["min_s"] = min(row["min_s"], span.duration)
                 row["max_s"] = max(row["max_s"], span.duration)
         return table
+
+    def export_spans(self, limit: int = 128) -> list[dict]:
+        """The last ``limit`` finished spans as JSON-ready dicts — the
+        span half of a worker's telemetry delta."""
+        return [span.to_dict() for span in self.spans[-limit:]]
+
+    def adopt_spans(self, span_dicts: object) -> int:
+        """Absorb spans exported by another process's tracer.
+
+        Identities (span/parent/trace ids, depth, timing) are kept
+        verbatim so the adopted spans stitch under whatever local span
+        issued their :class:`TraceContext`.  Malformed entries are
+        skipped; returns the number adopted."""
+        if not isinstance(span_dicts, list):
+            return 0
+        adopted = 0
+        for data in span_dicts:
+            if not isinstance(data, dict):
+                continue
+            span = Span.from_dict(self, data)
+            if span is None:
+                continue
+            self._finish(span)
+            adopted += 1
+        return adopted
 
     def snapshot(self) -> dict:
         """JSON-ready view: aggregates plus every retained span."""

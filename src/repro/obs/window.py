@@ -1,0 +1,237 @@
+"""Rolling time-window aggregation: recent-rate counters and quantiles.
+
+The cumulative :mod:`repro.obs.metrics` registry answers "what happened
+since the process started"; a live server needs "what is happening
+*now*".  This module adds the windowed half: a ring of fixed-duration
+buckets over a monotonic clock, giving 1m/5m rates and rolling latency
+quantiles without ever storing more than the ring.
+
+Design points:
+
+* **Monotonic, injectable clock.**  Every class takes ``clock=`` (a
+  zero-argument callable, default :func:`time.monotonic`), so tests
+  drive time forward deterministically and wall-clock jumps (NTP,
+  suspend) cannot corrupt rates.
+* **Lazy slot expiry.**  Each ring slot remembers the bucket *epoch*
+  (``int(now // bucket_s)``) it was last written in; a slot whose epoch
+  is stale is reset on touch.  No background timer, no churn when idle.
+* **Bounded.**  A :class:`RollingHistogram` keeps at most
+  ``per_slot_cap`` samples per bucket; overflow is counted, not stored,
+  so quantiles stay approximate-but-honest under load.
+
+:class:`TelemetryWindows` bundles the request-level trio (throughput,
+errors, latency) the serve path and the SLO layer both consume; its
+:data:`WINDOW_SPECS` (1m/5m) are the horizons exported on the
+OpenMetrics endpoint and embedded in ``BENCH_serve.json`` v2.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable
+
+__all__ = [
+    "WINDOW_SPECS",
+    "RollingCounter",
+    "RollingHistogram",
+    "TelemetryWindows",
+]
+
+#: The reporting horizons every windowed snapshot exposes, as
+#: ``(label, seconds)`` pairs.  Both must fit inside the default ring
+#: span below.
+WINDOW_SPECS: tuple[tuple[str, float], ...] = (("1m", 60.0), ("5m", 300.0))
+
+#: Default ring geometry: 60 buckets of 5 s = a 300 s span, so one ring
+#: serves both the 1m and the 5m window.
+DEFAULT_SPAN_S = 300.0
+DEFAULT_RESOLUTION = 60
+
+#: Per-bucket retained-sample bound for rolling histograms.
+DEFAULT_PER_SLOT_CAP = 128
+
+
+class _Ring:
+    """Shared epoch-slot machinery for the rolling aggregates."""
+
+    __slots__ = ("bucket_s", "resolution", "_clock", "_epochs")
+
+    def __init__(
+        self,
+        span_s: float,
+        resolution: int,
+        clock: Callable[[], float],
+    ) -> None:
+        if span_s <= 0 or resolution <= 0:
+            raise ValueError("window span and resolution must be positive")
+        self.bucket_s = span_s / resolution
+        self.resolution = resolution
+        self._clock = clock
+        self._epochs = [-1] * resolution
+
+    def _touch(self) -> int:
+        """The current slot index, with its stale state reset."""
+        epoch = int(self._clock() // self.bucket_s)
+        i = epoch % self.resolution
+        if self._epochs[i] != epoch:
+            self._reset_slot(i)
+            self._epochs[i] = epoch
+        return i
+
+    def _live_slots(self, window_s: float | None) -> list[int]:
+        """Indices of slots still inside ``window_s`` (default: the
+        full ring span), *excluding* expired epochs."""
+        now_epoch = int(self._clock() // self.bucket_s)
+        if window_s is None:
+            n = self.resolution
+        else:
+            n = min(self.resolution, max(1, int(round(window_s / self.bucket_s))))
+        floor = now_epoch - n + 1
+        return [
+            i
+            for i, epoch in enumerate(self._epochs)
+            if floor <= epoch <= now_epoch
+        ]
+
+    def _reset_slot(self, i: int) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class RollingCounter(_Ring):
+    """A counter whose value decays bucket-by-bucket out of the window."""
+
+    __slots__ = ("_values",)
+
+    def __init__(
+        self,
+        span_s: float = DEFAULT_SPAN_S,
+        resolution: int = DEFAULT_RESOLUTION,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        super().__init__(span_s, resolution, clock)
+        self._values = [0.0] * resolution
+
+    def _reset_slot(self, i: int) -> None:
+        self._values[i] = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._values[self._touch()] += amount
+
+    def total(self, window_s: float | None = None) -> float:
+        return sum(self._values[i] for i in self._live_slots(window_s))
+
+    def rate(self, window_s: float) -> float:
+        """Events per second over the trailing ``window_s``."""
+        return self.total(window_s) / window_s
+
+
+class RollingHistogram(_Ring):
+    """Bounded per-bucket samples giving rolling quantiles and means."""
+
+    __slots__ = ("per_slot_cap", "_counts", "_sums", "_samples", "dropped")
+
+    def __init__(
+        self,
+        span_s: float = DEFAULT_SPAN_S,
+        resolution: int = DEFAULT_RESOLUTION,
+        clock: Callable[[], float] = time.monotonic,
+        per_slot_cap: int = DEFAULT_PER_SLOT_CAP,
+    ) -> None:
+        super().__init__(span_s, resolution, clock)
+        self.per_slot_cap = per_slot_cap
+        self._counts = [0] * resolution
+        self._sums = [0.0] * resolution
+        self._samples: list[list[float]] = [[] for _ in range(resolution)]
+        self.dropped = 0
+
+    def _reset_slot(self, i: int) -> None:
+        self._counts[i] = 0
+        self._sums[i] = 0.0
+        self._samples[i] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        i = self._touch()
+        self._counts[i] += 1
+        self._sums[i] += value
+        if len(self._samples[i]) < self.per_slot_cap:
+            self._samples[i].append(value)
+        else:
+            self.dropped += 1
+
+    def count(self, window_s: float | None = None) -> int:
+        return sum(self._counts[i] for i in self._live_slots(window_s))
+
+    def mean(self, window_s: float | None = None) -> float | None:
+        live = self._live_slots(window_s)
+        count = sum(self._counts[i] for i in live)
+        if not count:
+            return None
+        return sum(self._sums[i] for i in live) / count
+
+    def quantile(self, q: float, window_s: float | None = None) -> float | None:
+        """Nearest-rank quantile over the window's retained samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        merged: list[float] = []
+        for i in self._live_slots(window_s):
+            merged.extend(self._samples[i])
+        if not merged:
+            return None
+        merged.sort()
+        if q == 0.0:
+            return merged[0]
+        if q == 1.0:
+            return merged[-1]
+        rank = max(1, min(len(merged), math.ceil(q * len(merged))))
+        return merged[rank - 1]
+
+
+class TelemetryWindows:
+    """The serve path's live view: throughput, errors, latency, per
+    window horizon in :data:`WINDOW_SPECS`."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self.jobs = RollingCounter(clock=clock)
+        self.errors = RollingCounter(clock=clock)
+        self.latency = RollingHistogram(clock=clock)
+
+    def observe(self, latency_s: float, ok: bool = True) -> None:
+        self.jobs.inc()
+        if not ok:
+            self.errors.inc()
+        self.latency.observe(latency_s)
+
+    def snapshot(self) -> dict:
+        """JSON-ready ``{window label: rates + latency rollup}``."""
+        out: dict = {}
+        for label, seconds in WINDOW_SPECS:
+            jobs = self.jobs.total(seconds)
+            errors = self.errors.total(seconds)
+            quantiles = {
+                name: (
+                    None
+                    if value is None
+                    else round(value * 1000.0, 3)
+                )
+                for name, value in (
+                    ("p50_ms", self.latency.quantile(0.5, seconds)),
+                    ("p90_ms", self.latency.quantile(0.9, seconds)),
+                    ("p99_ms", self.latency.quantile(0.99, seconds)),
+                )
+            }
+            mean = self.latency.mean(seconds)
+            out[label] = {
+                "jobs": jobs,
+                "errors": errors,
+                "rate_per_s": round(jobs / seconds, 6),
+                "error_rate": round(errors / jobs, 6) if jobs else 0.0,
+                "latency": {
+                    "count": self.latency.count(seconds),
+                    "mean_ms": None if mean is None else round(mean * 1000.0, 3),
+                    **quantiles,
+                },
+            }
+        return out

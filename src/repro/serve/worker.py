@@ -27,11 +27,15 @@ from __future__ import annotations
 
 import hashlib
 import os
+import signal
 import threading
 import time
 from collections import OrderedDict
 
+import repro.obs as obs
 from repro.faults.service import SLOW_STALL_S
+from repro.obs import OBS
+from repro.obs.tracing import TraceContext
 from repro.pipeline.bundle import EncodingBundle
 from repro.pipeline.cache import BundleCache, cache_key, workload_fingerprint
 from repro.pipeline.flow import EncodingFlow
@@ -57,7 +61,18 @@ def pool_worker_init(parent_pid: int) -> None:
     A SIGKILLed server cannot shut its pool down, and fork workers
     blocked on the shared call queue never see EOF (their siblings
     hold the write end open) — without this they would idle as
-    orphans indefinitely."""
+    orphans indefinitely.
+
+    Fork children also inherit the server's asyncio signal plumbing:
+    its wakeup fd is the *server loop's* self-pipe, and SIGTERM may be
+    trapped by the loop's no-op trampoline.  Left in place, a child
+    SIGTERMed during broken-pool cleanup would both survive the
+    terminate *and* relay the signal number into the parent's pipe —
+    the server would then run its own SIGTERM handler for a signal
+    that was never sent to it.  Reset both before doing anything."""
+
+    signal.set_wakeup_fd(-1)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
 
     def _watch() -> None:
         while os.getppid() == parent_pid:
@@ -191,6 +206,24 @@ def _execute(
         # and degraded mode exists precisely to make progress.
         os._exit(23)
 
+    # Cross-process telemetry: the server rides a TraceContext on the
+    # envelope (an underscore key, invisible to the job identity).  In
+    # a pool child we reset to a fresh process-local registry/tracer so
+    # everything captured below is a true per-job *delta*; on the
+    # serial path OBS *is* the server's state, so we only anchor the
+    # span stack (spans land in the server tracer directly) and never
+    # reset.  A kill-chaos crash above loses exactly this one job's
+    # in-flight delta, nothing more.
+    ctx = TraceContext.from_wire(wire.get("_trace")) if isinstance(wire, dict) else None
+    capture = ctx is not None and in_pool and OBS.enabled
+    if capture:
+        obs.reset()
+    anchor = (
+        OBS.tracer.push_remote(ctx)
+        if ctx is not None and OBS.enabled
+        else None
+    )
+
     def body() -> dict:
         if request.chaos == "slow":
             # Stall well past the job's (tight) deadline; the
@@ -200,17 +233,43 @@ def _execute(
         return _compute(request, _cache_for(cache_dir))
 
     try:
-        payload = run_with_deadline(
-            body, request.deadline_s, what=f"job {request.key}"
-        )
-    except DeadlineExceeded as err:
-        return {"outcome": "deadline_exceeded", "error": str(err)}
-    except Exception as err:
-        # A poisoned job: deterministic compute failure, isolated to
-        # this case.  Returned, not raised — the dispatcher treats a
-        # raising worker as infrastructure trouble worth retrying.
-        return {"outcome": "error", "error": f"{type(err).__name__}: {err}"}
-    return {"outcome": "ok", "payload": payload}
+        with OBS.tracer.span(
+            "serve.worker",
+            kind=request.kind,
+            workload=request.workload,
+            attempt=attempt,
+            pool="1" if in_pool else "0",
+        ):
+            try:
+                payload = run_with_deadline(
+                    body, request.deadline_s, what=f"job {request.key}"
+                )
+            except DeadlineExceeded as err:
+                outcome = {"outcome": "deadline_exceeded", "error": str(err)}
+            except Exception as err:
+                # A poisoned job: deterministic compute failure,
+                # isolated to this case.  Returned, not raised — the
+                # dispatcher treats a raising worker as infrastructure
+                # trouble worth retrying.
+                outcome = {
+                    "outcome": "error",
+                    "error": f"{type(err).__name__}: {err}",
+                }
+            else:
+                outcome = {"outcome": "ok", "payload": payload}
+        if capture:
+            # Piggyback the bounded delta on the result envelope; the
+            # server pops it before the result reaches the WAL.
+            outcome["_telemetry"] = {
+                "v": 1,
+                "pid": os.getpid(),
+                "metrics": OBS.registry.export_delta(),
+                "spans": OBS.tracer.export_spans(128),
+            }
+        return outcome
+    finally:
+        if anchor is not None:
+            OBS.tracer.pop_remote(anchor)
 
 
 def pool_execute(wire: dict, attempt: int, cache_dir: str | None) -> dict:

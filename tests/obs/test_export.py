@@ -1,0 +1,67 @@
+"""OpenMetrics text exposition from a registry snapshot."""
+
+from repro.obs.export import render_openmetrics, synthetic_gauge_family
+from repro.obs.metrics import MetricsRegistry
+
+
+def render(reg: MetricsRegistry) -> str:
+    return render_openmetrics(reg.snapshot())
+
+
+class TestRenderOpenMetrics:
+    def test_counter_gets_total_suffix(self):
+        reg = MetricsRegistry()
+        reg.counter("codec.blocks_encoded", workload="fir").inc(3)
+        text = render(reg)
+        assert "# TYPE codec_blocks_encoded counter" in text
+        assert 'codec_blocks_encoded_total{workload="fir"} 3' in text
+        assert text.endswith("# EOF\n")
+
+    def test_gauge_plain_name(self):
+        reg = MetricsRegistry()
+        reg.gauge("flow.hot_coverage").set(0.875)
+        text = render(reg)
+        assert "# TYPE flow_hot_coverage gauge" in text
+        assert "flow_hot_coverage 0.875" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(1.0, 5.0))
+        for value in (0.5, 0.6, 2.0, 99.0):
+            hist.observe(value)
+        text = render(reg)
+        # Registry buckets are per-bin; the exposition must cumulate.
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="5"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+        assert "lat_count 4" in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", path='a"b\\c\nd').inc()
+        text = render(reg)
+        assert 'c_total{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_names_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.jobs-completed").inc()
+        text = render(reg)
+        assert "serve_jobs_completed_total 1" in text
+
+    def test_output_is_parseable_line_format(self):
+        reg = MetricsRegistry()
+        reg.counter("a.one").inc()
+        reg.gauge("b.two").set(1.5)
+        reg.histogram("c.three").observe(0.1)
+        lines = render(reg).splitlines()
+        assert lines[-1] == "# EOF"
+        for line in lines:
+            assert line.startswith("#") or " " in line
+
+    def test_synthetic_gauge_family(self):
+        fam = synthetic_gauge_family(
+            [({"tenant": "t0"}, 0.25), ({}, 1.0)], "burn"
+        )
+        text = render_openmetrics({"slo.burn_rate": fam})
+        assert 'slo_burn_rate{tenant="t0"} 0.25' in text
+        assert "\nslo_burn_rate 1\n" in text

@@ -125,3 +125,125 @@ class TestRegistry:
 
     def test_default_buckets_sorted(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestQuantileEdges:
+    """Regressions for the q=0.0 / q=1.0 / empty-histogram edges."""
+
+    def test_empty_histogram_has_no_summary(self):
+        hist = MetricsRegistry().histogram("span.seconds")
+        assert hist.mean is None
+        assert hist.quantile(0.0) is None
+        assert hist.quantile(0.5) is None
+        assert hist.quantile(1.0) is None
+
+    def test_extremes_exact_after_sample_truncation(self):
+        from repro.obs.metrics import _SAMPLE_CAP
+
+        hist = MetricsRegistry().histogram("span.seconds")
+        hist.observe(0.001)  # the global min, long since crowded out
+        for _ in range(_SAMPLE_CAP + 5):
+            hist.observe(1.0)
+        hist.observe(9.5)  # the global max, past the sample cap
+        # min/max are tracked exactly; the sample alone no longer
+        # contains either extreme.
+        assert hist.quantile(0.0) == 0.001
+        assert hist.quantile(1.0) == 9.5
+
+    def test_single_observation_all_quantiles_agree(self):
+        hist = MetricsRegistry().histogram("span.seconds")
+        hist.observe(2.5)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 2.5
+
+    def test_nearest_rank_is_ceiling_not_floor(self):
+        hist = MetricsRegistry().histogram("span.seconds")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        # ceil(0.5 * 4) = 2nd order statistic, not the 3rd.
+        assert hist.quantile(0.5) == 2.0
+        assert hist.quantile(0.75) == 3.0
+        assert hist.quantile(0.76) == 4.0
+
+
+class TestDeltaMerge:
+    """export_delta / merge_delta: the cross-process telemetry wire."""
+
+    def test_roundtrip_through_json(self):
+        import json
+
+        src = MetricsRegistry()
+        src.counter("codec.blocks_encoded", workload="fir").inc(7)
+        src.gauge("flow.hot_coverage").set(0.875)
+        src.histogram("serve.job_seconds").observe(0.25)
+        delta = json.loads(json.dumps(src.export_delta()))
+
+        dst = MetricsRegistry()
+        assert dst.merge_delta(delta) == 3
+        assert dst.counter("codec.blocks_encoded", workload="fir").value == 7
+        assert dst.gauge("flow.hot_coverage").value == 0.875
+        assert dst.histogram("serve.job_seconds").count == 1
+
+    def test_merge_accumulates_counters_and_histograms(self):
+        src = MetricsRegistry()
+        src.counter("codec.blocks_encoded").inc(2)
+        src.histogram("serve.job_seconds").observe(1.0)
+        delta = src.export_delta()
+
+        dst = MetricsRegistry()
+        dst.merge_delta(delta)
+        dst.merge_delta(delta)
+        assert dst.counter("codec.blocks_encoded").value == 4
+        hist = dst.histogram("serve.job_seconds")
+        assert hist.count == 2
+        assert hist.total == pytest.approx(2.0)
+
+    def test_merge_rebins_foreign_bucket_bounds(self):
+        src = MetricsRegistry()
+        src.histogram("lat", buckets=(0.5, 2.0)).observe(1.0)
+        dst = MetricsRegistry()
+        dst.histogram("lat", buckets=(0.1, 10.0)).observe(0.05)
+        assert dst.merge_delta(src.export_delta()) == 1
+        hist = dst.histogram("lat")
+        assert hist.count == 2
+        # The remote observation lands in the local (0.1, 10.0] bucket.
+        assert hist.to_dict()["buckets"][1]["count"] == 1
+
+    def test_merge_never_raises_on_junk(self):
+        dst = MetricsRegistry()
+        dst.counter("codec.blocks_encoded").inc()
+        assert dst.merge_delta(None) == 0
+        assert dst.merge_delta({"v": 99}) == 0
+        assert dst.merge_delta({"v": 1, "families": "nope"}) == 0
+        # A series with a garbage value degrades to a no-op (still
+        # counted as visited); an unknown family type is skipped.
+        assert (
+            dst.merge_delta(
+                {
+                    "v": 1,
+                    "families": {
+                        "codec.blocks_encoded": {
+                            "type": "counter",
+                            "series": [
+                                {"labels": [], "data": {"value": "NaN?"}},
+                                {"labels": [], "data": {"value": 3}},
+                            ],
+                        },
+                        "weird": {"type": "zigzag", "series": []},
+                    },
+                }
+            )
+            == 2
+        )
+        assert dst.counter("codec.blocks_encoded").value == 4
+
+    def test_export_bounds_series_count(self):
+        src = MetricsRegistry()
+        for i in range(20):
+            src.counter("c", i=str(i)).inc()
+        delta = src.export_delta(max_series=8)
+        exported = sum(
+            len(fam["series"]) for fam in delta["families"].values()
+        )
+        assert exported == 8
+        assert delta["series_dropped"] == 12

@@ -1,0 +1,162 @@
+"""Per-tenant SLO tracking and the incident flight recorder."""
+
+import json
+
+import pytest
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.slo import DEFAULT_TENANT, SLOPolicy, SLOTracker
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestSLOPolicy:
+    def test_defaults_are_sane(self):
+        policy = SLOPolicy()
+        assert 0.0 < policy.error_budget < 1.0
+        assert 0.0 < policy.latency_objective < 1.0
+        assert policy.warn_burn < policy.breach_burn
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SLOPolicy(error_budget=0.0)
+        with pytest.raises(ValueError):
+            SLOPolicy(latency_objective=1.5)
+
+
+class TestSLOTracker:
+    def test_no_traffic_is_idle(self):
+        tracker = SLOTracker(clock=FakeClock())
+        verdict = tracker.verdict("t0")
+        assert verdict["status"] == "idle"
+        assert verdict["burn_rate"] == 0.0
+
+    def test_healthy_traffic_is_ok(self):
+        tracker = SLOTracker(clock=FakeClock())
+        for _ in range(50):
+            tracker.observe("t0", latency_s=0.1, ok=True)
+        verdict = tracker.verdict("t0")
+        assert verdict["status"] == "ok"
+        assert verdict["burn_rate"] == 0.0
+
+    def test_error_burn_breaches(self):
+        tracker = SLOTracker(
+            SLOPolicy(error_budget=0.05), clock=FakeClock()
+        )
+        for i in range(20):
+            tracker.observe("t0", latency_s=0.1, ok=(i % 2 == 0))
+        verdict = tracker.verdict("t0")
+        # 50% errors against a 5% budget: burn 10x, clear breach.
+        assert verdict["status"] == "breach"
+        assert verdict["burn_rate"] == pytest.approx(10.0)
+
+    def test_slow_jobs_burn_latency_budget(self):
+        tracker = SLOTracker(
+            SLOPolicy(latency_target_s=1.0, latency_objective=0.9),
+            clock=FakeClock(),
+        )
+        for i in range(20):
+            tracker.observe("t0", latency_s=5.0 if i < 10 else 0.1, ok=True)
+        verdict = tracker.verdict("t0")
+        # 50% slow against a 10% slow allowance: burn 5x.
+        assert verdict["burn_rate"] == pytest.approx(5.0)
+        assert verdict["status"] == "breach"
+
+    def test_tenants_are_isolated(self):
+        tracker = SLOTracker(clock=FakeClock())
+        tracker.observe("bad", latency_s=0.1, ok=False)
+        tracker.observe("good", latency_s=0.1, ok=True)
+        assert tracker.verdict("bad")["status"] == "breach"
+        assert tracker.verdict("good")["status"] == "ok"
+
+    def test_empty_tenant_maps_to_default(self):
+        tracker = SLOTracker(clock=FakeClock())
+        tracker.observe("", latency_s=0.1, ok=True)
+        assert DEFAULT_TENANT in tracker.verdicts()
+
+    def test_breach_ages_back_to_ok(self):
+        clock = FakeClock()
+        tracker = SLOTracker(clock=clock)
+        for _ in range(10):
+            tracker.observe("t0", latency_s=0.1, ok=False)
+        assert tracker.verdict("t0")["status"] == "breach"
+        clock.advance(1000.0)
+        for _ in range(10):
+            tracker.observe("t0", latency_s=0.1, ok=True)
+        assert tracker.verdict("t0")["status"] == "ok"
+
+    def test_snapshot_is_json_ready(self):
+        tracker = SLOTracker(clock=FakeClock())
+        tracker.observe("t0", latency_s=0.1, ok=True)
+        snap = json.loads(json.dumps(tracker.snapshot()))
+        assert "policy" in snap
+        assert "t0" in snap["tenants"]
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded(self):
+        flight = FlightRecorder(capacity=4, clock=FakeClock())
+        for i in range(10):
+            flight.record("tick", i=i)
+        snap = flight.snapshot()
+        assert snap["events_retained"] == 4
+        assert snap["events_recorded"] == 10
+        assert [e["i"] for e in flight.tail(4)] == [6, 7, 8, 9]
+
+    def test_dump_writes_header_and_events(self, tmp_path):
+        flight = FlightRecorder(clock=FakeClock())
+        flight.record("breaker_open", failures=3)
+        path = tmp_path / "flight.jsonl"
+        assert flight.dump(str(path), "breaker_open", {"note": "x"})
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert lines[0]["event"] == "flight_dump"
+        assert lines[0]["reason"] == "breaker_open"
+        assert lines[0]["extra"] == {"note": "x"}
+        assert lines[1]["kind"] == "breaker_open"
+
+    def test_dumps_rate_limited_per_reason(self, tmp_path):
+        clock = FakeClock()
+        flight = FlightRecorder(clock=clock, min_dump_interval_s=5.0)
+        flight.record("breaker_open")
+        path = str(tmp_path / "flight.jsonl")
+        assert flight.dump(path, "breaker_open")
+        assert not flight.dump(path, "breaker_open")  # too soon
+        assert flight.dump(path, "sigterm")  # different reason, allowed
+        clock.advance(6.0)
+        assert flight.dump(path, "breaker_open")
+        assert flight.snapshot()["dumps_suppressed"] == 1
+
+    def test_dumps_append_not_truncate(self, tmp_path):
+        clock = FakeClock()
+        flight = FlightRecorder(clock=clock)
+        flight.record("one")
+        path = str(tmp_path / "flight.jsonl")
+        flight.dump(path, "breaker_open")
+        clock.advance(60.0)
+        flight.record("two")
+        flight.dump(path, "breaker_open")
+        headers = [
+            json.loads(line)
+            for line in open(path)
+            if '"flight_dump"' in line
+        ]
+        assert len(headers) == 2
+
+    def test_unjsonable_fields_degrade_to_repr(self, tmp_path):
+        flight = FlightRecorder(clock=FakeClock())
+        flight.record("odd", obj=object())
+        path = str(tmp_path / "flight.jsonl")
+        assert flight.dump(path, "sigterm")
+        assert "object object at" in open(path).read()

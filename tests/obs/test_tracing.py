@@ -135,3 +135,85 @@ class TestNoop:
         disabled = time.perf_counter() - start
 
         assert disabled < max(20 * baseline, 0.25)
+
+
+class TestTraceContext:
+    def test_wire_roundtrip(self):
+        from repro.obs.tracing import TraceContext
+
+        ctx = TraceContext(
+            trace_id="run01", span_id="s01", depth=2,
+            tenant="t0", job_id="j0",
+        )
+        again = TraceContext.from_wire(ctx.to_wire())
+        assert again == ctx
+
+    def test_junk_wire_rejected(self):
+        from repro.obs.tracing import TraceContext
+
+        for junk in (None, 7, "x", [], {}, {"trace_id": "a"},
+                     {"trace_id": "", "span_id": "s"},
+                     {"trace_id": "a", "span_id": ""}):
+            assert TraceContext.from_wire(junk) is None
+
+    def test_context_rides_a_detached_span(self):
+        tracer = Tracer(enabled=True)
+        span = tracer.begin("serve.job", tenant="t0")
+        ctx = tracer.context(span, tenant="t0", job_id="j0")
+        assert ctx.span_id == span.span_id
+        assert ctx.trace_id == span.trace_id
+        tracer.end(span, status="ok")
+        assert tracer.spans[-1].name == "serve.job"
+
+
+class TestRemoteStitching:
+    def test_remote_anchor_parents_local_spans(self):
+        from repro.obs.tracing import TraceContext
+
+        server = Tracer(enabled=True)
+        job = server.begin("serve.job")
+        ctx = server.context(job, tenant="t0", job_id="j0")
+
+        worker = Tracer(enabled=True)
+        anchor = worker.push_remote(ctx)
+        with worker.span("serve.worker"):
+            with worker.span("flow.run"):
+                pass
+        worker.pop_remote(anchor)
+
+        exported = {s.name: s.to_dict() for s in worker.spans}
+        assert exported["serve.worker"]["parent_id"] == job.span_id
+        assert exported["serve.worker"]["trace_id"] == job.trace_id
+        assert exported["flow.run"]["trace_id"] == job.trace_id
+        assert (
+            exported["flow.run"]["parent_id"]
+            == exported["serve.worker"]["span_id"]
+        )
+
+    def test_adopt_spans_preserves_identity(self):
+        donor = Tracer(enabled=True)
+        with donor.span("flow.run", workload="fir"):
+            pass
+        host = Tracer(enabled=True)
+        assert host.adopt_spans(donor.export_spans()) == 1
+        adopted = host.spans[-1].to_dict()
+        original = donor.spans[-1].to_dict()
+        for key in ("span_id", "parent_id", "trace_id", "duration_s"):
+            assert adopted[key] == original[key]
+
+    def test_adopt_spans_skips_junk(self):
+        host = Tracer(enabled=True)
+        assert host.adopt_spans(None) == 0
+        assert host.adopt_spans("nope") == 0
+        assert host.adopt_spans([{"name": 3}, None, {}]) == 0
+
+    def test_detached_spans_do_not_disturb_the_stack(self):
+        # Dispatchers interleave jobs on one thread: a begin()/end()
+        # pair must never become the implicit parent of other work.
+        tracer = Tracer(enabled=True)
+        detached = tracer.begin("serve.job")
+        with tracer.span("unrelated"):
+            pass
+        tracer.end(detached)
+        exported = {s.name: s.to_dict() for s in tracer.spans}
+        assert exported["unrelated"]["parent_id"] is None

@@ -1,0 +1,112 @@
+"""Rolling-window aggregation: epoch-slot rings under a fake clock."""
+
+import pytest
+
+from repro.obs.window import (
+    RollingCounter,
+    RollingHistogram,
+    TelemetryWindows,
+    WINDOW_SPECS,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRollingCounter:
+    def test_counts_within_window(self):
+        clock = FakeClock()
+        counter = RollingCounter(clock=clock)
+        counter.inc()
+        counter.inc(4)
+        assert counter.total(60.0) == 5
+        assert counter.rate(60.0) == pytest.approx(5 / 60.0)
+
+    def test_old_events_age_out(self):
+        clock = FakeClock()
+        counter = RollingCounter(clock=clock)
+        counter.inc(10)
+        clock.advance(90.0)
+        counter.inc(1)
+        # The old burst is outside the 1m window but inside the 5m one.
+        assert counter.total(60.0) == 1
+        assert counter.total(300.0) == 11
+
+    def test_everything_ages_out_past_the_span(self):
+        clock = FakeClock()
+        counter = RollingCounter(clock=clock)
+        counter.inc(10)
+        clock.advance(10_000.0)
+        assert counter.total(300.0) == 0
+
+    def test_ring_reuses_slots_without_ghosts(self):
+        # Wrap the ring several times: totals must reflect only the
+        # live window, never a stale slot from a previous lap.
+        clock = FakeClock()
+        counter = RollingCounter(clock=clock)
+        for _ in range(200):  # 200 ticks x 5s = several full laps
+            counter.inc()
+            clock.advance(5.0)
+        assert counter.total(60.0) <= 13  # 60s / 5s-per-tick, inclusive
+
+
+class TestRollingHistogram:
+    def test_quantiles_over_live_slots(self):
+        clock = FakeClock()
+        hist = RollingHistogram(clock=clock)
+        for value in range(1, 11):
+            hist.observe(float(value))
+        assert hist.count(60.0) == 10
+        assert hist.quantile(0.0, 60.0) == 1.0
+        assert hist.quantile(1.0, 60.0) == 10.0
+        assert hist.quantile(0.5, 60.0) == 5.0
+        assert hist.mean(60.0) == pytest.approx(5.5)
+
+    def test_empty_window_yields_none(self):
+        hist = RollingHistogram(clock=FakeClock())
+        assert hist.quantile(0.99, 60.0) is None
+        assert hist.mean(60.0) is None
+        assert hist.count(60.0) == 0
+
+    def test_observations_age_out(self):
+        clock = FakeClock()
+        hist = RollingHistogram(clock=clock)
+        hist.observe(100.0)
+        clock.advance(90.0)
+        hist.observe(1.0)
+        assert hist.quantile(1.0, 60.0) == 1.0
+        assert hist.quantile(1.0, 300.0) == 100.0
+
+
+class TestTelemetryWindows:
+    def test_snapshot_shape(self):
+        clock = FakeClock()
+        windows = TelemetryWindows(clock=clock)
+        for i in range(10):
+            windows.observe(0.010 * (i + 1), ok=(i != 3))
+        snap = windows.snapshot()
+        assert set(snap) == {name for name, _ in WINDOW_SPECS}
+        one_minute = snap["1m"]
+        assert one_minute["jobs"] == 10
+        assert one_minute["errors"] == 1
+        assert one_minute["error_rate"] == pytest.approx(0.1)
+        assert one_minute["latency"]["count"] == 10
+        assert one_minute["latency"]["p99_ms"] == pytest.approx(100.0)
+
+    def test_windows_disagree_after_aging(self):
+        clock = FakeClock()
+        windows = TelemetryWindows(clock=clock)
+        for _ in range(10):
+            windows.observe(0.5, ok=True)
+        clock.advance(120.0)
+        snap = windows.snapshot()
+        assert snap["1m"]["jobs"] == 0
+        assert snap["5m"]["jobs"] == 10

@@ -294,6 +294,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.faults import DEFAULT_MODELS, MODELS_BY_NAME, CampaignConfig, run_campaign
 
+    if args.storage:
+        return _cmd_faults_storage(args)
     if args.models:
         unknown = [name for name in args.models if name not in MODELS_BY_NAME]
         if unknown:
@@ -338,6 +340,41 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         print(
             "FAIL: a parity-protected or protocol fault model shows "
             "silent corruption or an escaped exception",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_faults_storage(args: argparse.Namespace) -> int:
+    """``repro faults --storage``: the crash-consistency matrix.
+
+    Runs every durability surface through the crash-at-every-syscall-
+    prefix sweep plus the non-crash fault models (EIO, ENOSPC, torn),
+    prints the matrix, and writes it as the campaign report.  With
+    ``--check``, exits 1 on any violation — a lost fsync-acknowledged
+    record, a torn report, a bare OSError."""
+    from repro.faults.storage import run_storage_campaign
+
+    observed = _obs_begin(args)
+    report = run_storage_campaign(
+        seed=args.seed, max_states=args.storage_states
+    )
+    print(report.format_table())
+    total = report.total_violations()
+    print(
+        f"\n{len(report.matrix)} matrix rows, {total} violations, "
+        f"crash-consistency "
+        f"{'holds on every surface' if report.storage_ok() else 'VIOLATED'}"
+    )
+    path = report.write(args.json)
+    print(f"wrote {path}")
+    if observed:
+        _obs_finish(args, command="repro faults --storage", seed=args.seed)
+    if args.check and not report.storage_ok():
+        print(
+            "FAIL: a durability surface lost an acknowledged record, "
+            "exposed a torn file, or leaked a bare OSError",
             file=sys.stderr,
         )
         return 1
@@ -400,6 +437,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.obs.report import (
         EXPECTED_ENCODE_FAMILIES,
         EXPECTED_SERVE_FAMILIES,
+        EXPECTED_STORAGE_FAMILIES,
         missing_families,
     )
 
@@ -443,6 +481,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         expected = {
             "encode": EXPECTED_ENCODE_FAMILIES,
             "serve": EXPECTED_SERVE_FAMILIES,
+            "storage": EXPECTED_STORAGE_FAMILIES,
         }[args.expect]
         missing = missing_families(data, expected=expected)
         if missing:
@@ -991,11 +1030,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=120.0,
         help="per-case worker timeout in seconds",
     )
+    p.add_argument(
+        "--storage",
+        action="store_true",
+        help="run the storage crash-consistency matrix instead: every "
+        "durability surface under crash-at-every-syscall, EIO, ENOSPC "
+        "and torn-append faults",
+    )
+    p.add_argument(
+        "--storage-states",
+        type=int,
+        default=96,
+        metavar="N",
+        help="cap on enumerated torn-write states per crash point "
+        "(deterministically sampled beyond; --storage only)",
+    )
     p.add_argument("--json", default="FAULTS_report.json", metavar="PATH")
     p.add_argument(
         "--check",
         action="store_true",
-        help="exit 1 unless every protected model is fully detected/recovered",
+        help="exit 1 unless every protected model is fully detected/recovered "
+        "(with --storage: unless the crash matrix is violation-free)",
     )
     p.add_argument(
         "--wal",
@@ -1356,7 +1411,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--expect",
-        choices=("encode", "serve"),
+        choices=("encode", "serve", "storage"),
         default="encode",
         help="which family set --check gates on (default: encode)",
     )

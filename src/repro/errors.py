@@ -19,9 +19,16 @@ The hierarchy:
     ``CampaignError``           fault-injection campaign misconfigured
     ``TableCapacityError``      table programming exceeds physical entries
     ``VerifyError``             verification campaign misconfigured
+    ``StorageError``            a durability syscall failed
+        ``StorageWriteError``       write returned EIO / short
+        ``StorageSyncError``        fsync or flush failed (ack unsafe)
+        ``StorageFullError``        ENOSPC anywhere on the write path
+        ``StorageReplaceError``     atomic rename / unlink failed
 """
 
 from __future__ import annotations
+
+import errno as _errno
 
 
 class ReproError(Exception):
@@ -70,3 +77,58 @@ class VerifyError(ReproError, RuntimeError):
     unknown mutation, an unreplayable counterexample, ...).  Actual
     divergences are never raised — they are recorded as
     counterexamples and reported."""
+
+
+class StorageError(ReproError, OSError):
+    """A durability syscall (write/flush/fsync/replace/unlink) on one
+    of the storage surfaces — the WAL, an atomic report write, the
+    bundle disk cache, a flight-record dump — failed.
+
+    Dual-inherits :class:`OSError` so every pre-existing ``except
+    OSError`` degradation path (the bundle cache, the flight dump
+    guard) keeps working, while new callers can route on the typed
+    subclass (``repro serve`` degrades on :class:`StorageFullError`
+    and nothing else).  ``errno`` is preserved from the underlying
+    failure when there is one."""
+
+    def __init__(self, message: str, errno: int | None = None):
+        super().__init__(message)
+        if errno is not None:
+            self.errno = errno
+
+
+class StorageWriteError(StorageError):
+    """A data write failed (EIO, short write, torn append)."""
+
+
+class StorageSyncError(StorageError):
+    """``fsync``/``flush`` failed.  Per POSIX the page-cache state is
+    now *unknowable* — a caller must treat any data written since the
+    last successful sync as lost, never retry the sync and call the
+    data durable."""
+
+
+class StorageFullError(StorageError):
+    """The device is out of space (ENOSPC/EDQUOT).  The one storage
+    failure that is expected to *clear on its own*, so callers may
+    degrade and re-arm instead of dying."""
+
+
+class StorageReplaceError(StorageError):
+    """``os.replace``/``os.unlink`` on a durability surface failed;
+    the destination still holds its complete previous content."""
+
+
+def storage_error_for(err: OSError, op: str, path: object) -> StorageError:
+    """Map a raw :class:`OSError` from a durability syscall to the
+    matching typed :class:`StorageError` (cause preserved by the
+    caller's ``raise ... from err``)."""
+    code = err.errno
+    message = f"storage {op} failed for {path}: {err}"
+    if code in (_errno.ENOSPC, _errno.EDQUOT):
+        return StorageFullError(message, errno=code)
+    if op in ("fsync", "flush"):
+        return StorageSyncError(message, errno=code)
+    if op in ("replace", "unlink"):
+        return StorageReplaceError(message, errno=code)
+    return StorageWriteError(message, errno=code)

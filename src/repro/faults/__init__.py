@@ -16,6 +16,12 @@ faults`` for the CLI entry point.
 ``report``
     Outcome classification, per-model detection-rate tables, and the
     ``FAULTS_report.json`` writer.
+``storage``
+    The ALICE-style crash-consistency checker over the *durability*
+    surfaces (WAL, atomic report writes, disk cache, flight dumps):
+    record the syscall trace, simulate a crash at every prefix, replay
+    recovery, assert no acknowledged state is lost (``repro faults
+    --storage``).
 """
 
 from repro.faults.campaign import (
@@ -32,6 +38,12 @@ from repro.faults.models import (
     RunState,
 )
 from repro.faults.report import CaseResult, FaultCampaignReport
+from repro.faults.storage import (
+    MemoryVFS,
+    StorageCampaignReport,
+    run_storage_campaign,
+    storage_report_problems,
+)
 
 __all__ = [
     "CampaignConfig",
@@ -45,4 +57,8 @@ __all__ = [
     "RunState",
     "CaseResult",
     "FaultCampaignReport",
+    "MemoryVFS",
+    "StorageCampaignReport",
+    "run_storage_campaign",
+    "storage_report_problems",
 ]

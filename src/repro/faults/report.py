@@ -258,8 +258,11 @@ class FaultCampaignReport:
         self,
         path: str = "FAULTS_report.json",
         deterministic: bool = False,
+        vfs=None,
     ) -> Path:
         target = Path(path)
         # Atomic: a crash mid-write can never leave a truncated report.
-        atomic_write_text(target, self.to_json(deterministic=deterministic))
+        atomic_write_text(
+            target, self.to_json(deterministic=deterministic), vfs=vfs
+        )
         return target

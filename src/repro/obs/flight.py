@@ -14,6 +14,15 @@ ring still held, so a reader knows whether the record is complete.
 Dumps are rate-limited per reason (a breaker flapping open every
 cooldown must not rewrite the record in a loop and bury the first,
 most interesting, occurrence).
+
+A dump happens precisely when something is already wrong, which is
+exactly when the disk is *most* likely to be wrong too (ENOSPC during
+an incident is a classic).  :meth:`FlightRecorder.dump` therefore
+never lets a failed write mask the original trigger: the ``OSError``
+is swallowed, counted (``dump_errors`` + the ``flight.dump_errors``
+metric), the per-reason rate-limit stamp is rolled back so the next
+trigger retries immediately, and the in-memory ring is left intact
+for that next attempt.
 """
 
 from __future__ import annotations
@@ -40,18 +49,21 @@ class FlightRecorder:
         capacity: int = DEFAULT_CAPACITY,
         clock: Callable[[], float] = time.monotonic,
         min_dump_interval_s: float = DEFAULT_MIN_DUMP_INTERVAL_S,
+        vfs=None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("flight recorder capacity must be positive")
         self.capacity = capacity
         self._clock = clock
         self.min_dump_interval_s = min_dump_interval_s
+        self._vfs = vfs
         self._ring: deque[dict] = deque(maxlen=capacity)
         self._seq = 0
         self._last_dump: dict[str, float] = {}
         self.events_recorded = 0
         self.dumps_written = 0
         self.dumps_suppressed = 0
+        self.dump_errors = 0
 
     def record(self, kind: str, **fields) -> None:
         """Append one event; O(1), never raises on weird field values
@@ -71,8 +83,15 @@ class FlightRecorder:
         """Write the ring to ``path`` as JSONL; returns True if written.
 
         Rate-limited per ``reason``; appends, so successive distinct
-        triggers accumulate in one record file in order.
+        triggers accumulate in one record file in order.  A failed
+        write (ENOSPC/EIO) is swallowed and counted — it must never
+        escalate the incident that triggered the dump — and the ring
+        plus the rate-limit stamp are left so the *next* trigger
+        retries with full history.
         """
+        # Imported lazily: repro.obs initialises before repro.runtime.
+        from repro.runtime.storage_faults import get_vfs
+
         now = self._clock()
         last = self._last_dump.get(reason)
         if last is not None and now - last < self.min_dump_interval_s:
@@ -94,15 +113,54 @@ class FlightRecorder:
         lines = [json.dumps(header, default=repr)]
         lines.extend(json.dumps(event, default=repr) for event in self._ring)
         path = Path(path)
-        if path.parent and not path.parent.exists():
-            path.parent.mkdir(parents=True, exist_ok=True)
-        # Append (not atomic-replace): a record that already holds the
-        # breaker-open dump must keep it when the SIGTERM dump lands.
-        with open(path, "a") as handle:
-            handle.write("\n".join(lines) + "\n")
-            handle.flush()
+        vfs = self._vfs or get_vfs()
+        try:
+            if path.parent and not vfs.exists(path.parent):
+                vfs.mkdirs(path.parent)
+            payload = ("\n".join(lines) + "\n").encode("utf-8")
+            # A previous dump that died mid-write (ENOSPC, crash)
+            # leaves a torn final line with no newline; appending
+            # straight after it would glue this dump's header onto the
+            # torn bytes and corrupt *both*.  Terminate the boundary
+            # first, folded into the same write.
+            if (
+                vfs.exists(path)
+                and vfs.size(path) > 0
+                and vfs.tail_byte(path) != b"\n"
+            ):
+                payload = b"\n" + payload
+            # Append (not atomic-replace): a record that already holds
+            # the breaker-open dump must keep it when the SIGTERM dump
+            # lands.
+            handle = vfs.open_append(path)
+            try:
+                vfs.write(handle, payload)
+                vfs.flush(handle)
+            finally:
+                try:
+                    vfs.close(handle)
+                except OSError:
+                    pass
+        except OSError:
+            # The ring is untouched and the stamp rolled back: the
+            # next trigger for this reason retries immediately instead
+            # of waiting out the rate limit on a dump that never
+            # happened.
+            self.dump_errors += 1
+            self._last_dump.pop(reason, None)
+            self._count_dump_error()
+            return False
         self.dumps_written += 1
         return True
+
+    def _count_dump_error(self) -> None:
+        from repro.obs import OBS
+
+        if OBS.enabled:
+            OBS.registry.counter(
+                "flight.dump_errors",
+                "flight-record dumps that failed to reach disk",
+            ).inc()
 
     def snapshot(self) -> dict:
         """JSON-ready health block for ``status()`` views."""
@@ -112,6 +170,7 @@ class FlightRecorder:
             "events_retained": len(self._ring),
             "dumps_written": self.dumps_written,
             "dumps_suppressed": self.dumps_suppressed,
+            "dump_errors": self.dump_errors,
         }
 
     def tail(self, n: int = 32) -> list[dict]:

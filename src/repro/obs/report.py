@@ -32,6 +32,7 @@ __all__ = [
     "REPORT_SCHEMA_VERSION",
     "EXPECTED_ENCODE_FAMILIES",
     "EXPECTED_SERVE_FAMILIES",
+    "EXPECTED_STORAGE_FAMILIES",
     "RunReport",
     "git_revision",
     "load_run_report",
@@ -79,6 +80,18 @@ EXPECTED_SERVE_FAMILIES = (
     "slo.jobs_observed",
     "slo.bad_jobs",
     "slo.burn_rate",
+    # PR 9 storage hardening: the ENOSPC degradation path.
+    "serve.storage_degraded",
+)
+
+#: Metric families a ``repro faults --storage --metrics`` run must
+#: populate — the storage campaign pre-registers every one, so even a
+#: sweep whose cache/flight legs found nothing exposes the family (the
+#: canary for a silently skipped leg).
+EXPECTED_STORAGE_FAMILIES = (
+    "storage.injected_faults",
+    "cache.corrupt_entries",
+    "flight.dump_errors",
 )
 
 
@@ -159,12 +172,15 @@ class RunReport:
             data["extra"] = self.extra
         return data
 
-    def write(self, path: str | Path = "RUN_report.json") -> Path:
+    def write(self, path: str | Path = "RUN_report.json", vfs=None) -> Path:
         from repro.runtime import atomic_write_text
 
         path = Path(path)
-        # Atomic: a crash mid-write never leaves a truncated report.
-        atomic_write_text(path, json.dumps(self.to_dict(), indent=1) + "\n")
+        # Atomic: a crash mid-write never leaves a truncated report —
+        # readers see the complete old report or the complete new one.
+        atomic_write_text(
+            path, json.dumps(self.to_dict(), indent=1) + "\n", vfs=vfs
+        )
         return path
 
 

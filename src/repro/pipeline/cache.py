@@ -16,6 +16,14 @@ lookups.  Two layers:
 Entries are JSON dicts (a job result payload, including the bundle
 digests) — deliberately the *deterministic* representation, so a
 cache hit is byte-for-byte the result a cold compute would produce.
+
+The disk mirror is *untrusted*: every on-disk entry carries a content
+digest, verified on load.  A corrupt or truncated file (bit rot, a
+torn write from a pre-hardening build, a hostile crash) is
+**quarantined** — renamed to ``<entry>.bad`` so it is never re-read
+and an operator can autopsy it — counted on ``cache.corrupt_entries``,
+and served as a miss so the caller recomputes.  A cache that can
+poison or crash the service is worse than no cache.
 """
 
 from __future__ import annotations
@@ -27,6 +35,10 @@ from pathlib import Path
 
 from repro.obs import OBS
 from repro.runtime import atomic_write_text
+from repro.runtime.storage_faults import StorageVFS, get_vfs
+
+#: On-disk entry envelope version (v2 added the content digest).
+DISK_FORMAT_VERSION = 2
 
 
 def workload_fingerprint(words: list[int]) -> str:
@@ -44,26 +56,50 @@ def cache_key(
     return f"{workload_hash}-k{block_size}-tt{tt_capacity}-{strategy}"
 
 
+def entry_digest(entry: dict) -> str:
+    """Content digest of one cache entry (canonical JSON, so the
+    digest is independent of the writer's key order)."""
+    canonical = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 class BundleCache:
     """Bounded LRU of finished encode results with a disk mirror.
 
     ``get``/``put`` never raise on disk trouble: a cache that can take
     a service down is worse than no cache, so I/O failures degrade to
-    a miss (and a counter) instead of an exception.
+    a miss (and a counter) instead of an exception, and entries that
+    fail their digest are quarantined instead of served.
     """
 
-    def __init__(self, capacity: int = 64, cache_dir: str | Path | None = None):
+    def __init__(
+        self,
+        capacity: int = 64,
+        cache_dir: str | Path | None = None,
+        vfs: StorageVFS | None = None,
+    ):
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._vfs = vfs
         self._entries: OrderedDict[str, dict] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.disk_loads = 0
+        self.corrupt_entries = 0
+        self.disk_errors = 0
         if self.cache_dir is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            try:
+                self.vfs.mkdirs(self.cache_dir)
+            except OSError:
+                # An unwritable cache dir degrades to memory-only.
+                self.cache_dir = None
+
+    @property
+    def vfs(self) -> StorageVFS:
+        return self._vfs or get_vfs()
 
     # ------------------------------------------------------------------
 
@@ -74,8 +110,53 @@ class BundleCache:
         if OBS.enabled:
             OBS.registry.counter(name, help_).inc()
 
+    def _quarantine(self, path: Path, why: str) -> None:
+        """Move a bad entry aside (``*.bad``) so it is never re-read;
+        best-effort — an unrenamable file is simply left to keep
+        failing its digest."""
+        self.corrupt_entries += 1
+        self._count(
+            "cache.corrupt_entries",
+            "disk-cache entries that failed validation and were "
+            "quarantined",
+        )
+        try:
+            self.vfs.replace(path, path.with_suffix(path.suffix + ".bad"))
+        except OSError:
+            self.disk_errors += 1
+            self._count(
+                "cache.disk_errors", "bundle-cache disk operations that failed"
+            )
+
+    def _load_disk(self, key: str) -> dict | None:
+        """Read + verify one disk entry; quarantines on any failure."""
+        path = self._disk_path(key)
+        try:
+            raw = self.vfs.read_bytes(path)
+        except OSError:
+            # Missing is the common case; other read trouble is a miss.
+            return None
+        try:
+            envelope = json.loads(raw.decode("utf-8", errors="strict"))
+        except (ValueError, UnicodeDecodeError):
+            self._quarantine(path, "unparseable")
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("v") != DISK_FORMAT_VERSION
+            or not isinstance(envelope.get("entry"), dict)
+            or not isinstance(envelope.get("digest"), str)
+        ):
+            self._quarantine(path, "bad envelope")
+            return None
+        entry = envelope["entry"]
+        if entry_digest(entry) != envelope["digest"]:
+            self._quarantine(path, "digest mismatch")
+            return None
+        return entry
+
     def get(self, key: str) -> dict | None:
-        """In-memory hit, else disk warm-start, else ``None``."""
+        """In-memory hit, else verified disk warm-start, else ``None``."""
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
@@ -83,12 +164,8 @@ class BundleCache:
             self._count("cache.hits", "bundle-cache lookups served from memory")
             return entry
         if self.cache_dir is not None:
-            path = self._disk_path(key)
-            try:
-                entry = json.loads(path.read_text())
-            except (OSError, json.JSONDecodeError):
-                entry = None
-            if isinstance(entry, dict):
+            entry = self._load_disk(key)
+            if entry is not None:
                 self.disk_loads += 1
                 self._count(
                     "cache.disk_loads",
@@ -113,16 +190,26 @@ class BundleCache:
                 "cache.evictions", "bundle-cache LRU evictions (memory only)"
             )
         if write_disk and self.cache_dir is not None:
+            envelope = {
+                "v": DISK_FORMAT_VERSION,
+                "digest": entry_digest(entry),
+                "entry": entry,
+            }
             try:
                 # Atomic + deterministic content: concurrent workers
                 # writing the same key race benignly (identical bytes).
                 atomic_write_text(
                     self._disk_path(key),
-                    json.dumps(entry, separators=(",", ":")) + "\n",
+                    json.dumps(envelope, separators=(",", ":")) + "\n",
+                    vfs=self.vfs,
                 )
             except OSError:
+                # StorageError included (it IS an OSError): disk
+                # trouble must never surface through put().
+                self.disk_errors += 1
                 self._count(
-                    "cache.disk_errors", "bundle-cache disk writes that failed"
+                    "cache.disk_errors",
+                    "bundle-cache disk operations that failed",
                 )
 
     def __len__(self) -> int:
@@ -139,4 +226,6 @@ class BundleCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "disk_loads": self.disk_loads,
+            "corrupt_entries": self.corrupt_entries,
+            "disk_errors": self.disk_errors,
         }

@@ -17,6 +17,10 @@ the whole run.  This package holds the harness-independent pieces:
 ``deadline``
     Per-task wall-clock deadlines that work in the serial path too
     (SIGALRM on a Unix main thread, a watchdog join elsewhere).
+``storage_faults``
+    The storage VFS every durability syscall routes through, plus the
+    seeded fault-injection shim (EIO / ENOSPC / torn appends / crash
+    around rename) the crash-consistency checker drives.
 """
 
 from repro.runtime.checkpoint import (
@@ -24,6 +28,16 @@ from repro.runtime.checkpoint import (
     CheckpointLog,
     CheckpointMismatchError,
     atomic_write_text,
+)
+from repro.runtime.storage_faults import (
+    FaultPlan,
+    FaultSpec,
+    FaultyVFS,
+    SimulatedCrash,
+    StorageVFS,
+    active_vfs,
+    get_vfs,
+    install_vfs,
 )
 from repro.runtime.deadline import DeadlineExceeded, run_with_deadline
 from repro.runtime.retry import (
@@ -44,4 +58,12 @@ __all__ = [
     "retry_call_async",
     "DeadlineExceeded",
     "run_with_deadline",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyVFS",
+    "SimulatedCrash",
+    "StorageVFS",
+    "active_vfs",
+    "get_vfs",
+    "install_vfs",
 ]

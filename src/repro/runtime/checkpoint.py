@@ -19,23 +19,27 @@ truncated final line, the expected artifact of dying mid-append) and
 completed keys are skipped.  The log is keyed by a ``run_key`` derived
 from the campaign configuration, so a resume with a *different*
 configuration refuses to mix results.
+
+Every durability syscall both of them issue goes through the storage
+VFS (:mod:`repro.runtime.storage_faults`), so the fault-injection
+layer and the crash-consistency checker see each one; raw ``OSError``
+failures are re-raised as the typed
+:class:`~repro.errors.StorageError` hierarchy at this boundary, so no
+bare ``OSError`` ever escapes to callers (a
+:class:`~repro.runtime.storage_faults.SimulatedCrash` passes through
+untouched — dead processes don't raise nicely).
 """
 
 from __future__ import annotations
 
 import json
 import os
-import tempfile
 import weakref
 from pathlib import Path
 
-from repro.errors import ReproError
+from repro.errors import ReproError, StorageError, storage_error_for
 from repro.obs import OBS
-
-try:  # Unix only; Windows falls back to unlocked appends.
-    import fcntl
-except ImportError:  # pragma: no cover - non-Unix platforms
-    fcntl = None  # type: ignore[assignment]
+from repro.runtime.storage_faults import SimulatedCrash, StorageVFS, get_vfs
 
 
 class CheckpointMismatchError(ReproError):
@@ -51,30 +55,52 @@ class CheckpointLockError(ReproError):
     other opener fails loudly instead."""
 
 
-def atomic_write_text(path: Path | str, content: str) -> None:
+def atomic_write_text(
+    path: Path | str, content: str, vfs: StorageVFS | None = None
+) -> None:
     """Crash-safe replacement for ``Path.write_text``.
 
     Writes to a temp file in the same directory (same filesystem, so
     the rename is atomic), fsyncs it, then ``os.replace``\\ s it over
-    ``path``.  Readers never observe a partial file.
+    ``path``.  Readers never observe a partial file; a failure at any
+    syscall raises a typed :class:`~repro.errors.StorageError` and
+    leaves the previous complete content in place.
     """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
-    )
+    vfs = vfs or get_vfs()
+    op = "open"
+    tmp_name = None
     try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(content)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
+        vfs.mkdirs(path.parent)
+        handle, tmp_name = vfs.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
         try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
+            op = "write"
+            vfs.write(handle, content.encode("utf-8"))
+            op = "fsync"
+            vfs.fsync(handle)
+        finally:
+            try:
+                vfs.close(handle)
+            except OSError:  # the close of a failed handle is best-effort
+                pass
+        op = "replace"
+        vfs.replace(tmp_name, path)
+    except SimulatedCrash:
+        # A "dead" process performs no cleanup: the checker must see
+        # exactly the state a real kill leaves behind (the orphan tmp
+        # file included).
         raise
+    except OSError as err:
+        if tmp_name is not None:
+            try:
+                vfs.unlink(tmp_name)
+            except OSError:
+                pass
+        if isinstance(err, StorageError):
+            raise
+        raise storage_error_for(err, op, path) from err
 
 
 class CheckpointLog:
@@ -87,11 +113,35 @@ class CheckpointLog:
     mid-append) is ignored on load.
     """
 
-    def __init__(self, path: Path | str, run_key: str):
+    def __init__(
+        self,
+        path: Path | str,
+        run_key: str,
+        vfs: StorageVFS | None = None,
+    ):
         self.path = Path(path)
         self.run_key = run_key
         self.completed: dict[str, dict] = {}
         self._handle = None
+        self._vfs_override = vfs
+        self._vfs: StorageVFS | None = None
+        #: Set when an append died partway: the on-disk tail may hold
+        #: a torn line that must be newline-terminated before the next
+        #: record, or the replay would glue them together.
+        self._tail_dirty = False
+        #: Set when the header line is still owed (a fresh log whose
+        #: header append failed): it must land before any record, or
+        #: the replay would mistake the first record for the header.
+        self._needs_header = False
+
+    @property
+    def vfs(self) -> StorageVFS:
+        """The VFS this log runs on: pinned at first open so one log
+        never mixes handle types, resolved late so env/test installs
+        are honoured."""
+        if self._vfs is None:
+            self._vfs = self._vfs_override or get_vfs()
+        return self._vfs
 
     # -- loading -------------------------------------------------------
 
@@ -101,12 +151,12 @@ class CheckpointLog:
         Raises :class:`CheckpointMismatchError` when the log belongs
         to a different run configuration."""
         self.completed = {}
-        if not self.path.exists():
+        if not self.vfs.exists(self.path):
             return self.completed
         # Bytes, not text: a torn tail can end mid-way through a
         # multi-byte UTF-8 character, which a text-mode read would
         # refuse to decode at all.
-        lines = self.path.read_bytes().split(b"\n")
+        lines = self.vfs.read_bytes(self.path).split(b"\n")
         header_seen = False
         for raw in lines:
             line = raw.decode("utf-8", errors="replace").strip()
@@ -153,57 +203,132 @@ class CheckpointLog:
     def _ensure_open(self) -> None:
         if self._handle is not None:
             return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        # The lock must be taken *before* the torn-tail repair below:
-        # two writers racing that repair could each append a newline.
-        # flock is per open file description, so a second CheckpointLog
-        # in the same process conflicts just like one in another
-        # process (exactly what the contention test exercises).
-        lock_handle = self.path.open("a", encoding="utf-8")
-        if fcntl is not None:
+        vfs = self.vfs
+        op = "open"
+        try:
+            vfs.mkdirs(self.path.parent)
+            # The lock must be taken *before* the torn-tail repair
+            # below: two writers racing that repair could each append
+            # a newline.  flock is per open file description, so a
+            # second CheckpointLog in the same process conflicts just
+            # like one in another process.
+            lock_handle = vfs.open_append(self.path)
+        except SimulatedCrash:
+            raise
+        except OSError as err:
+            raise storage_error_for(err, op, self.path) from err
+        try:
+            vfs.lock_exclusive(lock_handle)
+        except OSError:
             try:
-                fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                vfs.close(lock_handle)
             except OSError:
-                lock_handle.close()
-                raise CheckpointLockError(
-                    f"checkpoint log {self.path} is already locked by "
-                    "another writer; two writers on one WAL would "
-                    "interleave records (resume the existing run or "
-                    "point this one at its own --wal path)"
-                ) from None
-        fresh = self.path.stat().st_size == 0
-        if not fresh:
-            # A torn tail means the file doesn't end in a newline; a
-            # plain append would glue the next record onto the torn
-            # bytes and lose it on replay.  Terminate the line first.
-            with self.path.open("rb") as existing:
-                existing.seek(-1, os.SEEK_END)
-                ends_clean = existing.read(1) == b"\n"
-            if not ends_clean:
-                with self.path.open("ab") as repair:
-                    repair.write(b"\n")
-                    repair.flush()
-                    os.fsync(repair.fileno())
+                pass
+            raise CheckpointLockError(
+                f"checkpoint log {self.path} is already locked by "
+                "another writer; two writers on one WAL would "
+                "interleave records (resume the existing run or "
+                "point this one at its own --wal path)"
+            ) from None
+        try:
+            fresh = vfs.size(self.path) == 0
+            if not fresh:
+                # A torn tail means the file doesn't end in a newline;
+                # a plain append would glue the next record onto the
+                # torn bytes and lose it on replay.  Terminate first.
+                if vfs.tail_byte(self.path) != b"\n":
+                    op = "write"
+                    vfs.write(lock_handle, b"\n")
+                    op = "fsync"
+                    vfs.fsync(lock_handle)
+        except SimulatedCrash:
+            raise
+        except OSError as err:
+            try:
+                vfs.close(lock_handle)
+            except OSError:
+                pass
+            if isinstance(err, StorageError):
+                raise
+            raise storage_error_for(err, op, self.path) from err
         # The locked handle doubles as the append handle (append mode
         # positions every write at EOF, so the repair above is seen).
         self._handle = lock_handle
         _OPEN_LOGS.add(self)
-        if fresh:
+        # "Non-empty" does not mean "has a header": a crash can tear
+        # the header line itself, leaving garbage bytes and no header.
+        # Appending records to such a file would make the replay
+        # mistake the first record for the header — so the header is
+        # owed whenever no complete one is on disk.
+        if fresh or not self._has_complete_header():
+            self._needs_header = True
+        if self._needs_header:
             self._append_line({"run_key": self.run_key})
+            self._needs_header = False
+
+    def _has_complete_header(self) -> bool:
+        """Whether the on-disk log already holds a complete header
+        line (the first parseable dict line carrying ``run_key``)."""
+        try:
+            data = self.vfs.read_bytes(self.path)
+        except OSError:
+            return False
+        for raw in data.split(b"\n"):
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn line — keep scanning
+            if isinstance(record, dict):
+                # The first parseable dict decides: a header means the
+                # log is properly started; anything else means the
+                # header is missing and must be re-owed.
+                return "run_key" in record
+        return False
 
     def _append_line(self, record: dict) -> None:
         # Key order is preserved (no sort_keys): a replayed result must
         # serialize byte-identically to the freshly computed one, and
         # the caller's dicts are already built in deterministic order.
-        self._handle.write(
+        vfs = self.vfs
+        payload = (
             json.dumps(record, separators=(",", ":")) + "\n"
-        )
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        ).encode("utf-8")
+        op = "write"
+        try:
+            if self._tail_dirty:
+                # A previous append died mid-line: terminate the torn
+                # bytes so the replay skips them as one garbage line
+                # instead of gluing this record onto them.
+                vfs.write(self._handle, b"\n")
+                vfs.fsync(self._handle)
+                self._tail_dirty = False
+            vfs.write(self._handle, payload)
+            op = "fsync"
+            vfs.fsync(self._handle)
+        except SimulatedCrash:
+            raise
+        except OSError as err:
+            # Whatever partial bytes reached the file, the next append
+            # must repair the line boundary first.
+            self._tail_dirty = True
+            if isinstance(err, StorageError):
+                raise
+            raise storage_error_for(err, op, self.path) from err
 
     def record(self, key: str, result: dict) -> None:
-        """Durably mark one work unit complete."""
+        """Durably mark one work unit complete.
+
+        Raises a typed :class:`~repro.errors.StorageError` when the
+        disk refuses (:class:`~repro.errors.StorageFullError` on
+        ENOSPC — the one callers may degrade on); the record is only
+        added to :attr:`completed` once the fsync acknowledged it."""
         self._ensure_open()
+        if self._needs_header:
+            self._append_line({"run_key": self.run_key})
+            self._needs_header = False
         self._append_line({"key": key, "result": result})
         self.completed[key] = result
         if OBS.enabled:
@@ -216,8 +341,11 @@ class CheckpointLog:
 
     def close(self) -> None:
         if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+            handle, self._handle = self._handle, None
+            try:
+                self.vfs.close(handle)
+            except OSError:
+                pass
         _OPEN_LOGS.discard(self)
 
     def __enter__(self) -> "CheckpointLog":

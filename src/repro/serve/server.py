@@ -36,6 +36,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
+from repro.errors import StorageError, StorageFullError
 from repro.obs import OBS
 from repro.obs.export import render_openmetrics, synthetic_gauge_family
 from repro.obs.flight import FlightRecorder
@@ -86,6 +87,12 @@ SERVE_METRIC_FAMILIES = (
     ("slo.jobs_observed", "counter", "jobs graded against the SLO policy"),
     ("slo.bad_jobs", "counter", "jobs that consumed error budget"),
     ("slo.burn_rate", "gauge", "worst-window SLO budget burn, by tenant"),
+    # PR 9 storage hardening.
+    (
+        "serve.storage_degraded",
+        "counter",
+        "transitions to memory-only journaling on a full WAL device",
+    ),
 )
 
 
@@ -186,7 +193,14 @@ class EncodingServer:
             "pool_rebuilds": 0,
             "serial_fallbacks": 0,
             "breaker_opens": 0,
+            "storage_degraded": 0,
+            "storage_recovered": 0,
         }
+        #: True while the WAL device is full and journaling runs
+        #: memory-only; results queue in ``_journal_backlog`` and every
+        #: later completion retries the flush (the re-arm probe).
+        self._wal_degraded = False
+        self._journal_backlog: list[tuple[str, dict]] = []
         #: Admission-to-completion latencies (seconds) for the bench
         #: summary; mirrors the serve.job_seconds histogram.
         self.latencies: list[float] = []
@@ -272,6 +286,19 @@ class EncodingServer:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
         if self._wal is not None:
+            if self._journal_backlog:
+                # One last chance for a degraded server to land its
+                # backlog before the handle goes away.
+                try:
+                    while self._journal_backlog:
+                        pending_key, pending_result = self._journal_backlog[0]
+                        self._wal.record(pending_key, pending_result)
+                        self._journal_backlog.pop(0)
+                except StorageError:
+                    self.flight.record(
+                        "storage_backlog_dropped",
+                        records=len(self._journal_backlog),
+                    )
             self._wal.close()
         self._started = False
 
@@ -721,7 +748,46 @@ class EncodingServer:
                     tenant=tenant,
                 ).set(self.slo.verdict(tenant)["burn_rate"])
         if self._wal is not None:
-            self._wal.record(key, deterministic_result(result))
+            self._journal(key, deterministic_result(result))
+
+    def _journal(self, key: str, result: dict) -> None:
+        """Durably record one result, degrading on a full device.
+
+        ENOSPC on the WAL must not take the serve path down — the job
+        already finished; only its durability is at risk.  The result
+        joins an in-memory backlog, a ``storage_degraded`` flight event
+        fires once, and every later completion retries the whole
+        backlog in order — so the moment space returns, journaling
+        re-arms and catches up with nothing lost from this process.
+        (A subsequent *kill* while degraded does lose the backlog; the
+        flight record and ``status()`` say exactly that was the state.)
+        """
+        self._journal_backlog.append((key, result))
+        try:
+            while self._journal_backlog:
+                pending_key, pending_result = self._journal_backlog[0]
+                self._wal.record(pending_key, pending_result)
+                self._journal_backlog.pop(0)
+        except StorageFullError as err:
+            if not self._wal_degraded:
+                self._wal_degraded = True
+                self.stats["storage_degraded"] += 1
+                self._count(
+                    "serve.storage_degraded",
+                    "transitions to memory-only journaling on a full "
+                    "WAL device",
+                )
+                self.flight.record(
+                    "storage_degraded",
+                    error=str(err),
+                    backlog=len(self._journal_backlog),
+                )
+                self._dump_flight("storage_degraded")
+            return
+        if self._wal_degraded:
+            self._wal_degraded = False
+            self.stats["storage_recovered"] += 1
+            self.flight.record("storage_recovered")
 
     # -- live views ----------------------------------------------------
 
@@ -738,6 +804,10 @@ class EncodingServer:
             "windows": self.windows.snapshot(),
             "slo": self.slo.snapshot(),
             "flight": self.flight.snapshot(),
+            "storage": {
+                "wal_degraded": self._wal_degraded,
+                "journal_backlog": len(self._journal_backlog),
+            },
         }
 
     def _window_families(self) -> dict:

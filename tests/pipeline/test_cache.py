@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.pipeline.cache import BundleCache, cache_key, workload_fingerprint
+from repro.pipeline.cache import (
+    DISK_FORMAT_VERSION,
+    BundleCache,
+    cache_key,
+    entry_digest,
+    workload_fingerprint,
+)
 
 
 class TestKeys:
@@ -81,6 +87,46 @@ class TestDiskMirror:
         assert cache.get("k") is None
         assert cache.misses == 1
 
+    def test_truncated_entry_is_quarantined_not_reread(self, tmp_path):
+        (tmp_path / "k.json").write_text("{torn")
+        cache = BundleCache(capacity=4, cache_dir=tmp_path)
+        assert cache.get("k") is None
+        assert cache.corrupt_entries == 1
+        # The bad file moved aside for autopsy; the original name is
+        # gone so the next lookup is a plain miss, not a re-parse.
+        assert not (tmp_path / "k.json").exists()
+        assert (tmp_path / "k.json.bad").read_text() == "{torn"
+        assert cache.get("k") is None
+        assert cache.corrupt_entries == 1  # quarantined exactly once
+
+    def test_digest_mismatch_is_quarantined(self, tmp_path):
+        writer = BundleCache(capacity=4, cache_dir=tmp_path)
+        writer.put("k", {"bundle_digest": "abc", "n": 1})
+        # Flip payload bytes without breaking the JSON: bit rot that a
+        # parse alone would happily serve.
+        path = tmp_path / "k.json"
+        path.write_text(path.read_text().replace('"abc"', '"xyz"'))
+        reader = BundleCache(capacity=4, cache_dir=tmp_path)
+        assert reader.get("k") is None
+        assert reader.corrupt_entries == 1
+        assert (tmp_path / "k.json.bad").exists()
+
+    def test_v1_format_entry_is_quarantined(self, tmp_path):
+        # A pre-digest build's bare-dict entry must not be trusted.
+        (tmp_path / "k.json").write_text('{"bundle_digest": "abc"}\n')
+        cache = BundleCache(capacity=4, cache_dir=tmp_path)
+        assert cache.get("k") is None
+        assert cache.corrupt_entries == 1
+
+    def test_recompute_after_quarantine_repopulates(self, tmp_path):
+        (tmp_path / "k.json").write_text("garbage")
+        cache = BundleCache(capacity=4, cache_dir=tmp_path)
+        assert cache.get("k") is None  # quarantined, caller recomputes
+        cache.put("k", {"v": 1})
+        fresh = BundleCache(capacity=4, cache_dir=tmp_path)
+        assert fresh.get("k") == {"v": 1}
+        assert fresh.corrupt_entries == 0
+
     def test_disk_write_failure_never_raises(self, tmp_path):
         cache = BundleCache(capacity=4, cache_dir=tmp_path)
         # Replace the directory with a file: every write now fails.
@@ -96,7 +142,10 @@ class TestDiskMirror:
         entry = {"b": 2, "a": 1}
         cache.put("k", entry)
         on_disk = (tmp_path / "k.json").read_text()
-        assert json.loads(on_disk) == entry
+        envelope = json.loads(on_disk)
+        assert envelope["v"] == DISK_FORMAT_VERSION
+        assert envelope["entry"] == entry
+        assert envelope["digest"] == entry_digest(entry)
         # Concurrent writers of the same key must race benignly:
         # identical input, identical bytes.
         cache.put("k", {"b": 2, "a": 1})

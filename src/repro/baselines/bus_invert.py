@@ -75,3 +75,56 @@ def bus_invert_transitions(words: Sequence[int], width: int = 32) -> int:
     coder.reset(initial_word=words[0])
     coder.send_all(words[1:])
     return coder.transitions
+
+
+from repro.baselines.protocol import (  # noqa: E402  (adapter after legacy API)
+    EncodedStream,
+    Encoder,
+    HardwareBudget,
+    register_encoder,
+    register_reference_counter,
+)
+
+
+@register_encoder
+class BusInvertEncoder(Encoder):
+    """:class:`BusInvertCoder` behind the common Encoder protocol.
+
+    The invert line is packed into bit ``width`` of each driven value,
+    so ``EncodedStream.transitions`` counts data-line and invert-line
+    toggles together, exactly as :func:`bus_invert_transitions` does.
+    """
+
+    scheme = "bus-invert"
+    deployable = False
+
+    def __init__(self, width: int = 32) -> None:
+        self.width = width
+        self._mask = (1 << width) - 1
+
+    def encode(self, words: Sequence[int]) -> EncodedStream:
+        stream = EncodedStream(self.scheme, self.width + 1)
+        if not words:
+            return stream
+        coder = BusInvertCoder(self.width)
+        coder.reset(initial_word=words[0])
+        stream.driven.append(words[0] & self._mask)
+        for word in words[1:]:
+            driven, invert = coder.send(word)
+            stream.driven.append((invert << self.width) | driven)
+        return stream
+
+    def decode(self, stream: EncodedStream) -> list[int]:
+        out = []
+        for packed in stream.driven:
+            invert = (packed >> self.width) & 1
+            out.append(BusInvertCoder.decode(packed & self._mask, invert, self.width))
+        return out
+
+    def budget(self) -> HardwareBudget:
+        return HardwareBudget(table_bits=0, extra_lines=1, stateful=True)
+
+
+@register_reference_counter("bus-invert")
+def _bus_invert_reference(encoder: Encoder, words: Sequence[int]) -> int:
+    return bus_invert_transitions(list(words), encoder.width)

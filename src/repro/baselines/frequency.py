@@ -80,3 +80,80 @@ class FrequencyRemapper:
         """Storage the dictionary costs (the paper's Section 3
         objection): two full words per entry."""
         return len(self.mapping) * 2 * self.width
+
+
+from repro.baselines.protocol import (  # noqa: E402  (adapter after legacy API)
+    EncodedStream,
+    Encoder,
+    HardwareBudget,
+    register_encoder,
+    register_reference_counter,
+)
+
+
+@register_encoder
+class FrequencyEncoder(Encoder):
+    """:class:`FrequencyRemapper` behind the common Encoder protocol.
+
+    The escape line (asserted for words outside the learned
+    dictionary) is packed into bit ``width`` of each driven value.
+    Because of that extra line the scheme is a bus codec, not an
+    image-deployable recoder, even though its mapping is stateless.
+    """
+
+    scheme = "frequency"
+    deployable = False
+
+    def __init__(self, width: int = 32, max_entries: int = 256) -> None:
+        self.width = width
+        self.max_entries = max_entries
+        self._mask = (1 << width) - 1
+        self._remapper = FrequencyRemapper(width=width, max_entries=max_entries)
+        self._inverse: dict[int, int] = {}
+
+    def fit(self, words: Sequence[int]) -> "FrequencyEncoder":
+        self._remapper.fit(list(words))
+        self._inverse = {code: word for word, code in self._remapper.mapping.items()}
+        return self
+
+    def encode(self, words: Sequence[int]) -> EncodedStream:
+        stream = EncodedStream(self.scheme, self.width + 1)
+        for word in words:
+            driven, escape = self._remapper.encode(word & self._mask)
+            stream.driven.append((escape << self.width) | driven)
+        return stream
+
+    def decode(self, stream: EncodedStream) -> list[int]:
+        out = []
+        for packed in stream.driven:
+            escape = (packed >> self.width) & 1
+            driven = packed & self._mask
+            out.append(driven if escape else self._inverse[driven])
+        return out
+
+    def to_config(self) -> dict:
+        return {
+            "width": self.width,
+            "max_entries": self.max_entries,
+            "mapping": sorted(self._remapper.mapping.items()),
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "FrequencyEncoder":
+        enc = cls(
+            width=int(config.get("width", 32)),
+            max_entries=int(config.get("max_entries", 256)),
+        )
+        enc._remapper.mapping = {int(w): int(c) for w, c in config.get("mapping", [])}
+        enc._inverse = {code: word for word, code in enc._remapper.mapping.items()}
+        return enc
+
+    def budget(self) -> HardwareBudget:
+        return HardwareBudget(
+            table_bits=self._remapper.dictionary_bits, extra_lines=1, stateful=False
+        )
+
+
+@register_reference_counter("frequency")
+def _frequency_reference(encoder: Encoder, words: Sequence[int]) -> int:
+    return encoder._remapper.transitions(list(words))

@@ -70,3 +70,73 @@ def raw_address_transitions(addresses: Sequence[int]) -> int:
     return sum(
         (a ^ b).bit_count() for a, b in zip(addresses, addresses[1:])
     )
+
+
+from repro.baselines.protocol import (  # noqa: E402  (adapter after legacy API)
+    EncodedStream,
+    Encoder,
+    HardwareBudget,
+    register_encoder,
+    register_reference_counter,
+)
+
+
+@register_encoder
+class T0Encoder(Encoder):
+    """:class:`T0Coder` behind the common Encoder protocol.
+
+    The increment line is packed into bit ``width`` of each driven
+    value.  Decoding is a stateful walk: when the increment bit is set
+    the receiver regenerates ``previous + stride`` locally, otherwise
+    it takes the driven value verbatim.
+    """
+
+    scheme = "t0"
+    deployable = False
+
+    def __init__(self, width: int = 32, stride: int = 4) -> None:
+        self.width = width
+        self.stride = stride
+        self._mask = (1 << width) - 1
+
+    def encode(self, words: Sequence[int]) -> EncodedStream:
+        stream = EncodedStream(self.scheme, self.width + 1)
+        if not words:
+            return stream
+        coder = T0Coder(self.width, self.stride)
+        coder.reset(initial_address=words[0])
+        stream.driven.append(words[0] & self._mask)
+        for word in words[1:]:
+            driven, inc = coder.send(word)
+            stream.driven.append((inc << self.width) | driven)
+        return stream
+
+    def decode(self, stream: EncodedStream) -> list[int]:
+        out: list[int] = []
+        for packed in stream.driven:
+            if not out:
+                out.append(packed & self._mask)
+                continue
+            inc = (packed >> self.width) & 1
+            if inc:
+                out.append((out[-1] + self.stride) & self._mask)
+            else:
+                out.append(packed & self._mask)
+        return out
+
+    def to_config(self) -> dict:
+        return {"width": self.width, "stride": self.stride}
+
+    @classmethod
+    def from_config(cls, config: dict) -> "T0Encoder":
+        return cls(
+            width=int(config.get("width", 32)), stride=int(config.get("stride", 4))
+        )
+
+    def budget(self) -> HardwareBudget:
+        return HardwareBudget(table_bits=0, extra_lines=1, stateful=True)
+
+
+@register_reference_counter("t0")
+def _t0_reference(encoder: Encoder, words: Sequence[int]) -> int:
+    return t0_transitions(list(words), encoder.width, getattr(encoder, "stride", 4))

@@ -151,6 +151,11 @@ def _cmd_encode(args: argparse.Namespace) -> int:
         cpu, trace = run_program(program)
         if workload.verify is not None:
             workload.verify(cpu)
+    if args.select_per_region:
+        code = _encode_select_per_region(args, workload, program, trace)
+        if observed:
+            _obs_finish(args, command=f"repro encode {name} --select-per-region")
+        return code
     flow = EncodingFlow(
         block_size=args.block_size,
         tt_capacity=args.tt_entries,
@@ -184,6 +189,78 @@ def _cmd_encode(args: argparse.Namespace) -> int:
     print(f"bundle:        sha256 {bundle_digest} ({args.strategy} strategy)")
     if observed:
         _obs_finish(args, command=f"repro encode {name}")
+    return 0
+
+
+def _encode_select_per_region(args, workload, program, trace) -> int:
+    """``repro encode --select-per-region``: measure every registered
+    backend per hot region, emit and validate the mixed-scheme bundle."""
+    import hashlib
+
+    from repro.pipeline.selector import SchemeSelector, SelectorBudget
+
+    selector = SchemeSelector(
+        block_size=args.block_size,
+        tt_capacity=args.tt_entries,
+        budget=SelectorBudget(
+            max_table_bits=args.budget_table_bits,
+            max_extra_lines=args.budget_extra_lines,
+        ),
+    )
+    result = selector.run(program, trace, name=workload.name)
+    print(f"workload:      {workload.description}")
+    print(f"trace:         {len(trace)} fetches")
+    print(
+        f"budget:        <= {args.budget_table_bits} table bits, "
+        f"<= {args.budget_extra_lines} extra lines"
+    )
+    print(f"regions:       {len(result.choices)}")
+    for choice in result.choices:
+        ranked = ", ".join(
+            f"{scheme}={cost if cost is not None else 'over-budget'}"
+            for scheme, cost in sorted(
+                choice.candidates.items(),
+                key=lambda kv: (kv[1] is None, kv[1] if kv[1] is not None else 0),
+            )
+        )
+        print(
+            f"  region {choice.header:#010x}: {choice.scheme} "
+            f"({choice.raw_transitions} -> {choice.transitions} transitions, "
+            f"saves {choice.savings}; {choice.fetches} fetches)"
+        )
+        print(f"    candidates: {ranked}")
+    best_single = min(
+        (
+            result.single_scheme_transitions(scheme)
+            for scheme in {s for c in result.choices for s in c.candidates}
+        ),
+        default=result.baseline_transitions,
+    )
+    print(
+        f"transitions:   {result.baseline_transitions} -> "
+        f"{result.mixed_transitions} mixed "
+        f"({result.reduction_percent:.1f}% reduction; "
+        f"best single scheme {best_single})"
+    )
+    if result.mixed_transitions > best_single:
+        print(
+            "selector:      REGRESSION: mixed-scheme configuration is worse "
+            "than the best single scheme",
+            file=sys.stderr,
+        )
+        return 1
+    # the selector already deploy-and-checked; repeat through the
+    # serialised form so the gate covers the JSON round trip too
+    from repro.pipeline.bundle import EncodingBundle
+
+    bundle_json = result.bundle.to_json()
+    reloaded = EncodingBundle.from_json(bundle_json)
+    if not reloaded.deploy_and_check(program, trace):
+        print("decode:        MISMATCH after bundle round trip", file=sys.stderr)
+        return 1
+    digest = hashlib.sha256(bundle_json.encode()).hexdigest()
+    print("decode:        verified bit-exact (mixed-scheme bundle)")
+    print(f"bundle:        sha256 {digest} ({len(bundle_json)} bytes)")
     return 0
 
 
@@ -262,7 +339,19 @@ def _cmd_cost(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.pipeline.benchmark import run_codec_benchmarks
+    from repro.pipeline.benchmark import (
+        run_codec_benchmarks,
+        run_encoder_zoo_benchmarks,
+    )
+
+    if args.encoders:
+        report = run_encoder_zoo_benchmarks(repeats=args.repeats)
+        print(report.format_table())
+        path = report.write(
+            args.json if args.json != "BENCH_codec.json" else "BENCH_encoders.json"
+        )
+        print(f"\nwrote {path}")
+        return 0
 
     report = run_codec_benchmarks(
         stream_length=args.stream_length,
@@ -310,6 +399,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         models = DEFAULT_MODELS
     config = CampaignConfig(
         workloads=tuple(args.workload or ["fir"]),
+        mixed_workloads=tuple(args.mixed_workload or []),
         block_size=args.block_size,
         seed=args.seed,
         trials=args.trials,
@@ -324,6 +414,11 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     observed = _obs_begin(args)
     for workload in config.workloads:
         print(f"preparing {workload} deployment ...", file=sys.stderr)
+    for workload in config.mixed_workloads:
+        print(
+            f"preparing {workload} mixed-scheme deployment ...",
+            file=sys.stderr,
+        )
     report = run_campaign(config, wal_path=args.wal, resume=args.resume)
     print(report.format_table())
     silent = len(report.silent_cases())
@@ -951,6 +1046,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="encode basic blocks across N worker processes",
     )
+    p.add_argument(
+        "--select-per-region",
+        action="store_true",
+        help="measure every registered encoder backend per hot region "
+        "and emit a validated mixed-scheme bundle",
+    )
+    p.add_argument(
+        "--budget-table-bits",
+        type=int,
+        default=8192,
+        metavar="BITS",
+        help="selector hardware budget: max mapping-table storage per "
+        "region scheme (default 8192)",
+    )
+    p.add_argument(
+        "--budget-extra-lines",
+        type=int,
+        default=8,
+        metavar="N",
+        help="selector hardware budget: max bus lines beyond the 32 "
+        "data lines (default 8)",
+    )
     _add_obs_arguments(p)
     p.set_defaults(func=_cmd_encode)
 
@@ -989,6 +1106,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 unless every decode row's bitplane speedup is >= X "
         "(the CI decode-throughput smoke)",
     )
+    p.add_argument(
+        "--encoders",
+        action="store_true",
+        help="benchmark the encoder zoo instead (every registered "
+        "backend, fast count vs reference counter; BENCH_encoders.json)",
+    )
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
@@ -1001,6 +1124,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help="workload(s) to deploy and corrupt (repeatable; default fir)",
+    )
+    p.add_argument(
+        "--mixed-workload",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="workload(s) additionally deployed as mixed-scheme bundles "
+        "through the per-region selector (targets the scheme-tag "
+        "corruption model; repeatable)",
     )
     p.add_argument("-k", "--block-size", type=int, default=5)
     p.add_argument("--seed", type=int, default=1)

@@ -16,6 +16,7 @@ The hierarchy:
     ``BundleFormatError``       firmware bundle fails load-time validation
     ``DecodeVerificationError`` replayed decode did not restore the image
     ``EncodingError``           encoder-internal invariant violated
+    ``SchemeTagError``          mixed-scheme region tag unknown/undecodable
     ``CampaignError``           fault-injection campaign misconfigured
     ``TableCapacityError``      table programming exceeds physical entries
     ``VerifyError``             verification campaign misconfigured
@@ -61,6 +62,14 @@ class DecodeVerificationError(ReproError, RuntimeError):
 class EncodingError(ReproError, RuntimeError):
     """An encoder-internal invariant was violated (e.g. no feasible
     code word although identity is always feasible)."""
+
+
+class SchemeTagError(ReproError, RuntimeError):
+    """A mixed-scheme bundle region carries a scheme tag the fetch
+    path cannot honour: the tag names no registered encoder backend
+    (corruption, or a bundle built by a newer toolchain).  Strict-mode
+    decoders raise this; recover/degraded decoders fall back to the
+    golden bundle for the tagged region."""
 
 
 class CampaignError(ReproError, RuntimeError):

@@ -36,6 +36,7 @@ from repro.faults.models import (
     MODELS_BY_NAME,
     FaultModel,
     RunState,
+    SchemeTagCorruption,
 )
 from repro.faults.report import CaseResult, FaultCampaignReport
 from repro.faults.storage import (
@@ -55,6 +56,7 @@ __all__ = [
     "MODELS_BY_NAME",
     "FaultModel",
     "RunState",
+    "SchemeTagCorruption",
     "CaseResult",
     "FaultCampaignReport",
     "MemoryVFS",

@@ -85,6 +85,9 @@ class DeploymentTarget:
     bbit_entries: list[dict]
     trace: list[int]
     parity: bool = True
+    #: Per-region scheme metadata for mixed-scheme bundles (empty for
+    #: classic single-scheme deployments).
+    regions: list[dict] = field(default_factory=list)
 
     @classmethod
     def prepare(
@@ -128,6 +131,48 @@ class DeploymentTarget:
             parity=parity,
         )
 
+    @classmethod
+    def prepare_mixed(
+        cls,
+        workload: str,
+        block_size: int = 5,
+        parity: bool = True,
+        workload_params: dict | None = None,
+    ) -> "DeploymentTarget":
+        """Run the per-region scheme selector on a named workload and
+        snapshot the resulting mixed-scheme bundle — the target the
+        ``scheme_tag_corruption`` model needs."""
+        from repro.pipeline.selector import SchemeSelector
+        from repro.sim.cpu import run_program
+        from repro.workloads.registry import build_workload
+
+        wl = build_workload(workload, **(workload_params or {}))
+        program = wl.assemble()
+        cpu, trace = run_program(program)
+        if wl.verify is not None:
+            wl.verify(cpu)
+        result = SchemeSelector(block_size=block_size).run(
+            program, trace, workload
+        )
+        bundle = result.bundle
+        if not bundle.regions:
+            raise CampaignError(
+                f"workload {workload!r} produced no tagged regions; "
+                "nothing for the scheme-tag injector to corrupt"
+            )
+        return cls(
+            name=f"{workload}-mixed",
+            block_size=block_size,
+            text_base=program.text_base,
+            original_words=list(program.words),
+            encoded_words=list(bundle.encoded_words),
+            tt_entries=list(bundle.tt_entries),
+            bbit_entries=list(bundle.bbit_entries),
+            trace=list(trace),
+            parity=parity,
+            regions=[dict(region) for region in bundle.regions],
+        )
+
     def materialise(self) -> RunState:
         """Fresh tables + private image/trace copies for one trial."""
         from repro.pipeline.bundle import EncodingBundle
@@ -140,6 +185,7 @@ class DeploymentTarget:
             original_digest="0" * 64,  # not re-derived for trials
             tt_entries=self.tt_entries,
             bbit_entries=self.bbit_entries,
+            regions=[dict(region) for region in self.regions],
         )
         tt, bbit = bundle.build_tables(parity=self.parity)
         return RunState(
@@ -149,6 +195,9 @@ class DeploymentTarget:
             trace=list(self.trace),
             encoded_region=bundle.encoded_pc_region(),
             text_base=self.text_base,
+            region_schemes=bundle.region_scheme_map(),
+            scheme_word_decoders=bundle.scheme_word_decoders(),
+            regions=[dict(region) for region in self.regions],
         )
 
 
@@ -194,7 +243,13 @@ def _run_case(
         target.block_size,
         encoded_region=state.encoded_region,
         mode=mode,
-        golden_lookup=golden if mode == "degraded" else None,
+        # Recover mode gets the golden bundle too: a corrupted scheme
+        # tag has no pass-through story (the region's stored words may
+        # be rewritten), so recovery serves golden words there.  The
+        # classic table-fault recover paths never consult it.
+        golden_lookup=golden if mode in ("recover", "degraded") else None,
+        region_schemes=state.region_schemes or None,
+        scheme_word_decoders=state.scheme_word_decoders or None,
     )
 
     def lookup(pc: int) -> int:
@@ -270,6 +325,10 @@ def _run_case(
 @dataclass
 class CampaignConfig:
     workloads: tuple[str, ...] = ("fir",)
+    #: Workloads additionally deployed as mixed-scheme bundles through
+    #: the per-region selector (targets named ``<workload>-mixed``);
+    #: these are what the ``scheme_tag_corruption`` model bites on.
+    mixed_workloads: tuple[str, ...] = ()
     block_size: int = 5
     seed: int = 1
     trials: int = 25
@@ -289,6 +348,7 @@ class CampaignConfig:
     def to_dict(self) -> dict:
         return {
             "workloads": list(self.workloads),
+            "mixed_workloads": list(self.mixed_workloads),
             "block_size": self.block_size,
             "seed": self.seed,
             "trials": self.trials,
@@ -507,6 +567,18 @@ def run_campaign(
             with OBS.tracer.span("faults.prepare", workload=workload):
                 targets.append(
                     DeploymentTarget.prepare(
+                        workload,
+                        block_size=config.block_size,
+                        parity=config.parity,
+                        workload_params=config.workload_params.get(workload),
+                    )
+                )
+        for workload in config.mixed_workloads:
+            with OBS.tracer.span(
+                "faults.prepare_mixed", workload=workload
+            ):
+                targets.append(
+                    DeploymentTarget.prepare_mixed(
                         workload,
                         block_size=config.block_size,
                         parity=config.parity,

@@ -25,6 +25,7 @@ model                     corruption
 ``mid_block_entry``       the fetch stream jumps into an encoded block
 ``early_exit_reenter``    exit an encoded block early, re-enter mid-block
 ``trace_truncation``      the fetch stream ends while a block is active
+``scheme_tag_corruption`` a mixed-scheme region's tag names no backend
 ========================  ==================================================
 
 Models whose corruption the hardened path *guarantees* to detect or
@@ -62,6 +63,12 @@ class RunState:
     trace: list[int]
     encoded_region: set[int]
     text_base: int
+    #: Mixed-scheme bundle state (empty for classic deployments):
+    #: ``pc -> scheme tag``, ``tag -> decode_word | None``, and the
+    #: raw per-region metadata the bundle shipped (injector targets).
+    region_schemes: dict = field(default_factory=dict)
+    scheme_word_decoders: dict = field(default_factory=dict)
+    regions: list = field(default_factory=list)
 
     def word_index(self, pc: int) -> int:
         return (pc - self.text_base) >> 2
@@ -444,6 +451,48 @@ class TraceTruncation(_ProtocolFault):
         return self._done(block=entry.pc, kept=j)
 
 
+# ----------------------------------------------------------------------
+# Mixed-scheme bundle corruptions
+# ----------------------------------------------------------------------
+
+
+class SchemeTagCorruption(FaultModel):
+    """One mixed-scheme region's per-region scheme tag is rewritten to
+    a name no backend registered — a loader bug or a metadata upset.
+    Every fetch into the region then carries an unhonourable tag:
+    strict mode raises :class:`~repro.errors.SchemeTagError`, recover
+    and degraded modes serve the region from the golden bundle.  Not
+    applicable to classic single-scheme deployments."""
+
+    name = "scheme_tag_corruption"
+    protected = True
+
+    #: Deliberately not in any encoder registry, and not ``ttbbit`` or
+    #: ``raw`` either — the decoder must treat it as a fault.
+    BOGUS_TAG = "zz-corrupted"
+
+    def inject(self, state, rng):
+        if not state.regions or not state.region_schemes:
+            return self._skip("deployment has no mixed-scheme regions")
+        region = rng.choice(state.regions)
+        rewritten = []
+        for block in region["blocks"]:
+            pc = int(block["pc"])
+            for i in range(int(block["num_instructions"])):
+                addr = pc + 4 * i
+                if addr in state.region_schemes:
+                    state.region_schemes[addr] = self.BOGUS_TAG
+                    rewritten.append(addr)
+        if not rewritten:
+            return self._skip("chosen region tags no addresses")
+        return self._done(
+            scheme=str(region["scheme"]),
+            tag=self.BOGUS_TAG,
+            addresses=len(rewritten),
+            first_pc=min(rewritten),
+        )
+
+
 #: The standard campaign sweep, in report order.
 DEFAULT_MODELS: tuple[FaultModel, ...] = (
     TTSelectorFlip(),
@@ -459,6 +508,7 @@ DEFAULT_MODELS: tuple[FaultModel, ...] = (
     MidBlockEntry(),
     EarlyExitReenter(),
     TraceTruncation(),
+    SchemeTagCorruption(),
 )
 
 MODELS_BY_NAME = {model.name: model for model in DEFAULT_MODELS}

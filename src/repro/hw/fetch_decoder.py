@@ -67,12 +67,16 @@ from dataclasses import dataclass
 from repro.core import bitplane
 from repro.core.stream_codec import _segment_bounds_cached
 from repro.core.transformations import by_selector
-from repro.errors import DecodeFault, TableIntegrityError
+from repro.errors import DecodeFault, SchemeTagError, TableIntegrityError
 from repro.hw.bbit import BasicBlockIdentificationTable
 from repro.hw.tt import TransformationTable
 from repro.obs import OBS
 
-__all__ = ["FetchDecoder", "DecodeFault", "TableIntegrityError"]
+__all__ = ["FetchDecoder", "DecodeFault", "SchemeTagError", "TableIntegrityError"]
+
+#: region scheme tag meaning "the paper's TT/BBIT transformation" —
+#: such regions flow through the normal table-driven decode path.
+SCHEME_TTBBIT = "ttbbit"
 
 #: Hardware selector code -> tau truth table, for rebuilding a TT
 #: row's per-line decode planes on the bulk bitplane path.
@@ -106,6 +110,8 @@ class FetchDecoder:
         mode: str = "strict",
         recovery_event_capacity: int = DEFAULT_RECOVERY_EVENT_CAPACITY,
         golden_lookup=None,
+        region_schemes: dict[int, str] | None = None,
+        scheme_word_decoders: dict[str, object] | None = None,
     ):
         if isinstance(block_size, bool) or not isinstance(block_size, int):
             raise TypeError(
@@ -137,6 +143,17 @@ class FetchDecoder:
         #: Addresses demoted out of :attr:`encoded_region` after an
         #: unrecoverable fault; served from the golden image.
         self.degraded_region: set[int] = set()
+        #: Mixed-scheme bundle support: ``pc -> scheme tag`` for every
+        #: address inside a tagged region.  Tags equal to
+        #: :data:`SCHEME_TTBBIT` flow through the table path; other
+        #: tags are served through ``scheme_word_decoders[tag]`` — a
+        #: per-word decode callable for deployable recoders, or
+        #: ``None`` for bus codecs whose stored words are raw.  A tag
+        #: with no entry in ``scheme_word_decoders`` is a fault
+        #: (:class:`~repro.errors.SchemeTagError`).
+        self.region_schemes = region_schemes or {}
+        self.scheme_word_decoders = scheme_word_decoders or {}
+        self.scheme_decoded_instructions = 0
         self._active: _ActiveBlock | None = None
         self._history_word = 0
         self._expected_pc: int | None = None
@@ -177,6 +194,7 @@ class FetchDecoder:
         self._passthrough_run = False
         self.decoded_instructions = 0
         self.passthrough_instructions = 0
+        self.scheme_decoded_instructions = 0
         self.tt_reads = 0
         self.recovery_events = []
         self.recovery_events_dropped = 0
@@ -246,12 +264,53 @@ class FetchDecoder:
                 kind=kind,
             ).inc()
 
+    def _fetch_scheme_region(self, pc: int, stored_word: int, scheme: str) -> int:
+        """Serve a fetch from a region encoded by a non-TT/BBIT
+        backend of the encoder zoo.
+
+        Deployable word recoders registered a per-word decode callable;
+        bus codecs registered ``None`` (their stored words are raw and
+        pass through).  An unknown tag is treated like any other
+        decode-path fault: strict raises :class:`SchemeTagError`,
+        recover/degraded fall back to the golden bundle when attached.
+        """
+        if scheme not in self.scheme_word_decoders:
+            fault = SchemeTagError(
+                f"unknown region scheme tag {scheme!r} at {pc:#010x}"
+            )
+            if self.mode == "strict":
+                raise fault
+            if self.mode == "degraded":
+                self._degrade("scheme_tag", pc, str(fault))
+                return self._serve_golden(pc)
+            self._recover("scheme_tag", pc, str(fault))
+            if self.golden_lookup is not None:
+                return self._serve_golden(pc)
+            self.passthrough_instructions += 1
+            self._active = None
+            self._expected_pc = None
+            return stored_word
+        # Entering a zoo-encoded region always leaves the TT engine.
+        self._active = None
+        self._expected_pc = None
+        self._passthrough_run = False
+        decode_word = self.scheme_word_decoders[scheme]
+        if decode_word is None:
+            self.passthrough_instructions += 1
+            return stored_word
+        self.scheme_decoded_instructions += 1
+        return decode_word(stored_word)
+
     def fetch(self, pc: int, stored_word: int) -> int:
         """Process one fetch; returns the restored instruction word."""
         if pc in self.degraded_region:
             # The block was demoted after an unrecoverable fault: its
             # stored words are untrustworthy, serve the golden image.
             return self._serve_golden(pc)
+        if self.region_schemes:
+            scheme = self.region_schemes.get(pc)
+            if scheme is not None and scheme != SCHEME_TTBBIT:
+                return self._fetch_scheme_region(pc, stored_word, scheme)
         if self._active is not None and pc != self._expected_pc:
             # Taken branch out of the current block.
             self._active = None
@@ -369,6 +428,7 @@ class FetchDecoder:
             "mode": self.mode,
             "decoded_instructions": self.decoded_instructions,
             "passthrough_instructions": self.passthrough_instructions,
+            "scheme_decoded_instructions": self.scheme_decoded_instructions,
             "tt_reads": self.tt_reads,
             "bbit_lookups": self.bbit.lookups,
             "recoveries": len(self.recovery_events) + self.recovery_events_dropped,
@@ -434,6 +494,12 @@ class FetchDecoder:
             "fetches served from the golden image for demoted blocks",
             mode=self.mode,
         ).inc(self.golden_served_instructions)
+        if self.scheme_decoded_instructions:
+            registry.counter(
+                "decoder.scheme_decoded_instructions",
+                "fetches restored through an encoder-zoo word recoder",
+                mode=self.mode,
+            ).inc(self.scheme_decoded_instructions)
 
     def _table_baseline(self) -> dict:
         """Snapshot of the shared tables' cumulative counters, so a
@@ -485,6 +551,9 @@ class FetchDecoder:
                 use_bitplane
                 and self.mode == "strict"
                 and not self.degraded_region
+                # mixed-scheme traces interleave zoo regions with TT
+                # blocks; the scalar walk owns that dispatch.
+                and not self.region_schemes
             ):
                 decoded = self._decode_trace_bitplane(
                     addresses, stored_image_lookup

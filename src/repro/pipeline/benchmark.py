@@ -239,6 +239,73 @@ def _trace_decode_case(
     )
 
 
+def run_encoder_zoo_benchmarks(
+    num_words: int = 512,
+    repeats: int = 3,
+    seed: int = 1234,
+) -> BenchReport:
+    """Encoder-zoo throughput: one case per registered backend.
+
+    The "fast" path is the production one (``encoder.transitions``:
+    encode, then count packed toggles); the "reference" is the scheme's
+    independent per-transfer counter from the verify campaign.  Counts
+    are cross-checked for equality before timing, so — like the codec
+    harness — a run certifies correctness and throughput together.
+    Written to ``BENCH_encoders.json`` by ``repro bench --encoders``;
+    no speedup floor is asserted (both sides are pure Python), the file
+    tracks the per-backend encode rate across PRs.
+    """
+    from repro.baselines.protocol import (
+        make_encoder,
+        reference_transitions,
+        registered_schemes,
+    )
+    from repro.verify.generators import hot_word_stream
+
+    words = hot_word_stream(random.Random(f"bench:{seed}"), num_words)
+    cases: list[BenchCase] = []
+    for scheme in registered_schemes():
+        encoder = make_encoder(scheme).fit(words)
+        if encoder.transitions(words) != reference_transitions(encoder, words):
+            raise RuntimeError(
+                f"encoder_{scheme}: fast transition count diverged from "
+                "the reference counter"
+            )
+        name = f"encoder_{scheme.replace('-', '_')}"
+        cases.append(
+            BenchCase(
+                name=name,
+                unit="words",
+                units_per_run=len(words),
+                reference_seconds=_best_time(
+                    lambda: reference_transitions(encoder, words),
+                    repeats,
+                    f"bench.{name}.reference",
+                ),
+                fast_seconds=_best_time(
+                    lambda: encoder.transitions(words),
+                    repeats,
+                    f"bench.{name}.fast",
+                ),
+            )
+        )
+
+    meta = run_metadata(command="repro bench --encoders", seed=seed)
+    config = {
+        "num_words": num_words,
+        "repeats": repeats,
+        "seed": seed,
+        "schemes": list(registered_schemes()),
+        "python": meta["python"],
+        "platform": meta["platform"],
+        "git_sha": meta["git_sha"],
+        "timestamp": meta["timestamp"],
+        "timestamp_unix": meta["timestamp_unix"],
+        "run_id": _BENCH_TRACER.run_id,
+    }
+    return BenchReport(config=config, cases=cases)
+
+
 def run_codec_benchmarks(
     stream_length: int = 5000,
     num_words: int = 64,

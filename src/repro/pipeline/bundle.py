@@ -61,6 +61,15 @@ class EncodingBundle:
     original_digest: str  # sha256 of the pre-encoding image
     tt_entries: list[dict] = field(default_factory=list)
     bbit_entries: list[dict] = field(default_factory=list)
+    #: Mixed-scheme metadata from the per-region selector (optional —
+    #: absent/empty for classic single-scheme bundles, keeping the
+    #: format backward compatible).  One entry per hot region:
+    #: ``{"header": pc, "scheme": tag, "config": {...},
+    #: "config_digest": sha256, "blocks": [{"pc", "num_instructions"}]}``.
+    #: ``scheme`` is ``"ttbbit"`` (table path), ``"raw"`` (left
+    #: unencoded), or a registered encoder-zoo scheme whose ``config``
+    #: rebuilds the fitted encoder.
+    regions: list[dict] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Construction
@@ -136,20 +145,20 @@ class EncodingBundle:
     # ------------------------------------------------------------------
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "format_version": FORMAT_VERSION,
-                "name": self.name,
-                "block_size": self.block_size,
-                "text_base": self.text_base,
-                "original_digest": self.original_digest,
-                "encoded_digest": _digest(self.encoded_words),
-                "encoded_words": [f"{w:08x}" for w in self.encoded_words],
-                "tt": self.tt_entries,
-                "bbit": self.bbit_entries,
-            },
-            indent=1,
-        )
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "name": self.name,
+            "block_size": self.block_size,
+            "text_base": self.text_base,
+            "original_digest": self.original_digest,
+            "encoded_digest": _digest(self.encoded_words),
+            "encoded_words": [f"{w:08x}" for w in self.encoded_words],
+            "tt": self.tt_entries,
+            "bbit": self.bbit_entries,
+        }
+        if self.regions:
+            payload["regions"] = self.regions
+        return json.dumps(payload, indent=1)
 
     @classmethod
     def from_json(cls, text: str) -> "EncodingBundle":
@@ -221,6 +230,11 @@ class EncodingBundle:
             isinstance(data["bbit"], list),
             "field 'bbit' must be a list of entries",
         )
+        regions = data.get("regions", [])
+        _require(
+            isinstance(regions, list),
+            "field 'regions' must be a list of region entries",
+        )
         bundle = cls(
             name=data["name"],
             block_size=data["block_size"],
@@ -229,6 +243,7 @@ class EncodingBundle:
             original_digest=data["original_digest"],
             tt_entries=data["tt"],
             bbit_entries=data["bbit"],
+            regions=regions,
         )
         bundle.validate()
         return bundle
@@ -346,6 +361,92 @@ class EncodingBundle:
                 f"{where}: TT walk from {tt_index} over {segments} "
                 "segment(s) does not terminate on an E-bit entry",
             )
+        self._validate_regions(image_end)
+
+    def _validate_regions(self, image_end: int) -> None:
+        """Validate the optional mixed-scheme region metadata: every
+        tag must name the table path, ``raw``, or a registered encoder
+        backend whose declared ``config_digest`` matches the digest
+        recomputed from the shipped config (so a tampered codebook is
+        caught at load time, before the decoder trusts it)."""
+        if not self.regions:
+            return
+        from repro.baselines.protocol import ENCODER_REGISTRY, encoder_from_config
+
+        seen_pcs: set[int] = set()
+        for i, region in enumerate(self.regions):
+            where = f"regions[{i}]"
+            _require(
+                isinstance(region, dict), f"{where}: entry must be an object"
+            )
+            header = _int_field(region, "header", where)
+            _require(
+                header % 4 == 0,
+                f"{where}: header {header:#x} is not word-aligned",
+            )
+            scheme = region.get("scheme")
+            _require(
+                isinstance(scheme, str) and bool(scheme),
+                f"{where}: 'scheme' must be a non-empty string",
+            )
+            blocks = region.get("blocks")
+            _require(
+                isinstance(blocks, list) and blocks,
+                f"{where}: 'blocks' must be a non-empty list",
+            )
+            for j, block in enumerate(blocks):
+                bwhere = f"{where}.blocks[{j}]"
+                _require(
+                    isinstance(block, dict),
+                    f"{bwhere}: entry must be an object",
+                )
+                pc = _int_field(block, "pc", bwhere)
+                count = _int_field(block, "num_instructions", bwhere)
+                _require(
+                    pc % 4 == 0, f"{bwhere}: pc {pc:#x} is not word-aligned"
+                )
+                _require(
+                    count >= 1,
+                    f"{bwhere}: num_instructions must be >= 1, got {count}",
+                )
+                _require(
+                    self.text_base <= pc and pc + 4 * count <= image_end,
+                    f"{bwhere}: block [{pc:#x}, {pc + 4 * count:#x}) falls "
+                    f"outside the image [{self.text_base:#x}, {image_end:#x})",
+                )
+                for addr in range(pc, pc + 4 * count, 4):
+                    _require(
+                        addr not in seen_pcs,
+                        f"{bwhere}: address {addr:#x} tagged by two regions",
+                    )
+                    seen_pcs.add(addr)
+            if scheme in ("ttbbit", "raw"):
+                continue
+            _require(
+                scheme in ENCODER_REGISTRY,
+                f"{where}: unknown scheme tag {scheme!r}",
+            )
+            config = region.get("config")
+            _require(
+                isinstance(config, dict),
+                f"{where}: scheme {scheme!r} needs a 'config' object",
+            )
+            declared = region.get("config_digest")
+            _require(
+                isinstance(declared, str) and len(declared) == 64,
+                f"{where}: 'config_digest' must be a sha256 hex string",
+            )
+            try:
+                encoder = encoder_from_config(scheme, config)
+            except Exception as err:
+                raise BundleFormatError(
+                    f"{where}: config for scheme {scheme!r} does not "
+                    f"rebuild: {err}"
+                ) from err
+            _require(
+                encoder.config_digest() == declared,
+                f"{where}: config digest mismatch for scheme {scheme!r}",
+            )
 
     # ------------------------------------------------------------------
     # Deployment
@@ -397,6 +498,38 @@ class EncodingBundle:
             )
         return region
 
+    def region_scheme_map(self) -> dict[int, str]:
+        """``pc -> scheme tag`` for every address inside a tagged
+        region (empty for classic single-scheme bundles)."""
+        schemes: dict[int, str] = {}
+        for region in self.regions:
+            tag = str(region["scheme"])
+            for block in region["blocks"]:
+                pc = int(block["pc"])
+                count = int(block["num_instructions"])
+                for addr in range(pc, pc + 4 * count, 4):
+                    schemes[addr] = tag
+        return schemes
+
+    def scheme_word_decoders(self) -> dict[str, object]:
+        """Per-word decode callables for the fetch path, rebuilt from
+        each region's shipped encoder config.  Deployable recoders map
+        to their ``decode_word``; bus codecs (and ``raw`` regions) map
+        to ``None`` — their stored words pass through unchanged."""
+        from repro.baselines.protocol import encoder_from_config
+
+        decoders: dict[str, object] = {}
+        for region in self.regions:
+            tag = str(region["scheme"])
+            if tag in decoders or tag == "ttbbit":
+                continue
+            if tag == "raw":
+                decoders[tag] = None
+                continue
+            encoder = encoder_from_config(tag, region.get("config", {}))
+            decoders[tag] = encoder.decode_word if encoder.deployable else None
+        return decoders
+
     def verify_against(self, program) -> bool:
         """Check this bundle belongs to ``program`` (pre-encoding
         image digest match)."""
@@ -405,7 +538,8 @@ class EncodingBundle:
     def deploy_and_check(self, program, trace: Sequence[int]) -> bool:
         """Full loader path: validate, rebuild tables, decode the
         trace through the hardware model, compare with the original
-        program."""
+        program.  Mixed-scheme bundles additionally arm the decoder
+        with the per-region scheme tags and their word decoders."""
         from repro.hw.fetch_decoder import FetchDecoder
 
         if not self.verify_against(program):
@@ -418,6 +552,8 @@ class EncodingBundle:
             bbit,
             self.block_size,
             encoded_region=self.encoded_pc_region(),
+            region_schemes=self.region_scheme_map() or None,
+            scheme_word_decoders=self.scheme_word_decoders() or None,
         )
         base = self.text_base
         decoded = decoder.decode_trace(

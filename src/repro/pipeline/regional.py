@@ -80,6 +80,67 @@ def _top_level_loops(loops: Sequence[NaturalLoop]) -> list[NaturalLoop]:
     ]
 
 
+@dataclass
+class RegionPlan:
+    """A hot region before any encoding commitment: its loop header,
+    the body blocks it claims, and the blocks/lengths the hot-block
+    selector would encode under the full table budget.  Shared between
+    the regional flow (which always encodes with TT/BBIT) and the
+    per-scheme selector (which may hand the region to a different
+    backend entirely)."""
+
+    header: int
+    blocks: set[int]
+    selected: list[int]
+    lengths: dict[int, int]  # selected block start -> encoded length
+
+
+def plan_regions(
+    cfg: ControlFlowGraph,
+    profile,
+    block_size: int,
+    tt_capacity: int = 16,
+    bbit_capacity: int = 16,
+) -> list[RegionPlan]:
+    """Decompose the program into top-level hot-loop regions, ordered
+    by profile weight, each with its own full-budget block selection.
+    Regions whose selection came up empty are kept (``selected == []``)
+    — the selector can still hand them to a non-TT backend."""
+    loops = find_natural_loops(cfg)
+    top_loops = sorted(
+        _top_level_loops(loops), key=profile.loop_weight, reverse=True
+    )
+    plans: list[RegionPlan] = []
+    claimed: set[int] = set()
+    for loop in top_loops:
+        body = loop.body - claimed
+        if not body:
+            continue
+        claimed |= body
+        plan = select_hot_blocks(
+            profile,
+            block_size,
+            tt_capacity=tt_capacity,
+            bbit_capacity=bbit_capacity,
+            loops=[loop],
+            loops_only=True,
+        )
+        selected = [start for start in plan.selected if start in body]
+        lengths = {
+            start: plan.encoded_length(start, len(cfg.blocks[start]))
+            for start in selected
+        }
+        plans.append(
+            RegionPlan(
+                header=loop.header,
+                blocks=set(body),
+                selected=selected,
+                lengths=lengths,
+            )
+        )
+    return plans
+
+
 class RegionalEncodingFlow:
     """Per-region table configurations with software reload between."""
 
@@ -100,44 +161,31 @@ class RegionalEncodingFlow:
     ) -> RegionalResult:
         cfg = ControlFlowGraph.build(program)
         profile = profile_trace(cfg, trace)
-        loops = find_natural_loops(cfg)
-        top_loops = sorted(
-            _top_level_loops(loops),
-            key=profile.loop_weight,
-            reverse=True,
+        plans = plan_regions(
+            cfg,
+            profile,
+            self.block_size,
+            tt_capacity=self.tt_capacity,
+            bbit_capacity=self.bbit_capacity,
         )
 
         image = list(program.words)
         regions: list[Region] = []
-        claimed: set[int] = set()
         block_to_region: dict[int, Region] = {}
-        for loop in top_loops:
-            body = loop.body - claimed
-            if not body:
-                continue
-            claimed |= body
-            # Select within this region only, with the full budget.
-            plan = select_hot_blocks(
-                profile,
-                self.block_size,
-                tt_capacity=self.tt_capacity,
-                bbit_capacity=self.bbit_capacity,
-                loops=[loop],
-                loops_only=True,
-            )
-            selected = [start for start in plan.selected if start in body]
+        for region_plan in plans:
+            selected = region_plan.selected
             if not selected:
                 continue
             region = Region(
-                header=loop.header,
-                blocks=set(body),
+                header=region_plan.header,
+                blocks=set(region_plan.blocks),
                 tt=TransformationTable(self.tt_capacity),
                 bbit=BasicBlockIdentificationTable(self.bbit_capacity),
             )
             encodings = []
             for start in selected:
                 block = cfg.blocks[start]
-                length = plan.encoded_length(start, len(block))
+                length = region_plan.lengths[start]
                 encoding = encode_basic_block(
                     block.words[:length],
                     self.block_size,

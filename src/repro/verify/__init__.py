@@ -23,11 +23,13 @@ from repro.verify.campaign import (
 from repro.verify.checks import (
     CheckResult,
     TABLE_FAULTS,
+    check_encoders,
     check_program,
     check_stream,
     check_tables,
     sweep_boundary,
     sweep_codebook,
+    sweep_encoder_tables,
     sweep_tau,
 )
 from repro.verify.counterexample import (
@@ -46,6 +48,7 @@ from repro.verify.generators import (
     biased_stream,
     block_words,
     burst_stream,
+    hot_word_stream,
     make_deployment,
     random_deployment,
     word_blocks,
@@ -71,11 +74,13 @@ __all__ = [
     "run_verify",
     "CheckResult",
     "TABLE_FAULTS",
+    "check_encoders",
     "check_program",
     "check_stream",
     "check_tables",
     "sweep_boundary",
     "sweep_codebook",
+    "sweep_encoder_tables",
     "sweep_tau",
     "make_record",
     "replay_counterexample",
@@ -88,6 +93,7 @@ __all__ = [
     "biased_stream",
     "block_words",
     "burst_stream",
+    "hot_word_stream",
     "make_deployment",
     "random_deployment",
     "word_blocks",

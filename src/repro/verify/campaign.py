@@ -6,12 +6,17 @@ A run has two halves:
   entry against the reference solver (:func:`checks.sweep_codebook`),
   every τ selector's decode through all its layers
   (:func:`checks.sweep_tau`), and every boundary/tail class
-  (:func:`checks.sweep_boundary`).  These are what make the coverage
-  gate (100% codebook/τ for k=4..7) *deterministically* reachable —
-  randomised inputs alone cannot promise exhaustion;
+  (:func:`checks.sweep_boundary`); plus one deterministic encoder-zoo
+  sweep (:func:`checks.sweep_encoder_tables`) covering every
+  registered backend's canonical streams, the memoryless optimality
+  proof and the low-weight codeword-table invariants.  These are what
+  make the coverage gate (100% codebook/τ for k=4..7, 100% encoder
+  schemes) *deterministically* reachable — randomised inputs alone
+  cannot promise exhaustion;
 * **randomised cases** — ``cases`` seeded inputs scheduled over the
-  three input families (streams with the configured bias sweep,
-  synthetic instruction blocks, corrupted table states), each fully
+  four input families (streams with the configured bias sweep,
+  synthetic instruction blocks, corrupted table states, and
+  fetch-like word streams through the encoder zoo), each fully
   determined by ``random.Random(f"{seed}:{kind}:{case_id}")``.
 
 Random cases fan out across a process pool in chunks (mirroring the
@@ -47,23 +52,27 @@ from repro.verify.generators import (
     biased_stream,
     burst_stream,
     block_words,
+    hot_word_stream,
     word_blocks,
 )
 from repro.verify.mutation import apply_mutation, applied_mutations
 from repro.verify.report import VerifyReport
 
-#: Ten-case scheduling cycle: 5 stream, 3 program, 2 tables cases.
+#: Twelve-case scheduling cycle: 5 stream, 3 program, 2 tables and
+#: 2 encoder-zoo cases.
 KIND_PATTERN = (
     "stream",
     "program",
     "stream",
     "tables",
+    "encoders",
     "stream",
     "program",
     "stream",
     "tables",
     "stream",
     "program",
+    "encoders",
 )
 
 
@@ -154,6 +163,20 @@ def run_case(config: VerifyConfig, case_id: int) -> dict:
             input_data = shrink_words(
                 words,
                 lambda ws: not checks.check_program(ws, block_size).ok,
+                budget=config.shrink_budget,
+            )
+    elif kind == "encoders":
+        alphabet = 2 + case_id % 7
+        noise = (0.0, 0.1, 0.3)[case_id % 3]
+        length = rng.randint(16, 160)
+        words = hot_word_stream(rng, length, alphabet=alphabet, noise=noise)
+        params = {"alphabet": alphabet, "noise": noise}
+        result = checks.check_encoders(words)
+        input_data = words
+        if not result.ok:
+            input_data = shrink_words(
+                words,
+                lambda ws: not checks.check_encoders(ws).ok,
                 budget=config.shrink_budget,
             )
     else:  # tables
@@ -315,6 +338,32 @@ def _run_sweeps(
                     sweep=name,
                     outcome="ok" if result.ok else "mismatch",
                 ).inc()
+    # The encoder-zoo sweep is block-size independent: one run covers
+    # every registered backend's canonical streams and table
+    # invariants.
+    counts = kinds.setdefault("sweep_encoders", {"run": 0, "failed": 0})
+    result = checks.sweep_encoder_tables()
+    counts["run"] += 1
+    tracker.merge(result.coverage_lists())
+    if not result.ok:
+        counts["failed"] += 1
+        counterexamples.append(
+            make_record(
+                "sweep_encoders",
+                f"{config.seed}:sweep_encoders",
+                {},
+                None,
+                result.mismatch,
+                applied_mutations(),
+            )
+        )
+    if OBS.enabled:
+        OBS.registry.counter(
+            "verify.sweeps",
+            "exhaustive verification sweeps executed",
+            sweep="sweep_encoders",
+            outcome="ok" if result.ok else "mismatch",
+        ).inc()
     return kinds, counterexamples
 
 
@@ -381,7 +430,11 @@ def run_verify(config: VerifyConfig) -> VerifyReport:
         OBS.registry.counter(
             "verify.mismatches", "differential divergences observed"
         ).inc(len(mismatches))
-        for dimension in ("codebook_entries", "tau_selectors"):
+        for dimension in (
+            "codebook_entries",
+            "tau_selectors",
+            "encoder_schemes",
+        ):
             OBS.registry.gauge(
                 "verify.coverage_percent",
                 "behaviour-space coverage per dimension",

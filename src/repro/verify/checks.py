@@ -599,3 +599,161 @@ def sweep_boundary(block_size: int) -> CheckResult:
                     inner=sub.mismatch,
                 )
     return result
+
+
+# ----------------------------------------------------------------------
+# Encoder zoo (every registered Encoder backend)
+# ----------------------------------------------------------------------
+
+
+def check_encoders(words: list[int], schemes: tuple[str, ...] | None = None) -> CheckResult:
+    """Differential check of every registered encoder backend on one
+    word stream: fitted-encoder roundtrip (decode(encode(w)) == w),
+    fast transition count vs the scheme's independent reference
+    counter, config-digest determinism, config round-trip through the
+    bundle serialisation form, and — for deployable recoders — the
+    per-word path against the stream path."""
+    from repro.baselines.protocol import (
+        encoder_from_config,
+        make_encoder,
+        reference_transitions,
+        registered_schemes,
+    )
+
+    result = CheckResult()
+    mask = (1 << 32) - 1
+    expected = [w & mask for w in words]
+    for scheme in schemes if schemes is not None else registered_schemes():
+        result.cover("encoder_schemes", scheme)
+        encoder = make_encoder(scheme).fit(words)
+        stream = encoder.encode(words)
+        decoded = encoder.decode(stream)
+        if decoded != expected:
+            return result.fail(
+                "encoder_roundtrip",
+                scheme=scheme,
+                first_bad=next(
+                    i for i, (a, b) in enumerate(zip(decoded, expected)) if a != b
+                )
+                if len(decoded) == len(expected)
+                else -1,
+            )
+        fast = stream.transitions()
+        reference = reference_transitions(encoder, words)
+        if fast != reference:
+            return result.fail(
+                "encoder_transition_count",
+                scheme=scheme,
+                fast=fast,
+                reference=reference,
+            )
+        if encoder.transitions(words) != fast:
+            return result.fail("encoder_transitions_api", scheme=scheme)
+        refit = make_encoder(scheme).fit(words)
+        if refit.config_digest() != encoder.config_digest():
+            return result.fail("encoder_digest_unstable", scheme=scheme)
+        rebuilt = encoder_from_config(scheme, encoder.to_config())
+        if rebuilt.encode(words).driven != stream.driven:
+            return result.fail("encoder_config_roundtrip", scheme=scheme)
+        if rebuilt.config_digest() != encoder.config_digest():
+            return result.fail("encoder_config_digest", scheme=scheme)
+        if encoder.deployable:
+            per_word = [encoder.encode_word(w) for w in words]
+            if per_word != stream.driven:
+                return result.fail("encoder_word_vs_stream", scheme=scheme)
+            if [encoder.decode_word(w) for w in per_word] != expected:
+                return result.fail("encoder_word_roundtrip", scheme=scheme)
+    return result
+
+
+def sweep_encoder_tables(schemes: tuple[str, ...] | None = None) -> CheckResult:
+    """Deterministic exhaustive half for the encoder zoo.
+
+    * every backend: roundtrip + differential count over canonical
+      seeded streams (hot-loop-like small alphabets and uniform words);
+    * memoryless: a fitted 4-line sub-bus maps all 16 values
+      bijectively, and the exact assignment matches brute force over
+      all injective placements on a canonical narrow profile;
+    * low-weight: every codeword obeys the weight bound, the
+      per-position tables stay injective (unique decodability), and a
+      transfer never toggles more than ``chunks * max_weight`` lines.
+    """
+    from itertools import permutations
+
+    from repro.baselines.lowweight import (
+        CODEWORDS,
+        MAX_CODEWORD_WEIGHT,
+        LowWeightCodeEncoder,
+    )
+    from repro.baselines.memoryless import MemorylessCodebookEncoder
+    from repro.core.transitions import per_transfer_transitions, word_transitions
+
+    result = CheckResult()
+
+    # --- every backend over canonical streams -------------------------
+    rng = random.Random("encoder-sweep")
+    alphabet = [rng.getrandbits(32) for _ in range(5)]
+    canonical = [
+        [rng.choice(alphabet) for _ in range(64)],
+        [rng.getrandbits(32) for _ in range(48)],
+        [0xDEADBEEF] * 8 + [0x00FF00FF, 0xFF00FF00] * 4,
+        [],
+        [0x12345678],
+    ]
+    for words in canonical:
+        sub = check_encoders(words, schemes=schemes)
+        for dimension, keys in sub.coverage.items():
+            for key in keys:
+                result.cover(dimension, key)
+        if not sub.ok:
+            return result.fail(
+                "encoder_canonical_stream", inner=sub.mismatch
+            )
+
+    # --- memoryless: bijectivity + exact-assignment optimality --------
+    narrow = MemorylessCodebookEncoder(width=4, subbus_width=4)
+    profile = [1, 9, 1, 9, 1, 4, 1, 9, 4, 9]  # 3 distinct values
+    narrow.fit(profile)
+    table = narrow.to_config()["maps"][0]
+    if sorted(table) != list(range(16)):
+        return result.fail("memoryless_not_bijective", table=table)
+    achieved = narrow.transitions(profile)
+    mapped_all = {v for v in profile}
+    best = min(
+        word_transitions([dict(zip(sorted(mapped_all), perm))[v] for v in profile])
+        for perm in permutations(range(16), len(mapped_all))
+    )
+    if achieved != best:
+        return result.fail(
+            "memoryless_not_optimal", achieved=achieved, optimal=best
+        )
+    for value in range(16):
+        if narrow.decode_word(narrow.encode_word(value)) != value:
+            return result.fail("memoryless_inverse_broken", value=value)
+
+    # --- low-weight: weight bound + unique decodability ---------------
+    lw = LowWeightCodeEncoder()
+    lw.fit([rng.getrandbits(32) for _ in range(64)])
+    tables = lw.to_config()["tables"]
+    if len(set(CODEWORDS)) != len(CODEWORDS):
+        return result.fail("lowweight_codewords_duplicate")
+    for pos, tbl in enumerate(tables):
+        if len(set(tbl)) != len(tbl):
+            return result.fail("lowweight_table_not_injective", position=pos)
+        for value, code in enumerate(tbl):
+            if code.bit_count() > MAX_CODEWORD_WEIGHT:
+                return result.fail(
+                    "lowweight_weight_bound",
+                    position=pos,
+                    value=value,
+                    codeword=code,
+                )
+    probe = [rng.getrandbits(32) for _ in range(32)]
+    per = per_transfer_transitions(lw.encode(probe).driven)
+    if any(p > lw.max_weight_per_transfer for p in per):
+        return result.fail(
+            "lowweight_transfer_bound", worst=max(per)
+        )
+    if lw.decode(lw.encode(probe)) != probe:
+        return result.fail("lowweight_sweep_roundtrip")
+    return result

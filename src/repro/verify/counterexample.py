@@ -148,6 +148,10 @@ def replay_counterexample(record: dict) -> dict | None:
             result = checks.sweep_tau(params["k"])
         elif kind == "sweep_boundary":
             result = checks.sweep_boundary(params["k"])
+        elif kind == "encoders":
+            result = checks.check_encoders(list(input_data))
+        elif kind == "sweep_encoders":
+            result = checks.sweep_encoder_tables()
         else:
             raise VerifyError(f"counterexample has unknown kind {kind!r}")
     except (KeyError, TypeError) as err:

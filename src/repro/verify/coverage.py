@@ -26,6 +26,12 @@ universes (in the exhaustive-enumeration spirit of Chee et al.):
     The fetch-decoder mode-transition space: clean, SEC-DED-corrected
     and uncorrectable TT/BBIT corruption, each observed under strict,
     recover and degraded modes (12 classes).
+``encoder_schemes``
+    Every registered encoder-zoo backend
+    (:data:`repro.baselines.protocol.ENCODER_REGISTRY`), exercised by
+    the encoder differential cases and the deterministic encoder
+    sweep.  Gated at 100%: a backend that registers but never passes
+    through the campaign is a gate violation, not a silent gap.
 
 Coverage keys are plain strings (``"k=5|anchored|17"``) so per-case
 contributions serialise through the process pool and into
@@ -47,6 +53,14 @@ DECODER_TRANSITIONS = tuple(
 #: at 100% (the paper studies k=4..7; smaller ks are exercised but
 #: not gated).
 GATED_BLOCK_SIZES = (4, 5, 6, 7)
+
+
+def _registered_encoder_schemes() -> tuple:
+    """The encoder-zoo universe, resolved at tracker construction so a
+    newly registered backend automatically widens the gate."""
+    from repro.baselines.protocol import registered_schemes
+
+    return registered_schemes()
 
 
 def codebook_key(k: int, variant: str, word_int: int) -> str:
@@ -87,6 +101,7 @@ class CoverageTracker:
                 for length in range(1, k + 1)
             },
             "decoder_transitions": set(DECODER_TRANSITIONS),
+            "encoder_schemes": set(_registered_encoder_schemes()),
         }
         self.covered: dict[str, set[str]] = {
             dimension: set() for dimension in self.universes
@@ -152,4 +167,14 @@ class CoverageTracker:
                         f"{dimension} coverage for k={k} is {pct:.1f}% "
                         "(gate demands 100%)"
                     )
+        scheme_pct = self.percent("encoder_schemes")
+        if scheme_pct < 100.0:
+            missing = sorted(
+                self.universes["encoder_schemes"]
+                - self.covered["encoder_schemes"]
+            )
+            problems.append(
+                f"encoder_schemes coverage is {scheme_pct:.1f}% "
+                f"(gate demands 100%; missing: {', '.join(missing)})"
+            )
         return problems

@@ -72,6 +72,28 @@ def block_words(
     return words
 
 
+def hot_word_stream(
+    rng: random.Random,
+    length: int,
+    alphabet: int = 6,
+    noise: float = 0.15,
+    width: int = 32,
+) -> list[int]:
+    """An instruction-fetch-like word stream: draws mostly from a
+    small hot alphabet (loop bodies revisit the same words) with
+    ``noise``-probability uniform excursions.  This is the encoder
+    zoo's input space — frequency/memoryless backends key off the
+    alphabet skew, bus-invert/low-weight off the toggle structure."""
+    hot = [rng.getrandbits(width) for _ in range(max(1, alphabet))]
+    words: list[int] = []
+    for _ in range(length):
+        if rng.random() < noise:
+            words.append(rng.getrandbits(width))
+        else:
+            words.append(rng.choice(hot))
+    return words
+
+
 def word_blocks(
     rng: random.Random,
     num_blocks: int,

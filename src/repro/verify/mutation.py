@@ -91,6 +91,35 @@ def _mutate_tt_decode() -> None:
     TTEntry.decode = corrupted
 
 
+def _mutate_memoryless_codebook() -> None:
+    """Swap two encode-map entries on sub-bus 0 of every fitted
+    memoryless encoder *without* updating the inverse table.  Encode
+    and decode disagree for any word whose low sub-bus value is 0 or
+    1 — caught deterministically by the encoder sweep's inverse check
+    and by the random encoder-zoo roundtrip cases."""
+    from repro.baselines.memoryless import MemorylessCodebookEncoder
+
+    real = MemorylessCodebookEncoder._set_tables
+
+    def corrupted(self, bus: int, table: list) -> None:
+        real(self, bus, table)
+        if bus == 0:
+            maps = self._maps[0]
+            maps[0], maps[1] = maps[1], maps[0]  # inverse left stale
+
+    MemorylessCodebookEncoder._set_tables = corrupted
+
+
+def _mutate_lowweight_codeword() -> None:
+    """Corrupt one entry of the shared low-weight codeword table to a
+    weight-5 codeword.  Every encoder built afterwards violates the
+    m-out-of-n weight bound — caught deterministically by the encoder
+    sweep's codeword-weight invariant."""
+    from repro.baselines import lowweight
+
+    lowweight.CODEWORDS[6] = 0b11111
+
+
 MUTATIONS: dict[str, tuple[str, object]] = {
     "suffix-table": (
         "compiled suffix-table decode returns one wrong bit",
@@ -107,6 +136,14 @@ MUTATIONS: dict[str, tuple[str, object]] = {
     "bitplane-scan": (
         "bitplane doubling scan XORs bit 1 into every decoded stream",
         _mutate_bitplane_scan,
+    ),
+    "memoryless-codebook": (
+        "memoryless sub-bus 0 encode map swaps two entries, inverse stale",
+        _mutate_memoryless_codebook,
+    ),
+    "lowweight-codeword": (
+        "low-weight codeword table entry rewritten to weight 5",
+        _mutate_lowweight_codeword,
     ),
 }
 

@@ -1,19 +1,31 @@
-"""Tests for the related-work baseline encoders."""
+"""Tests for the related-work baseline encoders.
 
-import random
+Input generation lives in :mod:`tests.strategies` (the same
+distributions the ``repro verify`` campaign draws from): hypothesis
+property tests use ``fetch_word_streams``/``instruction_words``, plain
+tests take the seeded factory fixtures from ``conftest``.
+"""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.baselines.bus_invert import BusInvertCoder, bus_invert_transitions
-from repro.baselines.frequency import FrequencyRemapper
-from repro.baselines.gray import gray_decode, gray_encode, gray_transitions
-from repro.baselines.t0 import T0Coder, raw_address_transitions, t0_transitions
-
-words32 = st.lists(
-    st.integers(min_value=0, max_value=(1 << 32) - 1), min_size=0, max_size=60
+from repro.baselines.bus_invert import (
+    BusInvertCoder,
+    BusInvertEncoder,
+    bus_invert_transitions,
 )
+from repro.baselines.frequency import FrequencyEncoder, FrequencyRemapper
+from repro.baselines.gray import gray_decode, gray_encode, gray_transitions
+from repro.baselines.t0 import (
+    T0Coder,
+    T0Encoder,
+    raw_address_transitions,
+    t0_transitions,
+)
+
+from tests.strategies import fetch_word_streams, instruction_words
+
+MASK32 = (1 << 32) - 1
 
 
 class TestBusInvert:
@@ -33,21 +45,17 @@ class TestBusInvert:
         assert invert == 0 and driven == 0x03
         assert coder.transitions == 2
 
-    def test_decode_restores(self):
+    def test_decode_restores(self, seeded_words):
         coder = BusInvertCoder(width=8)
-        rng = random.Random(1)
-        words = [rng.getrandbits(8) for _ in range(100)]
-        for word in words:
+        for word in [w & 0xFF for w in seeded_words("bi-decode", 100)]:
             driven, invert = coder.send(word)
             assert BusInvertCoder.decode(driven, invert, width=8) == word
 
-    @given(words32)
+    @given(instruction_words)
     @settings(max_examples=100)
     def test_worst_case_bound(self, words):
         # Per transfer: at most width/2 line transitions + 1 invert.
         coder = BusInvertCoder(width=32)
-        if not words:
-            return
         coder.reset(initial_word=words[0])
         before = 0
         for word in words[1:]:
@@ -55,7 +63,7 @@ class TestBusInvert:
             assert coder.transitions - before <= 17
             before = coder.transitions
 
-    @given(words32)
+    @given(fetch_word_streams())
     @settings(max_examples=100)
     def test_never_worse_than_raw_plus_signal(self, words):
         raw = sum(
@@ -65,8 +73,30 @@ class TestBusInvert:
         # The invert line can add at most one transition per transfer.
         assert encoded <= raw + max(0, len(words) - 1)
 
-    def test_empty(self):
-        assert bus_invert_transitions([]) == 0
+    @given(fetch_word_streams())
+    @settings(max_examples=100)
+    def test_invert_bit_consistency(self, words):
+        """The driven word is the original or its complement exactly
+        as the packed invert bit (line 32) says, and the decision is
+        the Stan/Burleson rule: invert iff more than half the lines
+        would toggle against the previously *driven* word."""
+        encoder = BusInvertEncoder().fit(words)
+        stream = encoder.encode(words)
+        prev_driven = None
+        for word, packed in zip(words, stream.driven):
+            word &= MASK32
+            invert = (packed >> 32) & 1
+            driven = packed & MASK32
+            if invert:
+                assert driven == word ^ MASK32
+            else:
+                assert driven == word
+            if prev_driven is not None:
+                distance = (word ^ prev_driven).bit_count()
+                assert invert == (1 if distance > 16 else 0)
+            assert BusInvertCoder.decode(driven, invert, width=32) == word
+            prev_driven = driven
+        assert encoder.decode(stream) == [w & MASK32 for w in words]
 
 
 class TestT0:
@@ -94,6 +124,35 @@ class TestT0:
 
     def test_empty(self):
         assert t0_transitions([]) == 0
+        assert bus_invert_transitions([]) == 0
+
+    @given(
+        st.integers(min_value=0, max_value=MASK32 - 4 * 40),
+        st.integers(min_value=2, max_value=40),
+    )
+    @settings(max_examples=60)
+    def test_sequential_run_compression(self, base, length):
+        """Inside a sequential run the T0 bus is frozen: every packed
+        transfer after the first re-drives the same address lines with
+        the inc bit high, so the whole run costs at most one toggle
+        (the inc line's initial rise)."""
+        base &= ~0x3
+        addresses = [base + 4 * i for i in range(length)]
+        encoder = T0Encoder().fit(addresses)
+        stream = encoder.encode(addresses)
+        assert stream.transitions() <= 1
+        # Every non-first transfer rides the increment line.
+        for packed in stream.driven[1:]:
+            assert (packed >> 32) & 1 == 1
+        assert encoder.decode(stream) == addresses
+
+    @given(fetch_word_streams())
+    @settings(max_examples=60)
+    def test_t0_roundtrip_on_arbitrary_streams(self, words):
+        encoder = T0Encoder().fit(words)
+        assert encoder.decode(encoder.encode(words)) == [
+            w & MASK32 for w in words
+        ]
 
 
 class TestGray:
@@ -124,10 +183,8 @@ class TestFrequencyRemapper:
         word, escape = remapper.encode(0xDEAD)
         assert word == 0xDEAD and escape == 1
 
-    def test_transitions_reduced_on_skewed_stream(self):
-        rng = random.Random(2)
-        hot = [rng.getrandbits(32) for _ in range(4)]
-        words = [hot[rng.randrange(4)] for _ in range(2000)]
+    def test_transitions_reduced_on_skewed_stream(self, seeded_hot_words):
+        words = seeded_hot_words("freq-skew", 2000, alphabet=4, noise=0.0)
         remapper = FrequencyRemapper().fit(words)
         raw = sum((a ^ b).bit_count() for a, b in zip(words, words[1:]))
         assert remapper.transitions(words) < raw
@@ -139,3 +196,27 @@ class TestFrequencyRemapper:
     def test_capacity_respected(self):
         remapper = FrequencyRemapper(max_entries=4).fit(list(range(100)))
         assert len(remapper.mapping) == 4
+
+    @given(fetch_word_streams())
+    @settings(max_examples=100)
+    def test_remap_bijectivity(self, words):
+        """The fitted dictionary is injective in both directions —
+        distinct hot words get distinct codes, no code collides with
+        another, so the escape-tagged channel decodes uniquely."""
+        encoder = FrequencyEncoder().fit(words)
+        mapping = encoder._remapper.mapping
+        codes = list(mapping.values())
+        assert len(set(mapping)) == len(mapping)
+        assert len(set(codes)) == len(codes)
+        stream = encoder.encode(words)
+        assert encoder.decode(stream) == [w & MASK32 for w in words]
+        # Escape bit discriminates: unescaped transfers carry a code
+        # in the dictionary's image, escaped transfers the raw word.
+        code_image = set(codes)
+        for word, packed in zip(words, stream.driven):
+            escape = (packed >> 32) & 1
+            driven = packed & MASK32
+            if escape:
+                assert driven == word & MASK32
+            else:
+                assert driven in code_image

@@ -1,0 +1,133 @@
+"""Golden-vector tests for the two new encoder-zoo backends.
+
+The table-driven data lives in ``golden_vectors.json`` next to this
+file.  The memoryless vectors pin the fitted 4-bit sub-bus tables and
+their transition counts — and the test *re-proves* optimality by brute
+force over every injective assignment, so the committed numbers cannot
+drift away from the exact-solver contract.  The low-weight vectors pin
+the m-out-of-n codeword table, driven streams under both identity and
+fitted rankings, and the per-transfer toggle counts (which, under
+transition signalling, ARE the codeword weights).
+"""
+
+import json
+from itertools import permutations
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.lowweight import (
+    CHUNK_WIDTH,
+    CODE_WIDTH,
+    CODEWORDS,
+    MAX_CODEWORD_WEIGHT,
+    LowWeightCodeEncoder,
+)
+from repro.baselines.memoryless import MemorylessCodebookEncoder
+from repro.core.transitions import per_transfer_transitions, word_transitions
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_vectors.json").read_text()
+)
+
+
+class TestMemorylessGolden:
+    @pytest.mark.parametrize(
+        "vector", GOLDEN["memoryless"], ids=lambda v: str(v["profile"][:4])
+    )
+    def test_fit_reproduces_committed_table(self, vector):
+        enc = MemorylessCodebookEncoder(width=4, subbus_width=4).fit(
+            vector["profile"]
+        )
+        assert enc.to_config()["maps"][0] == vector["table"]
+
+    @pytest.mark.parametrize(
+        "vector", GOLDEN["memoryless"], ids=lambda v: str(v["profile"][:4])
+    )
+    def test_achieved_transitions_match_committed_optimum(self, vector):
+        enc = MemorylessCodebookEncoder(width=4, subbus_width=4).fit(
+            vector["profile"]
+        )
+        assert enc.transitions(vector["profile"]) == vector[
+            "optimal_transitions"
+        ]
+
+    @pytest.mark.parametrize(
+        "vector", GOLDEN["memoryless"], ids=lambda v: str(v["profile"][:4])
+    )
+    def test_committed_optimum_is_exhaustively_optimal(self, vector):
+        """4-bit exhaustive optimality: no injective assignment of the
+        profile's distinct values to the 16 codewords beats the
+        committed transition count."""
+        profile = vector["profile"]
+        distinct = sorted(set(profile))
+        best = min(
+            word_transitions([dict(zip(distinct, perm))[v] for v in profile])
+            for perm in permutations(range(16), len(distinct))
+        )
+        assert best == vector["optimal_transitions"]
+
+    @pytest.mark.parametrize(
+        "vector", GOLDEN["memoryless"], ids=lambda v: str(v["profile"][:4])
+    )
+    def test_committed_table_is_a_bijection(self, vector):
+        assert sorted(vector["table"]) == list(range(16))
+
+
+class TestLowWeightGolden:
+    def test_codeword_table_matches_committed(self):
+        assert list(CODEWORDS) == GOLDEN["lowweight"]["codewords"]
+        assert CHUNK_WIDTH == GOLDEN["lowweight"]["chunk_width"]
+        assert CODE_WIDTH == GOLDEN["lowweight"]["code_width"]
+        assert MAX_CODEWORD_WEIGHT == GOLDEN["lowweight"]["max_weight"]
+
+    def test_codeword_weight_bound_and_unique_decodability(self):
+        codewords = GOLDEN["lowweight"]["codewords"]
+        assert len(set(codewords)) == 16  # unique decodability
+        for code in codewords:
+            assert code.bit_count() <= GOLDEN["lowweight"]["max_weight"]
+        # (weight, value) order: rank r is the r-th cheapest codeword.
+        keys = [(c.bit_count(), c) for c in codewords]
+        assert keys == sorted(keys)
+
+    @pytest.mark.parametrize(
+        "vector",
+        GOLDEN["lowweight"]["streams"],
+        ids=lambda v: f"{v['words'][0]:#010x}x{len(v['words'])}",
+    )
+    def test_identity_driven_stream_and_weights(self, vector):
+        enc = LowWeightCodeEncoder()
+        stream = enc.encode(vector["words"])
+        assert stream.driven == vector["identity_driven"]
+        assert (
+            per_transfer_transitions(stream.driven)
+            == vector["identity_per_transfer"]
+        )
+        assert enc.decode(stream) == vector["words"]
+
+    @pytest.mark.parametrize(
+        "vector",
+        GOLDEN["lowweight"]["streams"],
+        ids=lambda v: f"{v['words'][0]:#010x}x{len(v['words'])}",
+    )
+    def test_fitted_driven_stream_and_tables(self, vector):
+        enc = LowWeightCodeEncoder().fit(vector["words"])
+        assert enc.to_config()["tables"] == vector["fitted_tables"]
+        stream = enc.encode(vector["words"])
+        assert stream.driven == vector["fitted_driven"]
+        assert stream.transitions() == vector["fitted_transitions"]
+        assert enc.decode(stream) == vector["words"]
+
+    @pytest.mark.parametrize(
+        "vector",
+        GOLDEN["lowweight"]["streams"],
+        ids=lambda v: f"{v['words'][0]:#010x}x{len(v['words'])}",
+    )
+    def test_per_transfer_weight_bound(self, vector):
+        enc = LowWeightCodeEncoder()
+        bound = enc.max_weight_per_transfer
+        for weights in (
+            vector["identity_per_transfer"],
+            per_transfer_transitions(vector["fitted_driven"]),
+        ):
+            assert all(w <= bound for w in weights)

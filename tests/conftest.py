@@ -41,3 +41,18 @@ def seeded_stream():
 def seeded_blocks():
     """Factory fixture: ``seeded_blocks(seed, num_blocks, ...)``."""
     return strategies.seeded_blocks
+
+
+@pytest.fixture()
+def seeded_hot_words():
+    """Factory fixture: ``seeded_hot_words(seed, length, ...)`` —
+    fetch-like hot-alphabet word streams for the encoder zoo."""
+    return strategies.seeded_hot_words
+
+
+@pytest.fixture(scope="session")
+def encoder_schemes():
+    """Every registered encoder-zoo backend, sorted."""
+    from repro.baselines.protocol import registered_schemes
+
+    return registered_schemes()

@@ -206,6 +206,11 @@ class TestPerModelDetectionRates:
                 "masked",
                 "not-applicable",
             }, (model.name, outcomes)
+            if set(outcomes) == {"not-applicable"}:
+                # Mixed-scheme models have nothing to bite on in this
+                # classic deployment; covered by tests/faults.
+                assert model.name == "scheme_tag_corruption", model.name
+                continue
             handled = outcomes.count("detected") + outcomes.count("corrected")
             assert handled > 0, model.name
             if model.name in self.SINGLE_BIT_MODELS:
@@ -235,6 +240,9 @@ class TestPerModelDetectionRates:
                 "masked",
                 "not-applicable",
             }, (model.name, outcomes)
+            if set(outcomes) == {"not-applicable"}:
+                assert model.name == "scheme_tag_corruption", model.name
+                continue
             handled = outcomes.count("recovered") + outcomes.count("corrected")
             assert handled > 0, model.name
 

@@ -28,6 +28,7 @@ from repro.verify.generators import (
     biased_stream,
     block_words,
     burst_stream,
+    hot_word_stream,
     make_deployment,
     word_blocks,
 )
@@ -37,11 +38,13 @@ __all__ = [
     "hw_block_sizes",
     "encode_strategies",
     "instruction_words",
+    "fetch_word_streams",
     "rng_for",
     "seeded_stream",
     "seeded_words",
     "seeded_blocks",
     "seeded_deployment",
+    "seeded_hot_words",
     "generate_program",
 ]
 
@@ -67,6 +70,19 @@ instruction_words = st.lists(
     min_size=1,
     max_size=40,
 )
+
+
+@st.composite
+def fetch_word_streams(draw, max_length: int = 100):
+    """Instruction-fetch-like word streams: mostly a small hot
+    alphabet (loop bodies repeat) with occasional uniform excursions —
+    the encoder zoo's input distribution, same generator the verify
+    campaign's ``encoders`` cases use."""
+    seed = draw(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    length = draw(st.integers(min_value=0, max_value=max_length))
+    alphabet = draw(st.integers(min_value=1, max_value=8))
+    noise = draw(st.sampled_from((0.0, 0.1, 0.3)))
+    return hot_word_stream(random.Random(seed), length, alphabet, noise)
 
 
 # ----------------------------------------------------------------------
@@ -111,6 +127,14 @@ def seeded_deployment(seed, block_size: int, num_blocks: int = 3, **kwargs):
     return make_deployment(
         seeded_blocks(seed, num_blocks), block_size, **kwargs
     )
+
+
+def seeded_hot_words(
+    seed, length: int, alphabet: int = 6, noise: float = 0.15
+) -> list[int]:
+    """A fetch-like hot-alphabet word stream fully determined by
+    ``seed`` (the encoder zoo's input space)."""
+    return hot_word_stream(rng_for("hot", seed), length, alphabet, noise)
 
 
 # ----------------------------------------------------------------------

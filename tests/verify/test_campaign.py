@@ -18,11 +18,17 @@ SMALL = VerifyConfig(cases=20, seed=11, block_sizes=(4,))
 class TestScheduling:
     def test_kind_pattern_mix(self):
         counts = {kind: KIND_PATTERN.count(kind) for kind in set(KIND_PATTERN)}
-        assert counts == {"stream": 5, "program": 3, "tables": 2}
+        assert counts == {
+            "stream": 5,
+            "program": 3,
+            "tables": 2,
+            "encoders": 2,
+        }
 
     def test_case_kind_cycles(self):
-        assert [case_kind(i) for i in range(10)] == list(KIND_PATTERN)
-        assert case_kind(10) == case_kind(0)
+        pattern_len = len(KIND_PATTERN)
+        assert [case_kind(i) for i in range(pattern_len)] == list(KIND_PATTERN)
+        assert case_kind(pattern_len) == case_kind(0)
 
     def test_seed_key_is_replayable_shape(self):
         assert case_seed_key(SMALL, 3) == "11:tables:3"
@@ -61,7 +67,7 @@ class TestRunVerify:
 
     def test_kind_counts_add_up(self):
         report = run_verify(SMALL)
-        random_kinds = {"stream", "program", "tables"}
+        random_kinds = {"stream", "program", "tables", "encoders"}
         total_random = sum(
             report.kinds[kind]["run"]
             for kind in random_kinds & set(report.kinds)
@@ -69,6 +75,7 @@ class TestRunVerify:
         assert total_random == SMALL.cases
         for sweep in ("sweep_codebook", "sweep_tau", "sweep_boundary"):
             assert report.kinds[sweep] == {"run": 1, "failed": 0}
+        assert report.kinds["sweep_encoders"] == {"run": 1, "failed": 0}
 
     def test_no_sweeps_leaves_the_gate_unreachable(self):
         report = run_verify(

@@ -7,11 +7,13 @@ from tests.strategies import rng_for, seeded_stream, seeded_words
 from repro.verify.checks import (
     TABLE_FAULTS,
     CheckResult,
+    check_encoders,
     check_program,
     check_stream,
     check_tables,
     sweep_boundary,
     sweep_codebook,
+    sweep_encoder_tables,
     sweep_tau,
 )
 
@@ -130,3 +132,40 @@ class TestSweeps:
         assert result.coverage["tail_lengths"] == {
             f"k={k}|tail={t}" for t in range(1, k + 1)
         }
+
+
+class TestCheckEncoders:
+    def test_clean_on_hot_stream_covers_every_scheme(
+        self, seeded_hot_words, encoder_schemes
+    ):
+        result = check_encoders(seeded_hot_words("checks-enc", 120))
+        assert result.ok, result.mismatch
+        assert result.coverage["encoder_schemes"] == set(encoder_schemes)
+
+    def test_clean_on_empty_and_singleton_streams(self):
+        for words in ([], [0xFFFFFFFF]):
+            result = check_encoders(words)
+            assert result.ok, result.mismatch
+
+    def test_scheme_subset_restricts_coverage(self):
+        result = check_encoders([1, 2, 3], schemes=("gray",))
+        assert result.ok, result.mismatch
+        assert result.coverage["encoder_schemes"] == {"gray"}
+
+    def test_deterministic_verdict(self, seeded_hot_words):
+        words = seeded_hot_words("checks-det", 80)
+        a, b = check_encoders(words), check_encoders(words)
+        assert a.ok == b.ok
+        assert a.coverage_lists() == b.coverage_lists()
+
+
+class TestSweepEncoderTables:
+    def test_sweep_is_clean_and_covers_all_schemes(self, encoder_schemes):
+        result = sweep_encoder_tables()
+        assert result.ok, result.mismatch
+        assert result.coverage["encoder_schemes"] == set(encoder_schemes)
+
+    def test_sweep_is_deterministic(self):
+        a, b = sweep_encoder_tables(), sweep_encoder_tables()
+        assert a.ok == b.ok
+        assert a.coverage_lists() == b.coverage_lists()

@@ -29,6 +29,10 @@ MUTATION_ARGS = {
     "codebook-entry": ["--cases", "20", "--seed", "7", "--block-sizes", "5"],
     "tt-decode": FAST_ARGS,
     "bitplane-scan": FAST_ARGS,
+    # Encoder-zoo mutations fire via the block-size-independent
+    # sweep_encoders leg, so the fast args suffice.
+    "memoryless-codebook": FAST_ARGS,
+    "lowweight-codeword": FAST_ARGS,
 }
 
 
@@ -67,7 +71,14 @@ class TestCleanRun:
 
 @pytest.mark.parametrize(
     "mutation",
-    ["suffix-table", "codebook-entry", "tt-decode", "bitplane-scan"],
+    [
+        "suffix-table",
+        "codebook-entry",
+        "tt-decode",
+        "bitplane-scan",
+        "memoryless-codebook",
+        "lowweight-codeword",
+    ],
 )
 class TestMutationSelfTest:
     def test_mutated_decoder_fails_check_and_is_replayable(

@@ -70,16 +70,33 @@ class TestAccounting:
 
 
 class TestGate:
+    @staticmethod
+    def _cover_encoders(tracker):
+        for scheme in tracker.universes["encoder_schemes"]:
+            tracker.cover("encoder_schemes", scheme)
+
     def test_gate_flags_every_uncovered_gated_dimension(self):
         tracker = CoverageTracker(GATED_BLOCK_SIZES)
         problems = tracker.gate_problems()
-        # codebook + tau for each of the four gated ks.
-        assert len(problems) == 8
+        # codebook + tau for each of the four gated ks, plus the
+        # encoder-scheme dimension.
+        assert len(problems) == 9
         assert any("k=7" in problem for problem in problems)
+        assert any("encoder_schemes" in problem for problem in problems)
 
     def test_ungated_block_sizes_do_not_gate(self):
         tracker = CoverageTracker([2, 3])
+        self._cover_encoders(tracker)
         assert tracker.gate_problems() == []
+
+    def test_encoder_schemes_gate_names_the_missing_backend(self):
+        tracker = CoverageTracker([2])
+        for scheme in tracker.universes["encoder_schemes"]:
+            if scheme != "gray":
+                tracker.cover("encoder_schemes", scheme)
+        problems = tracker.gate_problems()
+        assert len(problems) == 1
+        assert "gray" in problems[0]
 
     def test_full_coverage_clears_the_gate(self):
         tracker = CoverageTracker([4])
@@ -90,6 +107,7 @@ class TestGate:
                 )
         for selector in range(8):
             tracker.cover("tau_selectors", tau_key(4, selector))
+        self._cover_encoders(tracker)
         assert tracker.gate_problems() == []
 
     def test_snapshot_reports_missing_keys_and_breakdown(self):
